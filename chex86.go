@@ -1,0 +1,201 @@
+// Package chex86 is a simulation-based reproduction of the CHEx86
+// processor architecture (Sharifi and Venkat, "CHEx86: Context-Sensitive
+// Enforcement of Memory Safety via Microcode-Enabled Capabilities",
+// ISCA 2020): transparent capability-based memory-safety enforcement for
+// unmodified x86-style binaries via microcode-level instrumentation and
+// speculative pointer tracking.
+//
+// The package exposes the full stack: a guest-program assembler, the
+// functional emulator with heap-routine interception, the out-of-order
+// timing model of the Table III machine, the CHEx86 protection variants
+// (hardware-only, binary-translation, microcode always-on, microcode
+// prediction-driven) plus an AddressSanitizer model and an insecure
+// baseline, the synthetic SPEC CPU2017 / PARSEC 2.1 workload suite, the
+// security exploit suites, and the harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	b := chex86.NewProgramBuilder()
+//	b.MovRI(chex86.RDI, 64)
+//	b.CallAddr(chex86.MallocEntry)
+//	b.MovRR(chex86.RBX, chex86.RAX)
+//	b.MovRI(chex86.RDX, 1)
+//	b.Store(chex86.RBX, 64, chex86.RDX) // one past the end
+//	b.Hlt()
+//	prog, _ := b.Build()
+//
+//	cfg := chex86.DefaultConfig()
+//	cfg.StopOnViolation = true
+//	_, err := chex86.Run(prog, cfg, 1)
+//	// err is a *chex86.Violation: out-of-bounds at the offending RIP.
+package chex86
+
+import (
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/experiments"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/pipeline"
+	"chex86/internal/security"
+	"chex86/internal/workload"
+)
+
+// Re-exported configuration and result types.
+type (
+	// Config describes the simulated machine and protection scheme.
+	Config = pipeline.Config
+	// Result aggregates a simulation run's statistics.
+	Result = pipeline.Result
+	// Sim is a configured simulation instance.
+	Sim = pipeline.Sim
+	// Variant selects the protection scheme.
+	Variant = decode.Variant
+	// Violation is a detected memory-safety violation; it implements error.
+	Violation = core.Violation
+	// ViolationKind classifies violations.
+	ViolationKind = core.ViolationKind
+	// Program is an assembled guest program.
+	Program = asm.Program
+	// ProgramBuilder assembles guest programs.
+	ProgramBuilder = asm.Builder
+	// WorkloadProfile parameterizes a synthetic benchmark.
+	WorkloadProfile = workload.Profile
+	// Exploit is one security-evaluation case.
+	Exploit = security.Exploit
+	// ContextPolicy selects the code regions that receive capability
+	// checks (context-sensitive enforcement).
+	ContextPolicy = core.ContextPolicy
+	// Region is a half-open RIP range for context policies.
+	Region = core.Region
+	// ExperimentOptions scales the paper-evaluation harness.
+	ExperimentOptions = experiments.Options
+	// Reg names an architectural register of the simulated machine.
+	Reg = isa.Reg
+	// Cond is a branch condition code.
+	Cond = isa.Cond
+)
+
+// Architectural registers, in x86-64 encoding order.
+const (
+	RAX = isa.RAX
+	RCX = isa.RCX
+	RDX = isa.RDX
+	RBX = isa.RBX
+	RSP = isa.RSP
+	RBP = isa.RBP
+	RSI = isa.RSI
+	RDI = isa.RDI
+	R8  = isa.R8
+	R9  = isa.R9
+	R10 = isa.R10
+	R11 = isa.R11
+	R12 = isa.R12
+	R13 = isa.R13
+	R14 = isa.R14
+	R15 = isa.R15
+
+	// RNone marks an absent register operand (e.g. an absolute-address
+	// load with no base register).
+	RNone = isa.RNone
+)
+
+// Address-space layout constants of the simulated process.
+const (
+	// GlobalBase is where the global data section starts.
+	GlobalBase uint64 = 0x0000_0000_0060_0000
+)
+
+// Branch condition codes.
+const (
+	CondE  = isa.CondE
+	CondNE = isa.CondNE
+	CondL  = isa.CondL
+	CondLE = isa.CondLE
+	CondG  = isa.CondG
+	CondGE = isa.CondGE
+)
+
+// Protection variants (Figure 6's configurations).
+const (
+	VariantInsecure            = decode.VariantInsecure
+	VariantHardwareOnly        = decode.VariantHardwareOnly
+	VariantBinaryTranslation   = decode.VariantBinaryTranslation
+	VariantMicrocodeAlwaysOn   = decode.VariantMicrocodeAlwaysOn
+	VariantMicrocodePrediction = decode.VariantMicrocodePrediction
+	VariantASan                = decode.VariantASan
+)
+
+// Violation kinds.
+const (
+	ViolationNone               = core.VNone
+	ViolationOutOfBounds        = core.VOutOfBounds
+	ViolationUseAfterFree       = core.VUseAfterFree
+	ViolationDoubleFree         = core.VDoubleFree
+	ViolationInvalidFree        = core.VInvalidFree
+	ViolationWildDereference    = core.VWildDereference
+	ViolationResourceExhaustion = core.VResourceExhaustion
+)
+
+// Heap-management routine entry points, pre-registered in the simulated
+// machine's MSRs; guest programs call them with CallAddr.
+const (
+	MallocEntry  = heap.MallocEntry
+	CallocEntry  = heap.CallocEntry
+	ReallocEntry = heap.ReallocEntry
+	FreeEntry    = heap.FreeEntry
+)
+
+// DefaultConfig returns the Table III machine configured as the default
+// CHEx86 design (microcode prediction-driven variant, 64-entry capability
+// cache, 256+32-entry alias cache, 512-entry pointer-reload predictor).
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// NewProgramBuilder returns a builder assembling guest programs at the
+// conventional text base.
+func NewProgramBuilder() *ProgramBuilder { return asm.NewBuilder() }
+
+// NewSim constructs a simulation of prog under cfg with the given hart
+// count (one core per hart).
+func NewSim(prog *Program, cfg Config, harts int) *Sim {
+	return pipeline.New(prog, cfg, harts)
+}
+
+// Run simulates prog to completion under cfg and returns the aggregated
+// result. With cfg.StopOnViolation set, the first detected capability
+// violation is returned as a *Violation error.
+func Run(prog *Program, cfg Config, harts int) (*Result, error) {
+	return pipeline.New(prog, cfg, harts).Run()
+}
+
+// Always returns the context policy that instruments every code region.
+func Always() ContextPolicy { return core.Always() }
+
+// Only returns the context-sensitive policy instrumenting just the given
+// RIP regions; allocations are still tracked globally (Section VII-D).
+func Only(regions ...Region) ContextPolicy { return core.Only(regions...) }
+
+// Workloads returns the synthetic benchmark catalog standing in for the
+// paper's SPEC CPU2017 and PARSEC 2.1 subsets, in Figure 6 order.
+func Workloads() []*WorkloadProfile { return workload.Catalog() }
+
+// WorkloadByName returns the named benchmark profile, or nil.
+func WorkloadByName(name string) *WorkloadProfile { return workload.ByName(name) }
+
+// Exploits returns every security-evaluation case: the RIPE-style sweep,
+// the ASan-test-style suite, the 18 How2Heap-style exploits, and the
+// Section VII-B false-positive probes.
+func Exploits() []*Exploit { return security.All() }
+
+// RunExploit executes one exploit under the given variant.
+func RunExploit(e *Exploit, v Variant) *security.Outcome { return security.Run(e, v) }
+
+// TimeShare runs several processes round-robin on the simulated hardware
+// with OS context switching: sliceRecs macro-ops per quantum, kernelCost
+// cycles per switch, and cold per-process security structures after each
+// switch-in (Section IV-C's MSR save/restore semantics).
+func TimeShare(sims []*Sim, sliceRecs int, kernelCost uint64) (*pipeline.TimeShareResult, error) {
+	return pipeline.TimeShare(sims, sliceRecs, kernelCost)
+}

@@ -1,0 +1,81 @@
+package chex86
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the package through its public surface
+// only: build a program, run it under two variants, and observe both the
+// silent baseline and the CHEx86 detection.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	b := NewProgramBuilder()
+	b.MovRI(RDI, 64)
+	b.CallAddr(MallocEntry)
+	b.MovRR(RBX, RAX)
+	b.MovRI(RDX, 1)
+	b.Store(RBX, 64, RDX) // one past the end
+	b.Hlt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := DefaultConfig()
+	base.Variant = VariantInsecure
+	base.StopOnViolation = true
+	if _, err := Run(prog, base, 1); err != nil {
+		t.Fatalf("baseline must run silently: %v", err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.StopOnViolation = true
+	_, err = Run(prog, cfg, 1)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a *Violation, got %v", err)
+	}
+	if v.Kind != ViolationOutOfBounds {
+		t.Fatalf("expected out-of-bounds, got %v", v.Kind)
+	}
+}
+
+func TestWorkloadCatalogExposed(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 14 {
+		t.Fatalf("14 benchmarks expected, got %d", len(ws))
+	}
+	if WorkloadByName("mcf") == nil || WorkloadByName("nope") != nil {
+		t.Fatal("lookup broken")
+	}
+}
+
+func TestExploitsExposed(t *testing.T) {
+	es := Exploits()
+	if len(es) < 90 {
+		t.Fatalf("expected the full exploit battery, got %d", len(es))
+	}
+	var uaf *Exploit
+	for _, e := range es {
+		if e.Name == "heap-use-after-free-read" {
+			uaf = e
+		}
+	}
+	if uaf == nil {
+		t.Fatal("representative exploit missing")
+	}
+	out := RunExploit(uaf, VariantMicrocodePrediction)
+	if !out.Correct() || out.Violation.Kind != ViolationUseAfterFree {
+		t.Fatalf("exploit outcome: %v", out)
+	}
+}
+
+func TestContextPolicyExposed(t *testing.T) {
+	if !Always().Covers(1) {
+		t.Fatal("Always() broken")
+	}
+	p := Only(Region{Lo: 10, Hi: 20})
+	if !p.Covers(15) || p.Covers(25) {
+		t.Fatal("Only() broken")
+	}
+}

@@ -1,0 +1,88 @@
+// Command chexobj inspects CHEx86 object images the way objdump/readelf
+// inspect ELF binaries: section summary, symbol table, relocations, and a
+// disassembly listing of .text.
+//
+// Usage:
+//
+//	chexsim -bench mcf -save mcf.chx   # produce an image
+//	chexobj mcf.chx                    # section summary
+//	chexobj -d mcf.chx                 # disassemble .text
+//	chexobj -s -r mcf.chx              # symbols and relocations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"chex86/internal/asm"
+	"chex86/internal/objfile"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble .text")
+	syms := flag.Bool("s", false, "print the symbol table")
+	rels := flag.Bool("r", false, "print relocation entries")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chexobj [-d] [-s] [-r] <image>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	p, err := objfile.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chexobj:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %s\n", path, objfile.Summarize(p))
+	fmt.Printf("text base %#x, end %#x\n", p.TextBase, p.End())
+
+	if *syms {
+		printSymbols(p)
+	}
+	if *rels {
+		printRelocs(p)
+	}
+	if *dis {
+		disassemble(p)
+	}
+}
+
+func printSymbols(p *asm.Program) {
+	fmt.Println("\nSYMBOL TABLE:")
+	for _, g := range p.SortedGlobals() {
+		perm := "rw"
+		if g.ReadOnly {
+			perm = "r-"
+		}
+		fmt.Printf("  %#012x %8d %s  %s\n", g.Addr, g.Size, perm, g.Name)
+	}
+}
+
+func printRelocs(p *asm.Program) {
+	fmt.Println("\nRELOCATION RECORDS:")
+	rs := append([]asm.Reloc(nil), p.Relocs...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Slot < rs[j].Slot })
+	for _, r := range rs {
+		fmt.Printf("  %#012x  R_CHX86_64  %s\n", r.Slot, r.Target)
+	}
+}
+
+func disassemble(p *asm.Program) {
+	// Invert the label map so the listing annotates branch targets.
+	byAddr := map[uint64]string{}
+	for name, addr := range p.Labels {
+		byAddr[addr] = name
+	}
+	fmt.Println("\nDisassembly of section .text:")
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if name, ok := byAddr[in.Addr]; ok {
+			fmt.Printf("\n%#012x <%s>:\n", in.Addr, name)
+		}
+		fmt.Printf("  %#012x:  %s\n", in.Addr, in)
+	}
+}

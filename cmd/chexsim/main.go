@@ -1,0 +1,183 @@
+// Command chexsim runs one synthetic benchmark on the simulated CHEx86
+// machine under a chosen protection variant and prints the run's
+// statistics.
+//
+// Usage:
+//
+//	chexsim -bench mcf -variant prediction
+//	chexsim -bench canneal -variant asan -scale 0.5
+//	chexsim -bench mcf -save mcf.chx     # serialize to an object image
+//	chexsim -obj mcf.chx                 # simulate a saved image
+//	chexsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/objfile"
+	"chex86/internal/patterns"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+var variants = map[string]decode.Variant{
+	"baseline":   decode.VariantInsecure,
+	"hardware":   decode.VariantHardwareOnly,
+	"bintrans":   decode.VariantBinaryTranslation,
+	"always-on":  decode.VariantMicrocodeAlwaysOn,
+	"prediction": decode.VariantMicrocodePrediction,
+	"asan":       decode.VariantASan,
+	"watchdog":   decode.VariantWatchdog,
+}
+
+func main() {
+	bench := flag.String("bench", "perlbench", "benchmark name (see -list)")
+	variant := flag.String("variant", "prediction", "protection variant: baseline|hardware|bintrans|always-on|prediction|asan")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (round-count multiplier)")
+	insts := flag.Uint64("insts", 0, "macro-instruction budget (0 = run to completion)")
+	checker := flag.Bool("checker", false, "enable the hardware checker co-processor")
+	trace := flag.Int("trace", 0, "dump pipeline timestamps for the first N micro-ops")
+	pats := flag.Bool("patterns", false, "classify temporal pointer access patterns per reload site (Table II)")
+	savePath := flag.String("save", "", "write the built benchmark as a CHEx86 object image and exit")
+	objPath := flag.String("obj", "", "simulate a saved object image instead of building a benchmark")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Catalog() {
+			fmt.Printf("%-14s %-12s threads=%d  %s\n", p.Name, p.Suite, max(1, p.Threads), p.About)
+		}
+		return
+	}
+
+	v, ok := variants[strings.ToLower(*variant)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chexsim: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	var (
+		prog  *asm.Program
+		err   error
+		name  = *bench
+		suite = "object image"
+		harts = 1
+	)
+	cfg := pipeline.DefaultConfig()
+	if *objPath != "" {
+		// Simulate a previously saved image: the loader re-seeds
+		// capabilities and alias entries from its .symtab/.reloc sections
+		// exactly as it does for a built benchmark.
+		prog, err = objfile.Load(*objPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chexsim:", err)
+			os.Exit(1)
+		}
+		name = *objPath
+	} else {
+		p := workload.ByName(*bench)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "chexsim: unknown benchmark %q (try -list)\n", *bench)
+			os.Exit(2)
+		}
+		prog, err = p.Build(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chexsim:", err)
+			os.Exit(1)
+		}
+		if *savePath != "" {
+			if err := objfile.Save(*savePath, prog); err != nil {
+				fmt.Fprintln(os.Stderr, "chexsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: %s\n", *savePath, objfile.Summarize(prog))
+			return
+		}
+		suite = p.Suite
+		cfg.WarmupInsts = p.SetupInsts()
+		if p.Threads > 0 {
+			harts = p.Threads
+		}
+	}
+	cfg.Variant = v
+	cfg.MaxInsts = *insts
+	if cfg.MaxInsts > 0 {
+		cfg.MaxInsts += cfg.WarmupInsts
+	}
+	cfg.EnableChecker = *checker
+	sim := pipeline.New(prog, cfg, harts)
+	var col *patterns.Collector
+	if *pats {
+		col = patterns.NewCollector(0)
+		sim.SetReloadHook(func(pc uint64, pid core.PID) { col.Observe(pc, pid) })
+	}
+	if *trace > 0 {
+		left := *trace
+		fmt.Printf("%-8s %-10s %-30s %8s %8s %8s %8s %8s\n",
+			"core", "rip", "uop", "fetch", "disp", "issue", "done", "commit")
+		sim.TraceUop = func(t pipeline.UopTrace) {
+			if left <= 0 {
+				return
+			}
+			left--
+			fmt.Printf("%-8d %-10s %-30s %8d %8d %8d %8d %8d\n",
+				t.Core, fmt.Sprintf("%#x", t.RIP), t.Uop, t.Fetch, t.Dispatch, t.Issue, t.Done, t.Commit)
+		}
+	}
+	res, err := sim.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chexsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s (%s, %d hart(s))\n", name, suite, harts)
+	fmt.Printf("variant          %s\n", v)
+	fmt.Printf("instructions     %d (after %d warmup)\n", res.MacroInsts, cfg.WarmupInsts)
+	fmt.Printf("cycles           %d (IPC %.2f, %.3f ms simulated)\n", res.Cycles, res.IPC(), res.Seconds()*1e3)
+	fmt.Printf("micro-ops        %d native + %d injected (expansion %.2f)\n",
+		res.NativeUops, res.InjectedUops, res.UopExpansion())
+	fmt.Printf("cap cache        %.2f%% miss (%d checks)\n", 100*res.CapCache.MissRate(), res.ChecksRun)
+	fmt.Printf("alias cache      %.2f%% miss, predictor %.2f%% mispredict (PNA0 %d / P0AN %d / PMAN %d)\n",
+		100*res.AliasCache.MissRate(), 100*res.Predictor.MispredictionRate(),
+		res.Predictor.PNA0, res.Predictor.P0AN, res.Predictor.PMAN)
+	fmt.Printf("branches         %.2f%% mispredict, %.2f%% of time squashing\n",
+		100*res.Branch.MispredictRate(), res.SquashPct())
+	fmt.Printf("memory           L1D %.1f%% / L2 %.1f%% / LLC %.1f%% miss, %.1f MB/s DRAM\n",
+		100*res.L1D.MissRate(), 100*res.L2.MissRate(), 100*res.LLC.MissRate(), res.BandwidthMBs())
+	fmt.Printf("footprint        user %s + shadow %s\n", kb(res.UserRSS), kb(res.ShadowRSS))
+	if *checker {
+		fmt.Printf("checker          %d validations, %d mismatches\n",
+			res.Checker.Validations, res.Checker.Mismatches)
+	}
+	if n := len(res.Violations); n > 0 {
+		fmt.Printf("VIOLATIONS       %d (first: %v)\n", n, res.Violations[0])
+	}
+	if col != nil {
+		fmt.Println()
+		fmt.Println("Temporal pointer access patterns (Table II), per reload site:")
+		for _, pc := range col.PCs() {
+			seq := col.Seq(pc)
+			if len(seq) < 4 {
+				continue
+			}
+			fmt.Printf("  rip=%#-10x %6d reloads  %s\n", pc, len(seq), patterns.Classify(seq))
+		}
+		fmt.Println()
+		fmt.Print(col.Format())
+	}
+}
+
+func kb(b uint64) string { return fmt.Sprintf("%.1fKB", float64(b)/1024) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

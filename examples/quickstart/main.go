@@ -1,0 +1,56 @@
+// Quickstart: assemble a small guest program with a heap buffer overflow
+// and watch CHEx86 catch it under the hood — no recompilation, no source
+// changes, just the microcode-level capability check injected for the
+// offending dereference.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"chex86"
+)
+
+func main() {
+	// A tiny "legacy binary": allocate 64 bytes, fill them, then write one
+	// word past the end — the classic off-by-one heap overflow.
+	b := chex86.NewProgramBuilder()
+	b.MovRI(chex86.RDI, 64)
+	b.CallAddr(chex86.MallocEntry)
+	b.MovRR(chex86.RBX, chex86.RAX)
+
+	b.MovRI(chex86.RCX, 0)
+	b.Label("fill")
+	b.StoreIdx(chex86.RBX, chex86.RCX, 8, 0, chex86.RCX)
+	b.AddRI(chex86.RCX, 1)
+	b.CmpRI(chex86.RCX, 9) // bug: writes indexes 0..8 into an 8-word buffer
+	b.Jcc(chex86.CondL, "fill")
+	b.Hlt()
+
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First, the insecure baseline: the overflow goes completely unnoticed.
+	base := chex86.DefaultConfig()
+	base.Variant = chex86.VariantInsecure
+	base.StopOnViolation = true
+	if _, err := chex86.Run(prog, base, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("insecure baseline: overflow executed silently (memory corrupted)")
+
+	// Now the same unmodified program on CHEx86.
+	cfg := chex86.DefaultConfig()
+	cfg.Variant = chex86.VariantMicrocodePrediction
+	cfg.StopOnViolation = true
+	_, err = chex86.Run(prog, cfg, 1)
+	var v *chex86.Violation
+	if !errors.As(err, &v) {
+		log.Fatalf("expected a capability violation, got %v", err)
+	}
+	fmt.Printf("CHEx86: %s detected at rip=%#x (ea=%#x, pid=%d)\n", v.Kind, v.RIP, v.EA, v.PID)
+	fmt.Println("the capCheck micro-op injected for the dereference flagged the 9th store")
+}

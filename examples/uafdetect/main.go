@@ -1,0 +1,83 @@
+// uafdetect walks through the temporal-safety story of Section IV-C: a
+// pointer is spilled to memory, its allocation freed, and the dangling
+// alias later reloaded and dereferenced. The shadow capability table keeps
+// the freed capability (valid bit clear), the alias machinery recovers the
+// PID at the reload, and the injected capCheck flags the use-after-free —
+// followed by a double free caught by capFree.Begin.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"chex86"
+)
+
+func buildUAF() *chex86.Program {
+	b := chex86.NewProgramBuilder()
+	// node = malloc(96); stash the pointer in a global "registry".
+	g := chex86.GlobalBase
+	b.Global("registry", g, 8)
+	b.Global("pregistry", g+16, 8)
+	b.Reloc(g+16, "registry")
+
+	b.MovRI(chex86.RDI, 96)
+	b.CallAddr(chex86.MallocEntry)
+	b.Load(chex86.R8, chex86.RNone, int64(g+16)) // r8 = &registry
+	b.Store(chex86.R8, 0, chex86.RAX)            // registry = node (spilled alias)
+
+	// free(node) through a different register: the tracker follows the PID.
+	b.MovRR(chex86.RDI, chex86.RAX)
+	b.CallAddr(chex86.FreeEntry)
+
+	// Much later: reload the dangling pointer from the registry and use it.
+	b.Load(chex86.RBX, chex86.R8, 0) // pointer reload via the alias table
+	b.MovRI(chex86.RDX, 0x41)
+	b.Store(chex86.RBX, 16, chex86.RDX) // use-after-free
+	b.Hlt()
+
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prog
+}
+
+func buildDoubleFree() *chex86.Program {
+	b := chex86.NewProgramBuilder()
+	b.MovRI(chex86.RDI, 48)
+	b.CallAddr(chex86.MallocEntry)
+	b.MovRR(chex86.RBX, chex86.RAX)
+	b.MovRR(chex86.RDI, chex86.RBX)
+	b.CallAddr(chex86.FreeEntry)
+	b.MovRR(chex86.RDI, chex86.RBX)
+	b.CallAddr(chex86.FreeEntry) // second free of the same chunk
+	b.Hlt()
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prog
+}
+
+func detect(prog *chex86.Program) *chex86.Violation {
+	cfg := chex86.DefaultConfig()
+	cfg.StopOnViolation = true
+	_, err := chex86.Run(prog, cfg, 1)
+	var v *chex86.Violation
+	if !errors.As(err, &v) {
+		log.Fatalf("expected a violation, got %v", err)
+	}
+	return v
+}
+
+func main() {
+	v := detect(buildUAF())
+	fmt.Printf("use-after-free:   %s at rip=%#x through the reloaded spilled alias (pid=%d)\n",
+		v.Kind, v.RIP, v.PID)
+
+	v = detect(buildDoubleFree())
+	fmt.Printf("double free:      %s at rip=%#x — capFree.Begin found the valid bit already clear\n",
+		v.Kind, v.RIP)
+}

@@ -1,0 +1,3 @@
+module chex86
+
+go 1.22

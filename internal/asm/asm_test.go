@@ -1,0 +1,190 @@
+package asm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chex86/internal/isa"
+)
+
+func TestLabelResolution(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.Label("target")
+	b.AddRI(isa.RAX, 1)
+	b.Jmp("target")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.MustLookup("target")
+	if p.Insts[2].Target != want {
+		t.Fatalf("jump target %#x, want %#x", p.Insts[2].Target, want)
+	}
+	if want != p.TextBase+4 {
+		t.Fatalf("label after one instruction should sit at base+4, got %#x", want)
+	}
+}
+
+func TestForwardAndBackwardBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("fwd") // forward reference
+	b.Label("back")
+	b.Nop()
+	b.Label("fwd")
+	b.Jcc(isa.CondE, "back") // backward reference
+	p := b.MustBuild()
+	if p.Insts[0].Target != p.MustLookup("fwd") {
+		t.Error("forward reference unresolved")
+	}
+	if p.Insts[2].Target != p.MustLookup("back") {
+		t.Error("backward reference unresolved")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined label must fail the build")
+	}
+
+	b = NewBuilder()
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label must fail the build")
+	}
+
+	b = NewBuilder()
+	b.Mov(isa.MemOp(isa.RAX, 0), isa.MemOp(isa.RBX, 0))
+	if _, err := b.Build(); err == nil {
+		t.Error("mov mem,mem is unencodable and must fail")
+	}
+
+	b = NewBuilder()
+	b.Lea(isa.RAX, isa.RegOp(isa.RBX))
+	if _, err := b.Build(); err == nil {
+		t.Error("lea requires a memory operand")
+	}
+
+	b = NewBuilder()
+	b.Alu(isa.MOV, isa.RegOp(isa.RAX), isa.RegOp(isa.RBX))
+	if _, err := b.Build(); err == nil {
+		t.Error("Alu must reject non-ALU opcodes")
+	}
+}
+
+func TestAddressAssignment(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 100; i++ {
+		b.Nop()
+	}
+	p := b.MustBuild()
+	prev := p.TextBase
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if i > 0 && in.Addr != prev {
+			t.Fatalf("instruction %d at %#x, expected contiguous %#x", i, in.Addr, prev)
+		}
+		prev = in.NextAddr()
+		if p.At(in.Addr) != in {
+			t.Fatalf("At(%#x) does not resolve to instruction %d", in.Addr, i)
+		}
+	}
+	if p.End() != prev {
+		t.Fatalf("End() %#x, want %#x", p.End(), prev)
+	}
+	if p.At(p.TextBase+1) != nil {
+		t.Error("mid-instruction address must not resolve")
+	}
+}
+
+func TestGlobalsRelocsData(t *testing.T) {
+	b := NewBuilderAt(0x1000)
+	b.Global("g1", 0x600000, 64)
+	b.Global("g0", 0x5ff000, 32)
+	b.Reloc(0x600100, "g1")
+	b.DataU64(0x600108, 0xdeadbeef)
+	b.Nop()
+	p := b.MustBuild()
+	if len(p.Globals) != 2 || len(p.Relocs) != 1 || len(p.Data) != 1 {
+		t.Fatalf("metadata lost: %d globals %d relocs %d data", len(p.Globals), len(p.Relocs), len(p.Data))
+	}
+	sorted := p.SortedGlobals()
+	if sorted[0].Name != "g0" || sorted[1].Name != "g1" {
+		t.Error("SortedGlobals must order by address")
+	}
+	if p.TextBase != 0x1000 {
+		t.Error("custom text base ignored")
+	}
+}
+
+// TestBuilderChains verifies the fluent helpers emit the operand shapes
+// the decoder expects.
+func TestBuilderChains(t *testing.T) {
+	b := NewBuilder()
+	b.MovRI(isa.RAX, 7)
+	b.MovRR(isa.RBX, isa.RAX)
+	b.Load(isa.RCX, isa.RBX, 8)
+	b.LoadIdx(isa.RDX, isa.RBX, isa.RCX, 8, 0)
+	b.Store(isa.RBX, 0, isa.RAX)
+	b.StoreIdx(isa.RBX, isa.RCX, 1, 4, isa.RAX)
+	b.StoreImm(isa.RBX, 8, 42)
+	b.Push(isa.RAX)
+	b.Pop(isa.RBX)
+	b.CallReg(isa.RAX)
+	b.JmpReg(isa.RBX)
+	b.Ret()
+	b.Hlt()
+	p := b.MustBuild()
+	if p.Insts[0].Src.Kind != isa.OpImm || p.Insts[0].Dst.Kind != isa.OpReg {
+		t.Error("MovRI operand shape wrong")
+	}
+	if p.Insts[3].Src.Mem.Index != isa.RCX || p.Insts[3].Src.Mem.Scale != 8 {
+		t.Error("LoadIdx addressing mode wrong")
+	}
+	if p.Insts[6].Src.Kind != isa.OpImm || p.Insts[6].Dst.Kind != isa.OpMem {
+		t.Error("StoreImm operand shape wrong")
+	}
+	if p.Insts[9].Dst.Kind != isa.OpReg {
+		t.Error("CallReg must carry the register")
+	}
+}
+
+// TestAddressesAlwaysMonotonic is a property test: for any program length,
+// instruction addresses are strictly increasing and uniformly decodable.
+func TestAddressesAlwaysMonotonic(t *testing.T) {
+	f := func(n uint8) bool {
+		b := NewBuilder()
+		for i := 0; i < int(n)+1; i++ {
+			b.AddRI(isa.RAX, int64(i))
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(p.Insts); i++ {
+			if p.Insts[i].Addr <= p.Insts[i-1].Addr {
+				return false
+			}
+			if p.At(p.Insts[i].Addr) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelAtEnd(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.Label("end")
+	p := b.MustBuild()
+	if p.MustLookup("end") != p.End() {
+		t.Error("trailing label should resolve to the end of text")
+	}
+}

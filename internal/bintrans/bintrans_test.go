@@ -1,0 +1,209 @@
+package bintrans
+
+import (
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/emu"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/pipeline"
+)
+
+// buildSample returns a program with memory operands, branches across the
+// instrumentation points, and allocator calls.
+func buildSample() *asm.Program {
+	b := asm.NewBuilder()
+	b.MovRI(isa.RDI, 64)
+	b.CallAddr(heap.MallocEntry)
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRI(isa.RCX, 0)
+	b.Label("loop")
+	b.StoreIdx(isa.RBX, isa.RCX, 8, 0, isa.RCX) // instrumented
+	b.AddRI(isa.RCX, 1)                         // not instrumented
+	b.CmpRI(isa.RCX, 8)
+	b.Jcc(isa.CondL, "loop") // target must be remapped
+	b.Load(isa.RDX, isa.RBX, 0)
+	b.Hlt()
+	return b.MustBuild()
+}
+
+func run(t *testing.T, p *asm.Program) *emu.Machine {
+	t.Helper()
+	m := emu.New(p, emu.Options{MaxInsts: 100_000})
+	for {
+		rec, err := m.Step()
+		if err != nil {
+			t.Fatalf("translated program faulted: %v", err)
+		}
+		if rec == nil {
+			return m
+		}
+	}
+}
+
+// TestTranslationPreservesSemantics: the instrumented program computes the
+// same architectural state as the original.
+func TestTranslationPreservesSemantics(t *testing.T) {
+	orig := buildSample()
+	var tr Translator
+	xl, err := tr.Translate(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := run(t, orig)
+	m2 := run(t, xl)
+	for r := isa.Reg(0); r < isa.NumArchRegs; r++ {
+		if m1.Harts[0].Regs[r] != m2.Harts[0].Regs[r] {
+			t.Fatalf("register %v diverged: %#x vs %#x", r, m1.Harts[0].Regs[r], m2.Harts[0].Regs[r])
+		}
+	}
+	if m1.TotalInsts() >= m2.TotalInsts() {
+		t.Fatal("translated program must execute more instructions (the checks)")
+	}
+}
+
+func TestInstrumentationCoverage(t *testing.T) {
+	var tr Translator
+	xl, err := tr.Translate(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 memory-operand instructions inside the loop body/tail.
+	if tr.Stats.Instrumented != 2 {
+		t.Fatalf("expected 2 instrumented instructions, got %d", tr.Stats.Instrumented)
+	}
+	if tr.Stats.CodeExpansion() <= 1.0 {
+		t.Fatal("translation must grow the code")
+	}
+	// Every original instruction must still be present, in order.
+	nonNops := 0
+	for i := range xl.Insts {
+		if xl.Insts[i].Op != isa.NOP {
+			nonNops++
+		}
+	}
+	if nonNops != tr.Stats.Insts {
+		t.Fatalf("lost instructions: %d of %d", nonNops, tr.Stats.Insts)
+	}
+}
+
+func TestBranchTargetRemapping(t *testing.T) {
+	var tr Translator
+	xl, err := tr.Translate(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop back-edge must land exactly on the remapped label.
+	loop, ok := xl.Lookup("loop")
+	if !ok {
+		t.Fatal("label lost in translation")
+	}
+	var backEdge *isa.Inst
+	for i := range xl.Insts {
+		if xl.Insts[i].Op == isa.JCC {
+			backEdge = &xl.Insts[i]
+		}
+	}
+	if backEdge == nil || backEdge.Target != loop {
+		t.Fatalf("back edge %#x, want %#x", backEdge.Target, loop)
+	}
+	if xl.At(loop) == nil {
+		t.Fatal("remapped target is not an instruction boundary")
+	}
+}
+
+func TestAllocatorCallsSurvive(t *testing.T) {
+	var tr Translator
+	xl, err := tr.Translate(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range xl.Insts {
+		if xl.Insts[i].Op == isa.CALL && xl.Insts[i].Target == heap.MallocEntry {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("external allocator entry point must not be remapped")
+	}
+}
+
+func TestIndirectBranchesRejected(t *testing.T) {
+	b := asm.NewBuilder()
+	b.MovRI(isa.RAX, 0x400000)
+	b.JmpReg(isa.RAX)
+	var tr Translator
+	if _, err := tr.Translate(b.MustBuild()); err == nil {
+		t.Fatal("static translation cannot remap indirect targets; must be rejected")
+	}
+}
+
+func TestStackOpInstrumentation(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Push(isa.RAX)
+	b.Pop(isa.RBX)
+	b.Hlt()
+	tr := Translator{InstrumentStackOps: true}
+	if _, err := tr.Translate(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Instrumented != 2 {
+		t.Fatalf("always-on policy must instrument stack ops, got %d", tr.Stats.Instrumented)
+	}
+}
+
+// TestTranslatedProgramCostsFetchSlots validates the design-point
+// trade-off against the timing model: the translated binary executes more
+// macro-instructions through the front-end than the original, so under an
+// identical machine it takes more cycles — the structural disadvantage the
+// paper's microcode variant avoids by injecting past the decoders.
+func TestTranslatedProgramCostsFetchSlots(t *testing.T) {
+	var tr Translator
+	xl, err := tr.Translate(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Variant = decode.VariantInsecure
+	orig, err := pipeline.New(buildSample(), cfg, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xled, err := pipeline.New(xl, cfg, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xled.MacroInsts <= orig.MacroInsts {
+		t.Fatal("translated stream must carry more macro-instructions")
+	}
+	if xled.Cycles <= orig.Cycles {
+		t.Fatalf("translated program must cost cycles: %d vs %d", xled.Cycles, orig.Cycles)
+	}
+}
+
+// TestTranslatedProgramStillProtectable: the translated binary remains a
+// valid CHEx86 target — the capability machinery catches violations in it.
+func TestTranslatedProgramStillProtectable(t *testing.T) {
+	b := asm.NewBuilder()
+	b.MovRI(isa.RDI, 64)
+	b.CallAddr(heap.MallocEntry)
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRI(isa.RDX, 1)
+	b.Store(isa.RBX, 64, isa.RDX) // out of bounds
+	b.Hlt()
+	var tr Translator
+	xl, err := tr.Translate(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.StopOnViolation = true
+	_, rerr := pipeline.New(xl, cfg, 1).Run()
+	if _, ok := rerr.(*core.Violation); !ok {
+		t.Fatalf("violation in translated binary missed: %v", rerr)
+	}
+}

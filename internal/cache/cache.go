@@ -1,0 +1,521 @@
+// Package cache provides the cache models used by the simulator: a
+// line-granular set-associative cache with LRU replacement, write-back and
+// write-allocate policies for the memory hierarchy (L1I/L1D/L2/LLC), and a
+// key-granular cache used to model the CHEx86 in-processor capability cache
+// and spilled-pointer alias cache (with its victim cache).
+package cache
+
+import (
+	"fmt"
+
+	"chex86/internal/mem"
+)
+
+// Stats aggregates cache behavior.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	Invals     uint64
+}
+
+// Accesses returns total lookups.
+func (s *Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns the fraction of lookups that missed (0 if no accesses).
+func (s *Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	pf    bool // filled by the prefetcher and not yet demand-hit
+	lru   uint64
+}
+
+// LineCache is a set-associative, write-back, write-allocate cache over
+// memory lines.
+type LineCache struct {
+	Name     string
+	LineSize uint64
+	Latency  uint64 // hit latency in cycles
+
+	sets  int
+	ways  int
+	lines [][]line
+	clock uint64
+	hitPF bool // last Access hit a prefetched line
+	Stats Stats
+}
+
+// NewLineCache constructs a cache of sizeBytes capacity with the given
+// associativity, line size and hit latency.
+func NewLineCache(name string, sizeBytes, ways int, lineSize, latency uint64) *LineCache {
+	nlines := sizeBytes / int(lineSize)
+	if nlines%ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", name, nlines, ways))
+	}
+	sets := nlines / ways
+	c := &LineCache{Name: name, LineSize: lineSize, Latency: latency, sets: sets, ways: ways}
+	c.lines = make([][]line, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]line, ways)
+	}
+	return c
+}
+
+func (c *LineCache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / c.LineSize
+	return int(lineAddr % uint64(c.sets)), lineAddr
+}
+
+// Access looks up addr; write marks the line dirty on hit or fill.
+// It returns whether the access hit and, if a dirty line was evicted to
+// make room, the evicted line's address and true.
+func (c *LineCache) Access(addr uint64, write bool) (hit bool, wbAddr uint64, wb bool) {
+	set, tag := c.index(addr)
+	c.clock++
+	ws := c.lines[set]
+	for w := range ws {
+		if ws[w].valid && ws[w].tag == tag {
+			ws[w].lru = c.clock
+			c.hitPF = ws[w].pf
+			ws[w].pf = false
+			if write {
+				ws[w].dirty = true
+			}
+			c.Stats.Hits++
+			return true, 0, false
+		}
+	}
+	c.hitPF = false
+	c.Stats.Misses++
+	// Fill: choose invalid way or LRU victim.
+	victim := -1
+	for w := range ws {
+		if !ws[w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for w := 1; w < len(ws); w++ {
+			if ws[w].lru < ws[victim].lru {
+				victim = w
+			}
+		}
+		c.Stats.Evictions++
+		if ws[victim].dirty {
+			c.Stats.Writebacks++
+			wb = true
+			wbAddr = ws[victim].tag * c.LineSize
+		}
+	}
+	ws[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return false, wbAddr, wb
+}
+
+// HitPrefetched reports whether the most recent Access hit a line that the
+// prefetcher brought in (used to sustain streams).
+func (c *LineCache) HitPrefetched() bool { return c.hitPF }
+
+// MarkPrefetched flags the resident line containing addr as
+// prefetcher-filled.
+func (c *LineCache) MarkPrefetched(addr uint64) {
+	set, tag := c.index(addr)
+	ws := c.lines[set]
+	for w := range ws {
+		if ws[w].valid && ws[w].tag == tag {
+			ws[w].pf = true
+		}
+	}
+}
+
+// Contains reports whether addr is resident without updating LRU or stats.
+func (c *LineCache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.lines[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if resident.
+func (c *LineCache) Invalidate(addr uint64) {
+	set, tag := c.index(addr)
+	ws := c.lines[set]
+	for w := range ws {
+		if ws[w].valid && ws[w].tag == tag {
+			ws[w].valid = false
+			c.Stats.Invals++
+		}
+	}
+}
+
+// Hierarchy composes the per-core memory hierarchy. L2 and LLC may be
+// shared between cores in multicore simulations (accesses are not
+// concurrency-safe; the multicore pipeline steps cores in lockstep).
+type Hierarchy struct {
+	L1I *LineCache
+	L1D *LineCache
+	L2  *LineCache
+	LLC *LineCache
+	Ram *mem.DRAM
+
+	// Lane is this hierarchy's DRAM requestor lane (core id).
+	Lane int
+
+	// Shadow is a small dedicated cache for privileged shadow-structure
+	// lines (capability table, alias table) — the "shadow caches" the
+	// paper lists among its microarchitectural optimizations. Without it,
+	// streaming workload data keeps evicting the hot shadow lines from
+	// the L2. Nil disables it.
+	Shadow *LineCache
+
+	// NoPrefetch disables the next-line prefetcher (modeled after the L1
+	// streamer: a demand miss also pulls the following line, charging
+	// traffic but not demand latency).
+	NoPrefetch bool
+
+	Prefetches uint64
+}
+
+// AccessData performs a data access and returns its total latency in
+// cycles, charging DRAM traffic for LLC misses and dirty writebacks. A
+// streaming prefetcher (modeled after the L1 streamer) starts a stream on
+// a demand miss and sustains it while demand accesses keep landing on
+// prefetched lines; fills run off the demand path.
+func (h *Hierarchy) AccessData(addr uint64, write bool) uint64 {
+	return h.AccessDataAt(addr, write, 0)
+}
+
+// AccessDataAt is AccessData with the requesting cycle, for DRAM
+// channel-occupancy modeling.
+func (h *Hierarchy) AccessDataAt(addr uint64, write bool, now uint64) uint64 {
+	lat := h.access(h.L1D, addr, write, now)
+	if h.NoPrefetch {
+		return lat
+	}
+	ls := h.L1D.LineSize
+	if lat > h.L1D.Latency {
+		h.pfFill(h.L1D, addr+ls, now)
+		h.pfFill(h.L1D, addr+2*ls, now)
+	} else if h.L1D.HitPrefetched() {
+		h.pfFill(h.L1D, addr+2*ls, now)
+		h.pfFill(h.L1D, addr+3*ls, now)
+	}
+	return lat
+}
+
+// pfFill brings a line into the cache on behalf of the prefetcher.
+func (h *Hierarchy) pfFill(c *LineCache, addr uint64, now uint64) {
+	if c.Contains(addr) {
+		return
+	}
+	h.Prefetches++
+	h.access(c, addr, false, now)
+	c.MarkPrefetched(addr)
+}
+
+// AccessInst performs an instruction fetch access.
+func (h *Hierarchy) AccessInst(addr uint64) uint64 {
+	return h.AccessInstAt(addr, 0)
+}
+
+// AccessInstAt is AccessInst with the requesting cycle.
+func (h *Hierarchy) AccessInstAt(addr uint64, now uint64) uint64 {
+	lat := h.access(h.L1I, addr, false, now)
+	if h.NoPrefetch {
+		return lat
+	}
+	ls := h.L1I.LineSize
+	if lat > h.L1I.Latency {
+		h.pfFill(h.L1I, addr+ls, now)
+		h.pfFill(h.L1I, addr+2*ls, now)
+	} else if h.L1I.HitPrefetched() {
+		h.pfFill(h.L1I, addr+2*ls, now)
+	}
+	return lat
+}
+
+// AccessShadow performs a privileged capability-table access (see
+// AccessShadowAt).
+func (h *Hierarchy) AccessShadow(addr uint64, write bool) uint64 {
+	return h.AccessShadowAt(addr, write, false, 0)
+}
+
+// AccessShadowAt is AccessShadow with the requesting cycle. Alias-table
+// accesses are served by the dedicated walker cache when configured (like
+// a page-walk cache); capability-table accesses take the regular L2→LLC
+// path. Either way the DRAM traffic rides the sideband: shadow volume is
+// a few percent of demand and its requests come from dedicated engines,
+// so it does not occupy a demand lane.
+func (h *Hierarchy) AccessShadowAt(addr uint64, write bool, isAlias bool, now uint64) uint64 {
+	lat := uint64(2) // shadow access port
+	if h.Shadow != nil && isAlias {
+		hit, _, _ := h.Shadow.Access(addr, write)
+		lat += h.Shadow.Latency
+		if hit {
+			return lat
+		}
+		lat += h.LLC.Latency
+		llcHit, _, llcWb := h.LLC.Access(addr, write)
+		if llcWb {
+			h.Ram.AccessSideband(h.LLC.LineSize, true)
+		}
+		if !llcHit {
+			lat += h.Ram.AccessSideband(h.LLC.LineSize, false)
+		}
+		return lat
+	}
+	hit, wbAddr, wb := h.L2.Access(addr, write)
+	if wb {
+		h.wbBelow(h.L2, wbAddr, now)
+	}
+	lat += h.L2.Latency
+	if hit {
+		return lat
+	}
+	lat += h.LLC.Latency
+	llcHit, _, llcWb := h.LLC.Access(addr, write)
+	if llcWb {
+		h.Ram.AccessSideband(h.LLC.LineSize, true)
+	}
+	if !llcHit {
+		lat += h.Ram.AccessSideband(h.LLC.LineSize, false)
+	}
+	return lat
+}
+
+func (h *Hierarchy) access(l1 *LineCache, addr uint64, write bool, now uint64) uint64 {
+	lat := l1.Latency
+	hit, wbAddr, wb := l1.Access(addr, write)
+	if wb {
+		h.wbBelow(l1, wbAddr, now)
+	}
+	if hit {
+		return lat
+	}
+	lat += h.L2.Latency
+	hit, wbAddr, wb = h.L2.Access(addr, false)
+	if wb {
+		h.wbBelow(h.L2, wbAddr, now)
+	}
+	if hit {
+		return lat
+	}
+	return lat + h.llcAndBelow(addr, false, now)
+}
+
+func (h *Hierarchy) llcAndBelow(addr uint64, write bool, now uint64) uint64 {
+	lat := h.LLC.Latency
+	hit, wbAddr, wb := h.LLC.Access(addr, write)
+	if wb {
+		h.Ram.AccessLane(h.LLC.LineSize, true, now, h.Lane)
+	}
+	_ = wbAddr
+	if hit {
+		return lat
+	}
+	return lat + h.Ram.AccessLane(h.LLC.LineSize, false, now, h.Lane)
+}
+
+// wbBelow propagates a dirty writeback into the next level down.
+func (h *Hierarchy) wbBelow(from *LineCache, addr uint64, now uint64) {
+	switch from {
+	case h.L1I, h.L1D:
+		_, wbAddr, wb := h.L2.Access(addr, true)
+		if wb {
+			h.wbBelow(h.L2, wbAddr, now)
+		}
+	case h.L2:
+		_, _, wb := h.LLC.Access(addr, true)
+		if wb {
+			h.Ram.AccessLane(h.LLC.LineSize, true, now, h.Lane)
+		}
+	default:
+		h.Ram.AccessLane(h.LLC.LineSize, true, now, h.Lane)
+	}
+}
+
+// KeyCache is a set-associative cache over opaque 64-bit keys, used to model
+// the in-processor capability cache (keyed by PID) and the alias cache
+// (keyed by spilled-pointer address). It models hit/miss timing and
+// invalidation only; the authoritative data lives in the shadow tables.
+type KeyCache struct {
+	Name string
+
+	sets   int
+	ways   int
+	keys   [][]uint64
+	valid  [][]bool
+	lru    [][]uint64
+	clock  uint64
+	victim *victimCache
+	Stats  Stats
+}
+
+// NewKeyCache constructs a key cache with entries/ways geometry and an
+// optional fully-associative victim cache of victimEntries (0 disables it).
+func NewKeyCache(name string, entries, ways, victimEntries int) *KeyCache {
+	if entries%ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d entries not divisible by %d ways", name, entries, ways))
+	}
+	sets := entries / ways
+	c := &KeyCache{Name: name, sets: sets, ways: ways}
+	c.keys = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.keys[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	if victimEntries > 0 {
+		c.victim = newVictimCache(victimEntries)
+	}
+	return c
+}
+
+func (c *KeyCache) set(key uint64) int {
+	// Mix the key so sequentially allocated PIDs/addresses spread across sets.
+	h := key * 0x9E3779B97F4A7C15
+	return int(h % uint64(c.sets))
+}
+
+// Access looks up key, filling on miss (evicting into the victim cache when
+// one is configured). It reports whether the lookup hit in either the main
+// array or the victim cache.
+func (c *KeyCache) Access(key uint64) bool {
+	c.clock++
+	set := c.set(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.keys[set][w] == key {
+			c.lru[set][w] = c.clock
+			c.Stats.Hits++
+			return true
+		}
+	}
+	if c.victim != nil && c.victim.remove(key) {
+		// Victim hit: swap back into the main array.
+		c.Stats.Hits++
+		c.fill(set, key)
+		return true
+	}
+	c.Stats.Misses++
+	c.fill(set, key)
+	return false
+}
+
+// Probe reports residency without updating state or stats.
+func (c *KeyCache) Probe(key uint64) bool {
+	set := c.set(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.keys[set][w] == key {
+			return true
+		}
+	}
+	return c.victim != nil && c.victim.contains(key)
+}
+
+func (c *KeyCache) fill(set int, key uint64) {
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for w := 1; w < c.ways; w++ {
+			if c.lru[set][w] < c.lru[set][victim] {
+				victim = w
+			}
+		}
+		c.Stats.Evictions++
+		if c.victim != nil {
+			c.victim.insert(c.keys[set][victim])
+		}
+	}
+	c.keys[set][victim] = key
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.clock
+}
+
+// Invalidate removes key from the cache and victim cache if present,
+// modeling the cross-core invalidation requests sent on capability frees
+// and alias updates (Sections IV-C, V-C).
+func (c *KeyCache) Invalidate(key uint64) {
+	set := c.set(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.keys[set][w] == key {
+			c.valid[set][w] = false
+			c.Stats.Invals++
+		}
+	}
+	if c.victim != nil && c.victim.remove(key) {
+		c.Stats.Invals++
+	}
+}
+
+// Flush invalidates every entry (a context switch: the cache holds
+// another process's metadata) while preserving accumulated statistics.
+func (c *KeyCache) Flush() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+	if c.victim != nil {
+		for i := range c.victim.used {
+			c.victim.used[i] = false
+		}
+	}
+}
+
+// victimCache is a small fully-associative FIFO victim buffer.
+type victimCache struct {
+	keys []uint64
+	used []bool
+	next int
+}
+
+func newVictimCache(entries int) *victimCache {
+	return &victimCache{keys: make([]uint64, entries), used: make([]bool, entries)}
+}
+
+func (v *victimCache) insert(key uint64) {
+	v.keys[v.next] = key
+	v.used[v.next] = true
+	v.next = (v.next + 1) % len(v.keys)
+}
+
+func (v *victimCache) contains(key uint64) bool {
+	for i, k := range v.keys {
+		if v.used[i] && k == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *victimCache) remove(key uint64) bool {
+	for i, k := range v.keys {
+		if v.used[i] && k == key {
+			v.used[i] = false
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chex86/internal/mem"
+)
+
+func TestLineCacheHitMiss(t *testing.T) {
+	c := NewLineCache("t", 1024, 2, 64, 4) // 16 lines, 8 sets, 2 ways
+	if hit, _, _ := c.Access(0, false); hit {
+		t.Fatal("cold cache cannot hit")
+	}
+	if hit, _, _ := c.Access(0, false); !hit {
+		t.Fatal("second access must hit")
+	}
+	if hit, _, _ := c.Access(32, false); !hit {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestLineCacheLRUAndWriteback(t *testing.T) {
+	c := NewLineCache("t", 2*64, 2, 64, 1) // one set, two ways
+	c.Access(0, true)                      // dirty
+	c.Access(1<<12, false)
+	c.Access(0, false) // refresh line 0's LRU
+	// Fill a third line: evicts the LRU (the clean one at 1<<12).
+	if _, _, wb := c.Access(2<<12, false); wb {
+		t.Fatal("clean eviction must not write back")
+	}
+	if !c.Contains(0) {
+		t.Fatal("recently-used dirty line evicted prematurely")
+	}
+	// Now evict the dirty line.
+	hit, wbAddr, wb := c.Access(3<<12, false)
+	if hit {
+		t.Fatal("unexpected hit")
+	}
+	if !wb || wbAddr != 0 {
+		t.Fatalf("dirty eviction must report writeback of line 0 (got %v %#x)", wb, wbAddr)
+	}
+}
+
+func TestLineCacheInvalidate(t *testing.T) {
+	c := NewLineCache("t", 1024, 2, 64, 1)
+	c.Access(128, true)
+	c.Invalidate(128)
+	if c.Contains(128) {
+		t.Fatal("invalidated line still resident")
+	}
+}
+
+func TestKeyCacheLRUVictim(t *testing.T) {
+	c := NewKeyCache("t", 2, 2, 1) // one set of 2 + 1 victim entry
+	c.Access(10)
+	c.Access(20)
+	c.Access(30) // evicts key 10 into the victim cache
+	if !c.Probe(10) {
+		t.Fatal("evicted key must be found in the victim cache")
+	}
+	if !c.Access(10) {
+		t.Fatal("victim hit must count as a hit")
+	}
+	c.Invalidate(20)
+	if c.Probe(20) {
+		t.Fatal("invalidated key still present")
+	}
+}
+
+func TestKeyCacheMissRate(t *testing.T) {
+	c := NewKeyCache("t", 64, 2, 0)
+	for i := 0; i < 1000; i++ {
+		c.Access(uint64(i % 8)) // working set of 8 in a 64-entry cache
+	}
+	if r := c.Stats.MissRate(); r > 0.01 {
+		t.Fatalf("tiny working set should hit ~always, miss rate %f", r)
+	}
+}
+
+// TestLineCacheAlwaysFindsAfterFill is a property test: any address is
+// resident immediately after being accessed.
+func TestLineCacheAlwaysFindsAfterFill(t *testing.T) {
+	c := NewLineCache("t", 32*1024, 8, 64, 4)
+	f := func(addr uint64) bool {
+		addr %= 1 << 40
+		c.Access(addr, false)
+		return c.Contains(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I: NewLineCache("l1i", 32*1024, 8, 64, 4),
+		L1D: NewLineCache("l1d", 32*1024, 8, 64, 4),
+		L2:  NewLineCache("l2", 256*1024, 8, 64, 12),
+		LLC: NewLineCache("llc", 8*1024*1024, 16, 64, 40),
+		Ram: mem.NewDRAM(200),
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := newHierarchy()
+	cold := h.AccessData(0x10000, false)
+	if cold != 4+12+40+200 {
+		t.Fatalf("cold access should traverse all levels: got %d", cold)
+	}
+	warm := h.AccessData(0x10000, false)
+	if warm != 4 {
+		t.Fatalf("L1 hit should cost the L1 latency: got %d", warm)
+	}
+	if h.Ram.BytesRead == 0 {
+		t.Fatal("cold miss must charge DRAM traffic")
+	}
+}
+
+func TestHierarchyStreamPrefetch(t *testing.T) {
+	h := newHierarchy()
+	misses := 0
+	for i := uint64(0); i < 64; i++ { // stream 64 lines
+		if lat := h.AccessData(0x100000+i*64, false); lat > h.L1D.Latency {
+			misses++
+		}
+	}
+	// The streamer should cover the stream after the first few lines.
+	if misses > 4 {
+		t.Fatalf("streaming should be covered by the prefetcher; %d demand misses", misses)
+	}
+	if h.Prefetches == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+
+	h2 := newHierarchy()
+	h2.NoPrefetch = true
+	misses = 0
+	for i := uint64(0); i < 64; i++ {
+		if lat := h2.AccessData(0x100000+i*64, false); lat > h2.L1D.Latency {
+			misses++
+		}
+	}
+	if misses != 64 {
+		t.Fatalf("without prefetch every line is a compulsory miss, got %d", misses)
+	}
+}
+
+func TestHierarchyShadowPath(t *testing.T) {
+	h := newHierarchy()
+	h.Shadow = NewLineCache("shadow", 32*1024, 8, 64, 4)
+	const aliasAddr = mem.AliasBase + 0x1000
+	cold := h.AccessShadowAt(aliasAddr, false, true, 0)
+	warm := h.AccessShadowAt(aliasAddr, false, true, 0)
+	if warm >= cold {
+		t.Fatalf("walker-cache hit (%d) must beat the cold fill (%d)", warm, cold)
+	}
+	if warm != 2+4 {
+		t.Fatalf("shadow hit should cost port+cache latency, got %d", warm)
+	}
+	// Capability-table accesses bypass the walker cache and go to L2.
+	capCold := h.AccessShadowAt(mem.ShadowBase+64, false, false, 0)
+	if capCold < 2+12 {
+		t.Fatalf("capability-table access must include the L2 path, got %d", capCold)
+	}
+	if h.Shadow.Stats.Accesses() != 2 {
+		t.Fatalf("capability path must not touch the walker cache (%d accesses)", h.Shadow.Stats.Accesses())
+	}
+}
+
+// TestKeyCacheResidencyProperty: any key is resident immediately after an
+// access, and invalidation always removes it.
+func TestKeyCacheResidencyProperty(t *testing.T) {
+	c := NewKeyCache("t", 64, 2, 8)
+	f := func(key uint64, invalidate bool) bool {
+		c.Access(key)
+		if !c.Probe(key) {
+			return false
+		}
+		if invalidate {
+			c.Invalidate(key)
+			if c.Probe(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyCacheFlushKeepsStats(t *testing.T) {
+	c := NewKeyCache("t", 8, 2, 2)
+	for i := uint64(0); i < 20; i++ {
+		c.Access(i)
+	}
+	misses := c.Stats.Misses
+	c.Flush()
+	if c.Stats.Misses != misses {
+		t.Fatal("flush must preserve statistics")
+	}
+	for i := uint64(0); i < 20; i++ {
+		if c.Probe(i) {
+			t.Fatalf("key %d survived the flush", i)
+		}
+	}
+}

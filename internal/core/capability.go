@@ -1,0 +1,409 @@
+// Package core implements the CHEx86 capability system: 128-bit
+// capabilities held in a privileged per-process shadow capability table,
+// the two-phase capability generation/free protocol driven by intercepted
+// heap-management entry/exit points, capability validation (capCheck)
+// semantics, the in-processor capability cache, the MSR-based registration
+// of heap-management routines, and the context-sensitivity policy that
+// restricts check injection to security-critical code regions.
+package core
+
+import (
+	"fmt"
+
+	"chex86/internal/cache"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+)
+
+// PID is a capability identifier. 0 means "no capability"; WildPID (-1) is
+// the special identifier assigned by the MOVI rule to registers loaded with
+// integer-constant addresses (Table I), for which no capability exists, so
+// any dereference through them is flagged.
+type PID = int64
+
+// WildPID tags pointers materialized from integer immediates.
+const WildPID PID = -1
+
+// Perms is the 32-bit permissions word of a capability (Section IV-B).
+type Perms uint32
+
+const (
+	PermRead  Perms = 1 << iota // read permitted
+	PermWrite                   // write permitted
+	PermExec                    // execute permitted
+	PermBusy                    // allocation/free in progress
+	PermValid                   // capability points to valid (live) memory
+)
+
+// Has reports whether all bits in p2 are set.
+func (p Perms) Has(p2 Perms) bool { return p&p2 == p2 }
+
+// Capability is one 128-bit shadow capability table entry: a 64-bit base,
+// a 32-bit bounds (object size in bytes), and a 32-bit permissions word.
+type Capability struct {
+	PID    PID
+	Base   uint64
+	Bounds uint32
+	Perms  Perms
+}
+
+// Contains reports whether the size-byte access at addr falls entirely
+// within the capability's bounds.
+func (c *Capability) Contains(addr uint64, size uint32) bool {
+	return addr >= c.Base && addr+uint64(size) <= c.Base+uint64(c.Bounds)
+}
+
+// String renders the capability.
+func (c *Capability) String() string {
+	return fmt.Sprintf("cap{pid=%d base=%#x bounds=%#x perms=%#x}", c.PID, c.Base, c.Bounds, c.Perms)
+}
+
+// ViolationKind classifies detected memory-safety violations.
+type ViolationKind uint8
+
+const (
+	VNone ViolationKind = iota
+	VOutOfBounds
+	VUseAfterFree
+	VDoubleFree
+	VInvalidFree
+	VWildDereference
+	VResourceExhaustion
+	VPermission
+)
+
+var violationNames = [...]string{
+	"none", "out-of-bounds", "use-after-free", "double-free",
+	"invalid-free", "wild-dereference", "resource-exhaustion", "permission",
+}
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	if int(k) < len(violationNames) {
+		return violationNames[k]
+	}
+	return "violation?"
+}
+
+// Violation is the fault raised by capability micro-ops.
+type Violation struct {
+	Kind ViolationKind
+	PID  PID
+	EA   uint64
+	RIP  uint64
+	Msg  string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("capability violation: %s (pid=%d ea=%#x rip=%#x) %s",
+		v.Kind, v.PID, v.EA, v.RIP, v.Msg)
+}
+
+// TableStats aggregates shadow capability table activity.
+type TableStats struct {
+	Generated  uint64
+	Freed      uint64
+	Checks     uint64
+	Violations uint64
+}
+
+// Table is the per-process shadow capability table. It lives in the
+// privileged shadow address space; entries are materialized into shadow
+// memory pages so footprint is reflected in the Figure 9 accounting.
+type Table struct {
+	caps map[PID]*Capability
+	mem  *mem.Memory
+
+	// MaxAllocSize is the pre-configured maximum allocatable block size;
+	// capGen.Begin flags larger requests as resource-exhaustion attacks
+	// (Section VII-A, 1 GB in the paper's experiments).
+	MaxAllocSize uint64
+
+	Stats TableStats
+}
+
+// capEntryBytes is the size of one shadow capability table entry (128 bits).
+const capEntryBytes = 16
+
+// NewTable returns an empty shadow capability table backed by m's shadow
+// half.
+func NewTable(m *mem.Memory) *Table {
+	return &Table{
+		caps:         make(map[PID]*Capability),
+		mem:          m,
+		MaxAllocSize: 1 << 30,
+	}
+}
+
+// ShadowAddr returns the shadow-space address of the table entry for pid
+// (used by the timing model to charge hierarchy accesses on capability
+// cache misses).
+func ShadowAddr(pid PID) uint64 {
+	if pid < 0 {
+		pid = -pid
+	}
+	return mem.ShadowBase + uint64(pid)*capEntryBytes
+}
+
+// Lookup returns the capability for pid, or nil.
+func (t *Table) Lookup(pid PID) *Capability { return t.caps[pid] }
+
+// Len returns the number of entries (live and freed) in the table.
+func (t *Table) Len() int { return len(t.caps) }
+
+// FootprintBytes returns the shadow memory consumed by the table.
+func (t *Table) FootprintBytes() uint64 { return uint64(len(t.caps)) * capEntryBytes }
+
+// GenBegin implements capGen.Begin: it instantiates a new capability
+// tagged with pid, with the busy bit set and bounds copied from the
+// allocation-size argument (%rdi). It returns a resource-exhaustion
+// violation for requests beyond MaxAllocSize. A zero pid (the allocation
+// failed and produced no trackable block) performs only the size check.
+func (t *Table) GenBegin(pid PID, size uint64, rip uint64) (*Capability, *Violation) {
+	t.Stats.Generated++
+	if size > t.MaxAllocSize {
+		t.Stats.Violations++
+		return nil, &Violation{Kind: VResourceExhaustion, EA: size, RIP: rip,
+			Msg: fmt.Sprintf("allocation of %d bytes exceeds limit %d", size, t.MaxAllocSize)}
+	}
+	if pid == 0 {
+		return nil, nil
+	}
+	bounds := size
+	if bounds > 0xFFFF_FFFF {
+		bounds = 0xFFFF_FFFF
+	}
+	c := &Capability{PID: pid, Bounds: uint32(bounds), Perms: PermRead | PermWrite | PermBusy}
+	t.caps[c.PID] = c
+	t.materialize(c)
+	return c, nil
+}
+
+// GenEnd implements capGen.End: it records the base address returned in
+// %rax, resets the busy bit, and sets the valid bit iff the base is
+// non-zero.
+func (t *Table) GenEnd(c *Capability, base uint64) {
+	c.Base = base
+	c.Perms &^= PermBusy
+	if base != 0 {
+		c.Perms |= PermValid
+	}
+	t.materialize(c)
+}
+
+// AddGlobal installs a capability tagged with pid for a global data object
+// found in the symbol table at program-load time (Section IV-C). Read-only
+// objects (.rodata) receive no write permission.
+func (t *Table) AddGlobal(pid PID, base, size uint64, readOnly bool) *Capability {
+	bounds := size
+	if bounds > 0xFFFF_FFFF {
+		bounds = 0xFFFF_FFFF
+	}
+	perms := PermRead | PermValid
+	if !readOnly {
+		perms |= PermWrite
+	}
+	c := &Capability{PID: pid, Base: base, Bounds: uint32(bounds), Perms: perms}
+	t.caps[c.PID] = c
+	t.materialize(c)
+	return c
+}
+
+// FreeBegin implements capFree.Begin: it flags invalid frees (zero or
+// unknown PID, or a pointer that is not the capability's base) and double
+// frees (valid bit already clear), and otherwise sets the busy bit. addr
+// is the pointer being freed (%rdi at the intercepted entry point).
+func (t *Table) FreeBegin(pid PID, addr uint64, rip uint64) *Violation {
+	if pid == 0 || pid == WildPID {
+		t.Stats.Violations++
+		return &Violation{Kind: VInvalidFree, PID: pid, EA: addr, RIP: rip, Msg: "free of untracked pointer"}
+	}
+	c := t.caps[pid]
+	if c == nil {
+		t.Stats.Violations++
+		return &Violation{Kind: VInvalidFree, PID: pid, EA: addr, RIP: rip, Msg: "no capability for pid"}
+	}
+	if !c.Perms.Has(PermValid) {
+		t.Stats.Violations++
+		return &Violation{Kind: VDoubleFree, PID: pid, EA: c.Base, RIP: rip, Msg: "valid bit already clear"}
+	}
+	if addr != 0 && c.Base != 0 && addr != c.Base {
+		t.Stats.Violations++
+		return &Violation{Kind: VInvalidFree, PID: pid, EA: addr, RIP: rip,
+			Msg: "freed pointer does not match the capability's base"}
+	}
+	c.Perms |= PermBusy
+	t.materialize(c)
+	return nil
+}
+
+// FreeEnd implements capFree.End: it resets both the valid and busy bits.
+// The capability remains in the table so later dereferences are detected
+// as use-after-free.
+func (t *Table) FreeEnd(pid PID) {
+	c := t.caps[pid]
+	if c == nil {
+		return
+	}
+	c.Perms &^= PermValid | PermBusy
+	t.Stats.Freed++
+	t.materialize(c)
+}
+
+// Check implements capCheck: it validates the size-byte access at ea
+// through the capability identified by pid, returning a violation or nil.
+func (t *Table) Check(pid PID, ea uint64, size uint32, write bool, rip uint64) *Violation {
+	t.Stats.Checks++
+	if pid == 0 {
+		return nil
+	}
+	if pid == WildPID {
+		t.Stats.Violations++
+		return &Violation{Kind: VWildDereference, PID: pid, EA: ea, RIP: rip,
+			Msg: "dereference of integer-constant pointer with no capability"}
+	}
+	c := t.caps[pid]
+	if c == nil {
+		t.Stats.Violations++
+		return &Violation{Kind: VWildDereference, PID: pid, EA: ea, RIP: rip, Msg: "no capability for pid"}
+	}
+	if !c.Perms.Has(PermValid) {
+		t.Stats.Violations++
+		return &Violation{Kind: VUseAfterFree, PID: pid, EA: ea, RIP: rip, Msg: "valid bit clear"}
+	}
+	if !c.Contains(ea, size) {
+		t.Stats.Violations++
+		return &Violation{Kind: VOutOfBounds, PID: pid, EA: ea, RIP: rip,
+			Msg: fmt.Sprintf("access outside [%#x, %#x)", c.Base, c.Base+uint64(c.Bounds))}
+	}
+	need := PermRead
+	if write {
+		need = PermWrite
+	}
+	if !c.Perms.Has(need) {
+		t.Stats.Violations++
+		return &Violation{Kind: VPermission, PID: pid, EA: ea, RIP: rip, Msg: "insufficient permissions"}
+	}
+	return nil
+}
+
+// materialize writes the 128-bit entry into shadow memory so the table's
+// footprint appears in shadow RSS.
+func (t *Table) materialize(c *Capability) {
+	if t.mem == nil {
+		return
+	}
+	a := ShadowAddr(c.PID)
+	t.mem.WriteU64(a, c.Base)
+	t.mem.WriteU64(a+8, uint64(c.Bounds)|uint64(c.Perms)<<32)
+}
+
+// NewCapCache returns the in-processor capability cache: fully associative
+// with the given entry count (64 in the default CHEx86 design), keyed by
+// PID.
+func NewCapCache(entries int) *cache.KeyCache {
+	return cache.NewKeyCache("capability", entries, entries, 0)
+}
+
+// FnKind classifies a registered heap-management routine.
+type FnKind uint8
+
+const (
+	FnMalloc FnKind = iota
+	FnCalloc
+	FnRealloc
+	FnFree
+)
+
+// RegisteredFn is one MSR-registered heap-management routine: the
+// instruction addresses of its entry and exit points and its register
+// signature (Section IV-C).
+type RegisteredFn struct {
+	Kind   FnKind
+	Entry  uint64
+	Exit   uint64
+	ArgReg isa.Reg // size argument (alloc) or pointer argument (free)
+	RetReg isa.Reg // returned pointer (alloc)
+}
+
+// MSRConfig is the set of model-specific registers the OS kernel programs
+// when scheduling a process on a CHEx86 core. MaxFns models the
+// model-specific limit on registered entry/exit points per process.
+type MSRConfig struct {
+	MaxFns int
+	fns    []RegisteredFn
+	byAddr map[uint64]*RegisteredFn
+}
+
+// NewMSRConfig returns an empty MSR configuration with the given
+// registration limit (0 means the default of 16).
+func NewMSRConfig(maxFns int) *MSRConfig {
+	if maxFns <= 0 {
+		maxFns = 16
+	}
+	return &MSRConfig{MaxFns: maxFns, byAddr: make(map[uint64]*RegisteredFn)}
+}
+
+// Register records a heap-management routine. It returns an error when the
+// model-specific registration limit is exhausted.
+func (c *MSRConfig) Register(fn RegisteredFn) error {
+	if len(c.fns) >= c.MaxFns {
+		return fmt.Errorf("core: MSR registration limit (%d) exceeded", c.MaxFns)
+	}
+	c.fns = append(c.fns, fn)
+	f := &c.fns[len(c.fns)-1]
+	c.byAddr[fn.Entry] = f
+	c.byAddr[fn.Exit] = f
+	return nil
+}
+
+// AtEntry returns the registered routine whose entry point is addr, or nil.
+func (c *MSRConfig) AtEntry(addr uint64) *RegisteredFn {
+	f := c.byAddr[addr]
+	if f != nil && f.Entry == addr {
+		return f
+	}
+	return nil
+}
+
+// AtExit returns the registered routine whose exit point is addr, or nil.
+func (c *MSRConfig) AtExit(addr uint64) *RegisteredFn {
+	f := c.byAddr[addr]
+	if f != nil && f.Exit == addr {
+		return f
+	}
+	return nil
+}
+
+// Region is a half-open RIP range [Lo, Hi).
+type Region struct{ Lo, Hi uint64 }
+
+// ContextPolicy selects which code regions receive capCheck injection.
+// The zero value (All=false, no regions) disables all check injection;
+// Always() returns the always-on policy.
+type ContextPolicy struct {
+	All     bool
+	Regions []Region
+}
+
+// Always returns a policy that instruments every code region.
+func Always() ContextPolicy { return ContextPolicy{All: true} }
+
+// Only returns a policy that instruments just the given regions — the
+// context-sensitive mode where only security-critical code is checked
+// while allocations are still tracked globally (Section VII-D).
+func Only(regions ...Region) ContextPolicy { return ContextPolicy{Regions: regions} }
+
+// Covers reports whether the policy instruments the instruction at rip.
+func (p ContextPolicy) Covers(rip uint64) bool {
+	if p.All {
+		return true
+	}
+	for _, r := range p.Regions {
+		if rip >= r.Lo && rip < r.Hi {
+			return true
+		}
+	}
+	return false
+}

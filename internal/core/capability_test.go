@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+)
+
+func TestCapabilityContains(t *testing.T) {
+	c := &Capability{Base: 0x1000, Bounds: 64}
+	if !c.Contains(0x1000, 8) || !c.Contains(0x1038, 8) {
+		t.Fatal("in-bounds accesses rejected")
+	}
+	if c.Contains(0x1039, 8) || c.Contains(0xFF8, 8) || c.Contains(0x1040, 8) {
+		t.Fatal("out-of-bounds accesses accepted")
+	}
+}
+
+// TestContainsProperty: an access is accepted iff it lies entirely inside
+// [base, base+bounds).
+func TestContainsProperty(t *testing.T) {
+	f := func(base uint32, bounds uint16, off uint16) bool {
+		c := &Capability{Base: uint64(base), Bounds: uint32(bounds)}
+		addr := uint64(base) + uint64(off)
+		want := uint64(off)+8 <= uint64(bounds)
+		return c.Contains(addr, 8) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenLifecycle(t *testing.T) {
+	tab := NewTable(mem.New())
+	c, v := tab.GenBegin(1, 128, 0)
+	if v != nil || c == nil {
+		t.Fatalf("genBegin failed: %v", v)
+	}
+	if !c.Perms.Has(PermBusy) || c.Perms.Has(PermValid) {
+		t.Fatal("busy must be set, valid clear, between Begin and End")
+	}
+	tab.GenEnd(c, 0x2000)
+	if c.Perms.Has(PermBusy) || !c.Perms.Has(PermValid) {
+		t.Fatal("End must clear busy and set valid")
+	}
+	if c.Base != 0x2000 || c.Bounds != 128 {
+		t.Fatal("base/bounds lost")
+	}
+	// A failed allocation (base 0) must not become valid.
+	c2, _ := tab.GenBegin(2, 64, 0)
+	tab.GenEnd(c2, 0)
+	if c2.Perms.Has(PermValid) {
+		t.Fatal("NULL allocation must not be valid")
+	}
+}
+
+func TestResourceExhaustion(t *testing.T) {
+	tab := NewTable(nil)
+	tab.MaxAllocSize = 1 << 20
+	_, v := tab.GenBegin(1, 2<<20, 0x400000)
+	if v == nil || v.Kind != VResourceExhaustion {
+		t.Fatalf("oversized request not flagged: %v", v)
+	}
+	if c, v2 := tab.GenBegin(0, 64, 0); c != nil || v2 != nil {
+		t.Fatal("pid 0 performs only the size check")
+	}
+}
+
+func TestCheckSemantics(t *testing.T) {
+	tab := NewTable(nil)
+	c, _ := tab.GenBegin(1, 64, 0)
+	tab.GenEnd(c, 0x1000)
+
+	if v := tab.Check(1, 0x1000, 8, false, 0); v != nil {
+		t.Fatalf("in-bounds read flagged: %v", v)
+	}
+	if v := tab.Check(1, 0x1040, 8, true, 0); v == nil || v.Kind != VOutOfBounds {
+		t.Fatalf("OOB write not flagged: %v", v)
+	}
+	if v := tab.Check(0, 0x1000, 8, false, 0); v != nil {
+		t.Fatal("pid 0 means no capability to check")
+	}
+	if v := tab.Check(WildPID, 0x1000, 8, false, 0); v == nil || v.Kind != VWildDereference {
+		t.Fatal("wild pid must be flagged")
+	}
+	if v := tab.Check(99, 0x1000, 8, false, 0); v == nil || v.Kind != VWildDereference {
+		t.Fatal("unknown pid must be flagged")
+	}
+}
+
+func TestFreeLifecycle(t *testing.T) {
+	tab := NewTable(nil)
+	c, _ := tab.GenBegin(1, 64, 0)
+	tab.GenEnd(c, 0x1000)
+
+	if v := tab.FreeBegin(1, 0x1000, 0); v != nil {
+		t.Fatalf("legitimate free flagged: %v", v)
+	}
+	tab.FreeEnd(1)
+	if v := tab.Check(1, 0x1000, 8, false, 0); v == nil || v.Kind != VUseAfterFree {
+		t.Fatalf("dereference after free must be UAF: %v", v)
+	}
+	if v := tab.FreeBegin(1, 0x1000, 0); v == nil || v.Kind != VDoubleFree {
+		t.Fatalf("second free must be double-free: %v", v)
+	}
+	if v := tab.FreeBegin(0, 0x1000, 0); v == nil || v.Kind != VInvalidFree {
+		t.Fatal("free of untracked pointer must be invalid-free")
+	}
+}
+
+func TestFreeBaseMismatch(t *testing.T) {
+	tab := NewTable(nil)
+	c, _ := tab.GenBegin(1, 64, 0)
+	tab.GenEnd(c, 0x1000)
+	if v := tab.FreeBegin(1, 0x1010, 0); v == nil || v.Kind != VInvalidFree {
+		t.Fatal("freeing a mid-object pointer must be invalid-free")
+	}
+}
+
+func TestShadowMaterialization(t *testing.T) {
+	m := mem.New()
+	tab := NewTable(m)
+	c, _ := tab.GenBegin(5, 64, 0)
+	tab.GenEnd(c, 0x1234)
+	if m.ShadowRSS() == 0 {
+		t.Fatal("table entries must materialize into shadow memory")
+	}
+	if m.ReadU64(ShadowAddr(5)) != 0x1234 {
+		t.Fatal("entry base not written to its shadow slot")
+	}
+	if tab.FootprintBytes() != 16 {
+		t.Fatalf("one 128-bit entry expected, footprint %d", tab.FootprintBytes())
+	}
+}
+
+func TestMSRRegistrationLimit(t *testing.T) {
+	msrs := NewMSRConfig(2)
+	reg := func(entry uint64) error {
+		return msrs.Register(RegisteredFn{Kind: FnMalloc, Entry: entry, Exit: entry + 4, ArgReg: isa.RDI})
+	}
+	if reg(0x100) != nil || reg(0x200) != nil {
+		t.Fatal("registrations within the limit must succeed")
+	}
+	if reg(0x300) == nil {
+		t.Fatal("the model-specific limit must be enforced")
+	}
+	if msrs.AtEntry(0x100) == nil || msrs.AtExit(0x104) == nil {
+		t.Fatal("entry/exit lookup broken")
+	}
+	if msrs.AtEntry(0x104) != nil {
+		t.Fatal("an exit address is not an entry")
+	}
+}
+
+func TestContextPolicy(t *testing.T) {
+	if !Always().Covers(0xdeadbeef) {
+		t.Fatal("Always covers everything")
+	}
+	p := Only(Region{Lo: 0x1000, Hi: 0x2000})
+	if !p.Covers(0x1000) || !p.Covers(0x1fff) {
+		t.Fatal("region interior not covered")
+	}
+	if p.Covers(0x2000) || p.Covers(0xfff) {
+		t.Fatal("region is half-open")
+	}
+	var none ContextPolicy
+	if none.Covers(0x1000) {
+		t.Fatal("the zero policy covers nothing")
+	}
+}
+
+func TestPermissionCheck(t *testing.T) {
+	tab := NewTable(nil)
+	c, _ := tab.GenBegin(1, 64, 0)
+	tab.GenEnd(c, 0x1000)
+	c.Perms &^= PermWrite // read-only capability
+	if v := tab.Check(1, 0x1000, 8, true, 0); v == nil || v.Kind != VPermission {
+		t.Fatal("write through a read-only capability must be flagged")
+	}
+	if v := tab.Check(1, 0x1000, 8, false, 0); v != nil {
+		t.Fatal("read through a read-only capability is fine")
+	}
+}

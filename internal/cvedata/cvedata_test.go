@@ -1,0 +1,66 @@
+package cvedata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDataCoversTheStudyYears(t *testing.T) {
+	d := Data()
+	if d[0].Year != 2006 || d[len(d)-1].Year != 2018 {
+		t.Fatalf("Figure 1 spans 2006-2018, got %d-%d", d[0].Year, d[len(d)-1].Year)
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i].Year != d[i-1].Year+1 {
+			t.Fatal("years must be consecutive")
+		}
+	}
+}
+
+func TestSharesSumToOneHundred(t *testing.T) {
+	for _, y := range Data() {
+		var sum float64
+		for c := Category(0); c < NumCategories; c++ {
+			if y.Shares[c] < 0 {
+				t.Fatalf("%d: negative share for %v", y.Year, c)
+			}
+			sum += y.Shares[c]
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%d: shares sum to %.0f%%", y.Year, sum)
+		}
+	}
+}
+
+// TestMemorySafetyShare reproduces the figure's headline: memory safety
+// violations consistently account for about 70% of patched CVEs in the
+// later years of the study.
+func TestMemorySafetyShare(t *testing.T) {
+	for _, y := range Data() {
+		if y.Year >= 2014 {
+			if s := y.MemorySafetyShare(); s < 65 || s > 85 {
+				t.Errorf("%d: memory-safety share %.0f%%, expected ~70%%", y.Year, s)
+			}
+		}
+	}
+}
+
+func TestCategoryClassification(t *testing.T) {
+	if Other.MemorySafety() {
+		t.Error("the Other bucket is not memory safety")
+	}
+	for c := StackCorruption; c < Other; c++ {
+		if !c.MemorySafety() {
+			t.Errorf("%v is a memory-safety class", c)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := Format()
+	for _, frag := range []string{"Use After Free", "2018", "MemSafety"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("formatted table missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package decode
+
+import (
+	"chex86/internal/isa"
+)
+
+// Update is one field-deployed microcode patch: a predicate selecting the
+// macro-ops whose translation is re-routed to the microcode RAM, and the
+// custom expansion served from there. This is the mechanism the paper
+// highlights for deploying unobtrusive mitigations in response to zero-day
+// attacks without software patching: vendors ship a signed microcode
+// update, and the decoder serves the patched translation for matching
+// macro-ops from the MSRAM.
+type Update struct {
+	// Name identifies the update (for diagnostics and removal).
+	Name string
+
+	// Match selects the macro-ops whose translation is re-routed.
+	Match func(in *isa.Inst) bool
+
+	// Expand produces the custom micro-op sequence, given the native
+	// expansion. It may return the native slice unchanged, augment it, or
+	// replace it entirely. Returned micro-ops are marked as
+	// MSRAM-sourced by the decoder.
+	Expand func(in *isa.Inst, native []isa.Uop) []isa.Uop
+}
+
+// MicrocodeStats aggregates MSRAM activity.
+type MicrocodeStats struct {
+	Rerouted uint64 // macro-ops served from the microcode RAM
+}
+
+// Microcode models the writable microcode RAM holding field updates. The
+// zero value is an empty MSRAM.
+type Microcode struct {
+	updates []Update
+	Stats   MicrocodeStats
+}
+
+// Install loads an update into the MSRAM. Updates apply in installation
+// order; the first matching update's expansion is used.
+func (m *Microcode) Install(u Update) {
+	m.updates = append(m.updates, u)
+}
+
+// Remove unloads the named update.
+func (m *Microcode) Remove(name string) {
+	out := m.updates[:0]
+	for _, u := range m.updates {
+		if u.Name != name {
+			out = append(out, u)
+		}
+	}
+	m.updates = out
+}
+
+// Len returns the number of installed updates.
+func (m *Microcode) Len() int { return len(m.updates) }
+
+// Apply re-routes the macro-op's translation through the MSRAM when an
+// installed update matches, returning the (possibly customized) expansion
+// and whether a re-route happened.
+func (m *Microcode) Apply(in *isa.Inst, native []isa.Uop) ([]isa.Uop, bool) {
+	if m == nil || len(m.updates) == 0 {
+		return native, false
+	}
+	for i := range m.updates {
+		u := &m.updates[i]
+		if u.Match != nil && u.Match(in) {
+			m.Stats.Rerouted++
+			out := u.Expand(in, native)
+			for j := range out {
+				out[j].MacroIdx = uint8(j)
+			}
+			return out, true
+		}
+	}
+	return native, false
+}
+
+// LoadFence returns a canned field update in the spirit of
+// context-sensitive fencing (the paper's citation [75]): every load inside
+// the given RIP range gains a serializing micro-op that later operations
+// of the same macro-op depend on, blunting speculative-execution gadgets
+// in a security-critical region. covers decides which instruction
+// addresses are fenced.
+func LoadFence(name string, covers func(rip uint64) bool) Update {
+	return Update{
+		Name: name,
+		Match: func(in *isa.Inst) bool {
+			return covers(in.Addr) && in.Src.Kind == isa.OpMem
+		},
+		Expand: func(in *isa.Inst, native []isa.Uop) []isa.Uop {
+			out := make([]isa.Uop, 0, len(native)+1)
+			for i := range native {
+				out = append(out, native[i])
+				if native[i].Type == isa.ULoad {
+					// The fence consumes the load's result and produces a
+					// token; because it follows the load in the expansion,
+					// every dependent consumer serializes behind it.
+					out = append(out, isa.Uop{
+						Type: isa.UAlu, Alu: isa.AluAnd,
+						Dst: native[i].Dst, Src1: native[i].Dst, Src2: native[i].Dst,
+						Injected: true,
+					})
+				}
+			}
+			return out
+		},
+	}
+}

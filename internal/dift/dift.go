@@ -1,0 +1,194 @@
+// Package dift implements Dynamic Information Flow Tracking on top of the
+// same front-end tag machinery as the speculative pointer tracker — the
+// "other program analyses and transformations in hardware" the paper says
+// its tracking substrate lays the groundwork for (Section I), and the
+// lineage it builds on (Suh et al., Section II).
+//
+// Data arriving from configured untrusted sources (console, network,
+// file-system buffers — here: address ranges) is tagged spurious; tags
+// propagate through computation exactly like PID tags propagate through
+// the Table I rules; and a configurable security policy restricts how
+// spurious values may be used — the classic DIFT policies are provided:
+// no tainted jump targets, no tainted pointer dereferences.
+package dift
+
+import (
+	"fmt"
+
+	"chex86/internal/asm"
+	"chex86/internal/decode"
+	"chex86/internal/emu"
+	"chex86/internal/isa"
+)
+
+// Policy selects which uses of tainted data are violations.
+type Policy struct {
+	// NoTaintedJumpTargets flags indirect control transfers through
+	// tainted registers (control-flow hijack).
+	NoTaintedJumpTargets bool
+
+	// NoTaintedPointers flags dereferences whose address derives from
+	// tainted data (pointer injection).
+	NoTaintedPointers bool
+}
+
+// DefaultPolicy enables both classic restrictions.
+func DefaultPolicy() Policy {
+	return Policy{NoTaintedJumpTargets: true, NoTaintedPointers: true}
+}
+
+// Violation is a detected information-flow policy violation.
+type Violation struct {
+	RIP  uint64
+	Kind string
+	Addr uint64
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("dift violation: %s at rip=%#x (addr=%#x)", v.Kind, v.RIP, v.Addr)
+}
+
+// Stats aggregates tracking activity.
+type Stats struct {
+	TaintedLoads  uint64
+	TaintedStores uint64
+	Propagations  uint64
+	Checks        uint64
+}
+
+// Engine tracks taint through registers and memory words.
+type Engine struct {
+	Policy Policy
+	Stats  Stats
+
+	sources []asm.Global // untrusted input ranges
+	regs    [isa.NumRegs]bool
+	mem     map[uint64]bool // 8-byte-word granular taint
+}
+
+// NewEngine returns an engine with the given policy.
+func NewEngine(p Policy) *Engine {
+	return &Engine{Policy: p, mem: make(map[uint64]bool)}
+}
+
+// AddSource marks [addr, addr+size) as an untrusted input region: loads
+// from it produce tainted values.
+func (e *Engine) AddSource(addr, size uint64) {
+	e.sources = append(e.sources, asm.Global{Addr: addr, Size: size})
+}
+
+func (e *Engine) isSource(addr uint64) bool {
+	for _, s := range e.sources {
+		if addr >= s.Addr && addr < s.Addr+s.Size {
+			return true
+		}
+	}
+	return false
+}
+
+// RegTainted reports a register's taint.
+func (e *Engine) RegTainted(r isa.Reg) bool {
+	return r.Valid() && r < isa.NumRegs && e.regs[r]
+}
+
+// MemTainted reports a memory word's taint.
+func (e *Engine) MemTainted(addr uint64) bool { return e.mem[addr&^7] }
+
+func (e *Engine) setReg(r isa.Reg, t bool) {
+	if r.Valid() && r < isa.NumRegs && r != isa.FLAGS {
+		e.regs[r] = t
+	}
+}
+
+// ProcessUop propagates taint through one micro-op and applies the policy,
+// returning a violation or nil. The propagation rule is the classic DIFT
+// one: a result is spurious iff any input is spurious.
+func (e *Engine) ProcessUop(rip uint64, u *isa.Uop) *Violation {
+	addrTaint := e.RegTainted(u.Mem.Base) || e.RegTainted(u.Mem.Index)
+
+	switch u.Type {
+	case isa.ULoad:
+		e.Stats.Checks++
+		if e.Policy.NoTaintedPointers && addrTaint {
+			return &Violation{RIP: rip, Kind: "tainted pointer dereference (load)", Addr: u.EA}
+		}
+		t := e.MemTainted(u.EA) || e.isSource(u.EA)
+		if t {
+			e.Stats.TaintedLoads++
+		}
+		e.setReg(u.Dst, t)
+
+	case isa.UStore:
+		e.Stats.Checks++
+		if e.Policy.NoTaintedPointers && addrTaint {
+			return &Violation{RIP: rip, Kind: "tainted pointer dereference (store)", Addr: u.EA}
+		}
+		t := u.Src1.Valid() && e.RegTainted(u.Src1)
+		if t {
+			e.Stats.TaintedStores++
+		}
+		e.mem[u.EA&^7] = t
+
+	case isa.UJump:
+		e.Stats.Checks++
+		if e.Policy.NoTaintedJumpTargets && u.Src1.Valid() && e.RegTainted(u.Src1) {
+			return &Violation{RIP: rip, Kind: "tainted indirect jump target"}
+		}
+
+	case isa.UMov:
+		e.propagate(u.Dst, e.RegTainted(u.Src1))
+
+	case isa.ULimm:
+		e.setReg(u.Dst, false) // immediates are trusted program text
+
+	case isa.ULea:
+		e.propagate(u.Dst, addrTaint)
+
+	case isa.UAlu:
+		t := e.RegTainted(u.Src1)
+		if !u.HasImm {
+			t = t || e.RegTainted(u.Src2)
+		}
+		e.propagate(u.Dst, t)
+	}
+	return nil
+}
+
+func (e *Engine) propagate(dst isa.Reg, t bool) {
+	if t {
+		e.Stats.Propagations++
+	}
+	e.setReg(dst, t)
+}
+
+// Run executes the program functionally while tracking information flow,
+// returning the first policy violation (nil if the program is clean).
+// Untrusted sources must be registered before the run.
+func (e *Engine) Run(prog *asm.Program, maxInsts uint64) (*Violation, error) {
+	m := emu.New(prog, emu.Options{MaxInsts: maxInsts})
+	var d decode.Decoder
+	var buf []isa.Uop
+	for {
+		rec, err := m.Step()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			return nil, nil
+		}
+		if rec.Event == emu.EvAllocExit {
+			e.setReg(isa.RAX, false) // allocator results are trusted
+			continue
+		}
+		buf = d.Native(rec.Inst, buf[:0])
+		for i := range buf {
+			if buf[i].Type.IsMem() {
+				buf[i].EA = rec.EA
+			}
+			if v := e.ProcessUop(rec.Inst.Addr, &buf[i]); v != nil {
+				return v, nil
+			}
+		}
+	}
+}

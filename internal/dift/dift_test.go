@@ -1,0 +1,155 @@
+package dift
+
+import (
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+)
+
+const inputBuf = uint64(mem.GlobalBase) // the untrusted "network buffer"
+
+func newProg() *asm.Builder {
+	b := asm.NewBuilder()
+	b.Global("input", inputBuf, 64)
+	b.Global("pinput", inputBuf+64, 8)
+	b.Reloc(inputBuf+64, "input")
+	b.DataU64(inputBuf, 0x400100) // attacker-controlled contents
+	b.Load(isa.R8, isa.RNone, int64(inputBuf+64))
+	return b
+}
+
+func TestTaintedJumpDetected(t *testing.T) {
+	b := newProg()
+	b.Load(isa.RAX, isa.R8, 0) // rax <- untrusted input
+	b.JmpReg(isa.RAX)          // control-flow hijack
+	b.Hlt()
+	e := NewEngine(DefaultPolicy())
+	e.AddSource(inputBuf, 64)
+	v, err := e.Run(b.MustBuild(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Kind != "tainted indirect jump target" {
+		t.Fatalf("hijack not flagged: %v", v)
+	}
+}
+
+func TestTaintedPointerDetected(t *testing.T) {
+	b := newProg()
+	b.Load(isa.RAX, isa.R8, 0)  // tainted
+	b.Load(isa.RDX, isa.RAX, 0) // dereference through tainted pointer
+	b.Hlt()
+	e := NewEngine(DefaultPolicy())
+	e.AddSource(inputBuf, 64)
+	v, err := e.Run(b.MustBuild(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Kind != "tainted pointer dereference (load)" {
+		t.Fatalf("pointer injection not flagged: %v", v)
+	}
+}
+
+func TestTaintPropagatesThroughComputation(t *testing.T) {
+	b := newProg()
+	b.Load(isa.RAX, isa.R8, 0)                             // tainted
+	b.MovRR(isa.RBX, isa.RAX)                              // mov
+	b.AddRI(isa.RBX, 0x100)                                // alu imm
+	b.Alu(isa.XOR, isa.RegOp(isa.RBX), isa.RegOp(isa.RCX)) // alu reg
+	b.JmpReg(isa.RBX)                                      // still tainted
+	b.Hlt()
+	e := NewEngine(DefaultPolicy())
+	e.AddSource(inputBuf, 64)
+	v, err := e.Run(b.MustBuild(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("taint lost through mov/add/xor chain")
+	}
+	if e.Stats.Propagations == 0 {
+		t.Fatal("propagation not counted")
+	}
+}
+
+func TestTaintFlowsThroughMemory(t *testing.T) {
+	b := newProg()
+	b.Load(isa.RAX, isa.R8, 0) // tainted
+	b.Push(isa.RAX)            // spill
+	b.MovRI(isa.RAX, 0)        // clear the register
+	b.Pop(isa.RBX)             // reload: still tainted
+	b.JmpReg(isa.RBX)
+	b.Hlt()
+	e := NewEngine(DefaultPolicy())
+	e.AddSource(inputBuf, 64)
+	v, err := e.Run(b.MustBuild(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("taint lost through a memory spill/reload")
+	}
+	if e.Stats.TaintedStores == 0 || e.Stats.TaintedLoads == 0 {
+		t.Fatalf("memory taint accounting: %+v", e.Stats)
+	}
+}
+
+func TestUntaintedProgramRunsClean(t *testing.T) {
+	b := newProg()
+	b.Load(isa.RAX, isa.R8, 0) // tainted, but only used arithmetically
+	b.AddRI(isa.RAX, 5)
+	b.MovRI(isa.RBX, 0x600000)
+	// Immediates scrub taint: a fresh constant pointer is trusted.
+	b.Load(isa.RDX, isa.R8, 8)
+	b.Hlt()
+	e := NewEngine(DefaultPolicy())
+	e.AddSource(inputBuf, 64)
+	v, err := e.Run(b.MustBuild(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("false positive: %v", v)
+	}
+	if !e.RegTainted(isa.RAX) {
+		t.Fatal("rax should still carry taint")
+	}
+	if e.RegTainted(isa.RBX) {
+		t.Fatal("immediates are trusted")
+	}
+}
+
+func TestPolicyKnobs(t *testing.T) {
+	b := newProg()
+	b.Load(isa.RAX, isa.R8, 0)
+	b.Load(isa.RDX, isa.RAX, 0) // tainted dereference
+	b.Hlt()
+	e := NewEngine(Policy{NoTaintedJumpTargets: true}) // pointers allowed
+	e.AddSource(inputBuf, 64)
+	v, err := e.Run(b.MustBuild(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("disabled policy still fired: %v", v)
+	}
+}
+
+func TestAllocatorResultsTrusted(t *testing.T) {
+	b := newProg()
+	b.Load(isa.RDI, isa.R8, 0) // tainted size request!
+	b.CallAddr(0x500000)       // malloc
+	b.Load(isa.RDX, isa.RAX, 0)
+	b.Hlt()
+	e := NewEngine(DefaultPolicy())
+	e.AddSource(inputBuf, 64)
+	v, err := e.Run(b.MustBuild(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("allocator return values are trusted pointers: %v", v)
+	}
+}

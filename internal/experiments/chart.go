@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chex86/internal/decode"
+)
+
+// barChart renders a horizontal ASCII bar chart: one row per label, bars
+// scaled to maxWidth columns against the series maximum.
+func barChart(title string, labels []string, values []float64, unit string) string {
+	const maxWidth = 48
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, l := range labels {
+		n := int(values[i] / maxV * maxWidth)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-14s %-*s %.2f%s\n", l, maxWidth, strings.Repeat("#", n), values[i], unit)
+	}
+	return b.String()
+}
+
+// ChartFig6 renders Figure 6 (top) as grouped ASCII bars of the
+// prediction-driven and ASan slowdowns per benchmark.
+func ChartFig6(rows []Fig6Row) string {
+	labels := make([]string, 0, len(rows))
+	pred := make([]float64, 0, len(rows))
+	asan := make([]float64, 0, len(rows))
+	for i := range rows {
+		labels = append(labels, rows[i].Bench)
+		pred = append(pred, rows[i].Norm(decode.VariantMicrocodePrediction))
+		asan = append(asan, rows[i].Norm(decode.VariantASan))
+	}
+	return barChart("Normalized performance — CHEx86 prediction-driven (1.0 = baseline)", labels, pred, "") +
+		"\n" + barChart("Normalized performance — AddressSanitizer", labels, asan, "")
+}
+
+// ChartFig7 renders the capability-cache miss-rate series.
+func ChartFig7(rows []Fig7Row) string {
+	labels := make([]string, 0, len(rows))
+	miss := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		labels = append(labels, r.Bench)
+		miss = append(miss, 100*r.CapMiss64)
+	}
+	return barChart("Capability cache miss rate, 64 entries", labels, miss, "%")
+}
+
+// ChartFig8 renders the alias misprediction series.
+func ChartFig8(rows []Fig8Row) string {
+	labels := make([]string, 0, len(rows))
+	mis := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		labels = append(labels, r.Bench)
+		mis = append(mis, 100*r.Mispred1024)
+	}
+	return barChart("Pointer alias misprediction rate, 1024-entry predictor", labels, mis, "%")
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chex86/internal/decode"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+func TestBarChartScaling(t *testing.T) {
+	out := barChart("title", []string{"a", "b"}, []float64{1, 2}, "%")
+	if !strings.Contains(out, "title") || !strings.Contains(out, "a") {
+		t.Fatal("labels missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	// The larger value must render the longer bar.
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Fatal("bars not proportional")
+	}
+}
+
+func TestBarChartZeroSeries(t *testing.T) {
+	out := barChart("t", []string{"x"}, []float64{0}, "")
+	if strings.Contains(out, "#") {
+		t.Fatal("zero value must render an empty bar")
+	}
+}
+
+func TestChartsRender(t *testing.T) {
+	rows := []Fig6Row{fabricate("bench", workload.SuiteSPEC,
+		[decode.NumVariants]uint64{100, 110, 130, 120, 115, 200},
+		[decode.NumVariants]uint64{100, 100, 120, 120, 110, 200})}
+	if s := ChartFig6(rows); !strings.Contains(s, "bench") {
+		t.Fatal("Fig6 chart missing benchmark row")
+	}
+	f7 := []Fig7Row{{Bench: "bench", CapMiss64: 0.05}}
+	if s := ChartFig7(f7); !strings.Contains(s, "5.00%") {
+		t.Fatalf("Fig7 chart value missing: %q", ChartFig7(f7))
+	}
+	f8 := []Fig8Row{{Bench: "bench", Mispred1024: 0.25}}
+	if s := ChartFig8(f8); !strings.Contains(s, "25.00%") {
+		t.Fatal("Fig8 chart value missing")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	dir := t.TempDir()
+	rows := []Fig7Row{{Bench: "x", CapMiss64: 0.1}}
+	if err := WriteJSON(dir, "fig7", rows); err != nil {
+		t.Fatal(err)
+	}
+	var _ = pipeline.Result{} // rows carrying Results must also marshal
+}

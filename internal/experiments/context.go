@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chex86/internal/core"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// ContextRow holds one point of the context-sensitivity sweep: the
+// overhead of the prediction-driven variant when only the given fraction
+// of program text is designated security-critical. Allocations are
+// tracked globally at every point; only capCheck injection is surgical
+// (Section VII-D).
+type ContextRow struct {
+	CoveredPct   float64
+	SlowdownPct  float64
+	InjectedUops uint64
+	Checks       uint64
+}
+
+// RunContextSweep measures overhead as a function of covered-text
+// fraction for one benchmark — the quantified version of the paper's
+// "greatly reducing the micro-op bloat" claim.
+func RunContextSweep(bench string, o Options) ([]ContextRow, error) {
+	p := workload.ByName(bench)
+	if p == nil {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	prog, err := p.Build(o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	textLo, textHi := prog.TextBase, prog.End()
+
+	base := pipeline.DefaultConfig()
+	base.Variant = 0 // insecure baseline
+	rb, err := run(p, base, &o)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ContextRow
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		cfg := pipeline.DefaultConfig()
+		if frac >= 1.0 {
+			cfg.Context = core.Always()
+		} else {
+			hi := textLo + uint64(float64(textHi-textLo)*frac)
+			cfg.Context = core.Only(core.Region{Lo: textLo, Hi: hi})
+		}
+		res, err := run(p, cfg, &o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ContextRow{
+			CoveredPct:   100 * frac,
+			SlowdownPct:  100 * (float64(res.Cycles)/float64(rb.Cycles) - 1),
+			InjectedUops: res.InjectedUops,
+			Checks:       res.ChecksRun,
+		})
+	}
+	return rows, nil
+}
+
+// FormatContextSweep renders the sweep.
+func FormatContextSweep(bench string, rows []ContextRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Context-sensitivity sweep (%s): overhead vs covered-text fraction\n", bench)
+	fmt.Fprintf(&b, "%12s%14s%16s%12s\n", "covered", "slowdown", "injected uops", "checks")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%11.0f%%%13.1f%%%16d%12d\n", r.CoveredPct, r.SlowdownPct, r.InjectedUops, r.Checks)
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestContextSweepMonotone: overhead and injected-check counts grow with
+// the covered fraction; at 0% coverage the scheme costs only allocation
+// tracking.
+func TestContextSweepMonotone(t *testing.T) {
+	rows, err := RunContextSweep("xalancbmk", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(FormatContextSweep("xalancbmk", rows))
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 sweep points, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Checks < rows[i-1].Checks {
+			t.Errorf("checks must grow with coverage: %d -> %d at %f%%",
+				rows[i-1].Checks, rows[i].Checks, rows[i].CoveredPct)
+		}
+	}
+	if rows[0].Checks != 0 {
+		t.Errorf("zero coverage must inject zero checks, got %d", rows[0].Checks)
+	}
+	full := rows[len(rows)-1]
+	if full.SlowdownPct <= rows[0].SlowdownPct {
+		t.Errorf("full coverage (%f%%) should cost more than zero coverage (%f%%)",
+			full.SlowdownPct, rows[0].SlowdownPct)
+	}
+}

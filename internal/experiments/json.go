@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteJSON serializes an experiment's rows to dir/name.json for
+// machine-readable post-processing (plotting, regression tracking).
+func WriteJSON(dir, name string, v any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal %s: %w", name, err)
+	}
+	path := filepath.Join(dir, name+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"chex86/internal/decode"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// fabricate builds a Fig6Row with the given cycle counts per variant.
+func fabricate(bench, suite string, cycles [decode.NumVariants]uint64, uops [decode.NumVariants]uint64) Fig6Row {
+	row := Fig6Row{Bench: bench, Suite: suite}
+	for v := decode.Variant(0); v < decode.NumVariants; v++ {
+		row.Results[v] = &pipeline.Result{
+			Variant:    v,
+			Cycles:     cycles[v],
+			MacroInsts: 1000,
+			NativeUops: uops[v],
+		}
+	}
+	return row
+}
+
+func TestNormAndExpansionMath(t *testing.T) {
+	row := fabricate("x", workload.SuiteSPEC,
+		[decode.NumVariants]uint64{1000, 1100, 1250, 1200, 1150, 2000},
+		[decode.NumVariants]uint64{1300, 1300, 1600, 1600, 1500, 2600})
+	if got := row.Norm(decode.VariantInsecure); got != 1.0 {
+		t.Fatalf("baseline norm %f", got)
+	}
+	if got := row.Norm(decode.VariantMicrocodePrediction); math.Abs(got-1000.0/1150) > 1e-9 {
+		t.Fatalf("prediction norm %f", got)
+	}
+	if got := row.NormExpansion(decode.VariantASan); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("ASan expansion %f", got)
+	}
+}
+
+func TestSummarizeMath(t *testing.T) {
+	rows := []Fig6Row{
+		fabricate("a", workload.SuiteSPEC,
+			[decode.NumVariants]uint64{1000, 1100, 1300, 1200, 1100, 1600},
+			[decode.NumVariants]uint64{1000, 1000, 1200, 1200, 1100, 2000}),
+		fabricate("b", workload.SuitePARSEC,
+			[decode.NumVariants]uint64{2000, 2100, 2600, 2300, 2200, 4400},
+			[decode.NumVariants]uint64{2000, 2000, 2400, 2400, 2200, 4000}),
+	}
+	s := Summarize(rows)
+	if math.Abs(s.SPECSlowdownPct-10) > 1e-6 {
+		t.Errorf("SPEC slowdown %f, want 10", s.SPECSlowdownPct)
+	}
+	if math.Abs(s.PARSECSlowdownPct-10) > 1e-6 {
+		t.Errorf("PARSEC slowdown %f, want 10", s.PARSECSlowdownPct)
+	}
+	if math.Abs(s.SpeedupVsASanSPEC-1600.0/1100) > 1e-6 {
+		t.Errorf("vs ASan SPEC %f", s.SpeedupVsASanSPEC)
+	}
+	if math.Abs(s.SpeedupVsASanPARSC-2.0) > 1e-6 {
+		t.Errorf("vs ASan PARSEC %f", s.SpeedupVsASanPARSC)
+	}
+	// Geomean of 1300/1100 and 2600/2200 = 13/11.
+	if math.Abs(s.BTSpeedupPct-100*(13.0/11-1)) > 1e-6 {
+		t.Errorf("vs BT %f", s.BTSpeedupPct)
+	}
+}
+
+func TestOptionsProfileSelection(t *testing.T) {
+	o := Options{Benches: []string{"mcf", "nonexistent", "lbm"}}
+	ps := o.profiles()
+	if len(ps) != 2 || ps[0].Name != "mcf" || ps[1].Name != "lbm" {
+		t.Fatalf("selection wrong: %v", ps)
+	}
+	all := (&Options{}).profiles()
+	if len(all) != 14 {
+		t.Fatalf("default selection must be the full catalog, got %d", len(all))
+	}
+}
+
+func TestTable4LiteratureRows(t *testing.T) {
+	rows := Table4Literature()
+	if len(rows) != 8 {
+		t.Fatalf("the paper compares against 8 prior techniques, got %d", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Proposal] = r
+	}
+	if w := byName["Watchdog"]; !w.Temporal || !w.Spatial || w.Metadata != "Shadow" {
+		t.Error("Watchdog row wrong")
+	}
+	if c := byName["CHERI"]; c.Temporal || !c.Spatial || c.BinCompat != "No" {
+		t.Error("CHERI row wrong")
+	}
+	if m := byName["Intel MPX"]; m.Temporal {
+		t.Error("MPX is spatial-only")
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// Structure-sizing sweeps. Figure 7 reports two sizes for the capability
+// and alias caches; §VII-B's discussion hinges on where the miss-rate knee
+// sits. These sweeps trace the full curve so the sizing choice (64-entry
+// capability cache, 256+32-entry alias cache) can be audited rather than
+// taken on faith.
+
+// SweepRow is one point of a structure-sizing sweep.
+type SweepRow struct {
+	Entries     int
+	MissPct     float64 // the swept structure's miss (or mispredict) rate
+	SlowdownPct float64 // slowdown vs the insecure baseline
+}
+
+// SweepKind selects which structure a sweep resizes.
+type SweepKind int
+
+const (
+	SweepCapCache SweepKind = iota
+	SweepAliasCache
+	SweepPredictor
+)
+
+// String names the swept structure.
+func (k SweepKind) String() string {
+	switch k {
+	case SweepCapCache:
+		return "capability cache"
+	case SweepAliasCache:
+		return "alias cache"
+	case SweepPredictor:
+		return "reload predictor"
+	}
+	return fmt.Sprintf("SweepKind(%d)", int(k))
+}
+
+// sizesFor returns the sweep points, bracketing the paper's design size.
+func sizesFor(k SweepKind) []int {
+	switch k {
+	case SweepCapCache:
+		return []int{16, 32, 64, 128, 256}
+	case SweepAliasCache:
+		return []int{64, 128, 256, 512, 1024}
+	default:
+		return []int{128, 256, 512, 1024, 2048}
+	}
+}
+
+// RunSweep measures one benchmark's miss rate and slowdown as the chosen
+// structure is resized, holding everything else at the Table III design.
+func RunSweep(bench string, k SweepKind, o Options) ([]SweepRow, error) {
+	p := workload.ByName(bench)
+	if p == nil {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+
+	base := pipeline.DefaultConfig()
+	base.Variant = 0 // insecure baseline
+	rb, err := run(p, base, &o)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []SweepRow
+	for _, n := range sizesFor(k) {
+		cfg := pipeline.DefaultConfig()
+		switch k {
+		case SweepCapCache:
+			cfg.CapCacheEntries = n
+		case SweepAliasCache:
+			cfg.AliasCacheEntries = n
+		case SweepPredictor:
+			cfg.PredictorEntries = n
+		}
+		res, err := run(p, cfg, &o)
+		if err != nil {
+			return nil, err
+		}
+		var miss float64
+		switch k {
+		case SweepCapCache:
+			miss = res.CapCache.MissRate()
+		case SweepAliasCache:
+			miss = res.AliasCache.MissRate()
+		case SweepPredictor:
+			miss = res.Predictor.MispredictionRate()
+		}
+		rows = append(rows, SweepRow{
+			Entries:     n,
+			MissPct:     100 * miss,
+			SlowdownPct: 100 * (float64(res.Cycles)/float64(rb.Cycles) - 1),
+		})
+	}
+	return rows, nil
+}
+
+// FormatSweep renders one sweep as a table.
+func FormatSweep(bench string, k SweepKind, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s sizing sweep (%s):\n", k, bench)
+	fmt.Fprintf(&b, "%10s%12s%12s\n", "entries", "miss", "slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d%11.2f%%%11.1f%%\n", r.Entries, r.MissPct, r.SlowdownPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestCapCacheSweepMonotone: growing the capability cache must not raise
+// its miss rate, and the curve must flatten by the design point (the
+// §VII-B knee justifying 64 entries).
+func TestCapCacheSweepMonotone(t *testing.T) {
+	o := Options{Scale: 0.2, MaxInsts: 120_000}
+	rows, err := RunSweep("xalancbmk", SweepCapCache, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 sweep points, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MissPct > rows[i-1].MissPct+0.5 {
+			t.Errorf("miss rate rose with size: %d entries %.2f%% -> %d entries %.2f%%",
+				rows[i-1].Entries, rows[i-1].MissPct, rows[i].Entries, rows[i].MissPct)
+		}
+	}
+	// The largest point should be near the knee's floor: no worse than
+	// half the smallest point's miss rate (the structure is cacheable).
+	if first, last := rows[0].MissPct, rows[len(rows)-1].MissPct; first > 1 && last > first/2 {
+		t.Errorf("no knee: %.2f%% at %d entries vs %.2f%% at %d",
+			first, rows[0].Entries, last, rows[len(rows)-1].Entries)
+	}
+}
+
+// TestSweepKindsRun: every sweep kind produces a well-formed table on a
+// small run (smoke coverage for the alias-cache and predictor sweeps).
+func TestSweepKindsRun(t *testing.T) {
+	o := Options{Scale: 0.1, MaxInsts: 60_000}
+	for _, k := range []SweepKind{SweepAliasCache, SweepPredictor} {
+		rows, err := RunSweep("mcf", k, o)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("%v: want 5 points, got %d", k, len(rows))
+		}
+		if s := FormatSweep("mcf", k, rows); s == "" {
+			t.Fatalf("%v: empty table", k)
+		}
+	}
+}
+
+func TestSweepUnknownBench(t *testing.T) {
+	if _, err := RunSweep("nope", SweepCapCache, DefaultOptions()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chex86/internal/decode"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// WatchdogRow holds one benchmark's Section VII-C comparison: CHEx86's
+// prediction-driven instrumentation against Watchdog-style conservative
+// instrumentation of every 64-bit load/store with shadow metadata reads.
+type WatchdogRow struct {
+	Bench string
+
+	WatchdogSlowdownPct float64
+	CHExSlowdownPct     float64
+
+	// MemRefRatio is Watchdog's memory references relative to the
+	// baseline (the paper: "increasing the number of memory references by
+	// as much as 2X").
+	MemRefRatio float64
+
+	// Shadow storage: Watchdog scales with the words of memory touched;
+	// CHEx86 scales with allocations (capability table) and references
+	// (alias table).
+	WatchdogShadowBytes uint64
+	CHExShadowBytes     uint64
+}
+
+// RunWatchdog performs the Section VII-C comparison over the SPEC subset.
+func RunWatchdog(o Options) ([]WatchdogRow, error) {
+	if len(o.Benches) == 0 {
+		for _, p := range workload.Catalog() {
+			if p.Suite == workload.SuiteSPEC {
+				o.Benches = append(o.Benches, p.Name)
+			}
+		}
+	}
+	var rows []WatchdogRow
+	for _, p := range o.profiles() {
+		base := pipeline.DefaultConfig()
+		base.Variant = decode.VariantInsecure
+		rb, err := run(p, base, &o)
+		if err != nil {
+			return nil, err
+		}
+		wd := pipeline.DefaultConfig()
+		wd.Variant = decode.VariantWatchdog
+		rw, err := run(p, wd, &o)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := run(p, pipeline.DefaultConfig(), &o)
+		if err != nil {
+			return nil, err
+		}
+		row := WatchdogRow{Bench: p.Name}
+		row.WatchdogSlowdownPct = 100 * (float64(rw.Cycles)/float64(rb.Cycles) - 1)
+		row.CHExSlowdownPct = 100 * (float64(rc.Cycles)/float64(rb.Cycles) - 1)
+		if rb.L1D.Accesses() > 0 {
+			row.MemRefRatio = float64(rw.L1D.Accesses()) / float64(rb.L1D.Accesses())
+		}
+		// Watchdog's metadata is word-for-word with touched memory.
+		row.WatchdogShadowBytes = rw.UserRSS
+		row.CHExShadowBytes = rc.ShadowRSS
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatWatchdog renders the comparison.
+func FormatWatchdog(rows []WatchdogRow) string {
+	var b strings.Builder
+	b.WriteString("Section VII-C: Watchdog-style conservative instrumentation vs CHEx86\n")
+	fmt.Fprintf(&b, "%-14s%16s%14s%12s%16s%14s\n",
+		"benchmark", "watchdog slow", "CHEx86 slow", "memrefs", "watchdog shdw", "CHEx86 shdw")
+	var wSum, cSum, mSum float64
+	var wShadow, cShadow uint64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s%15.1f%%%13.1f%%%11.2fx%16s%14s\n", r.Bench,
+			r.WatchdogSlowdownPct, r.CHExSlowdownPct, r.MemRefRatio,
+			fmtBytes(r.WatchdogShadowBytes), fmtBytes(r.CHExShadowBytes))
+		wSum += r.WatchdogSlowdownPct
+		cSum += r.CHExSlowdownPct
+		mSum += r.MemRefRatio
+		wShadow += r.WatchdogShadowBytes
+		cShadow += r.CHExShadowBytes
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		reduction := 0.0
+		if wShadow > 0 {
+			reduction = 100 * (1 - float64(cShadow)/float64(wShadow))
+		}
+		fmt.Fprintf(&b, "%-14s%15.1f%%%13.1f%%%11.2fx   shadow memory reduction: %.0f%%\n",
+			"average", wSum/n, cSum/n, mSum/n, reduction)
+	}
+	return b.String()
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWatchdogComparison(t *testing.T) {
+	o := quickOpts()
+	o.Benches = []string{"perlbench", "xalancbmk", "lbm"}
+	rows, err := RunWatchdog(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(FormatWatchdog(rows))
+	for _, r := range rows {
+		if r.WatchdogSlowdownPct < r.CHExSlowdownPct {
+			t.Errorf("%s: conservative instrumentation (%.1f%%) must cost more than prediction-driven (%.1f%%)",
+				r.Bench, r.WatchdogSlowdownPct, r.CHExSlowdownPct)
+		}
+		if r.MemRefRatio < 1.4 {
+			t.Errorf("%s: Watchdog should roughly double memory references, got %.2fx", r.Bench, r.MemRefRatio)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package heap implements the simulated process's heap allocator. Its
+// metadata — chunk headers and free-list links — lives in guest memory,
+// exactly like a real dlmalloc/tcache-style allocator, which makes it
+// corruptible by guest stores: use-after-free writes can poison free-list
+// forward pointers, double frees create bin cycles, and overflows can
+// rewrite the next chunk's header. This deliberate exploitability is what
+// lets the How2Heap-style suite (internal/security) exercise the same heap
+// metadata-corruption anchor points the paper evaluates, while CHEx86's
+// capability layer detects the underlying violations.
+//
+// The allocator body runs natively (we do not hand-write it in guest
+// assembly) but is invoked through guest CALLs to registered entry
+// addresses, so the CHEx86 machinery sees exactly the entry/exit
+// interception events of Section IV-C, with the argument in %rdi at entry
+// and the result in %rax at exit.
+package heap
+
+import (
+	"chex86/internal/mem"
+)
+
+// Well-known virtual addresses of the heap-management routines. The OS
+// kernel registers these entry/exit pairs (and their register signatures)
+// in CHEx86's model-specific registers at process scheduling time.
+const (
+	MallocEntry  = 0x0000_0000_0050_0000
+	MallocExit   = MallocEntry + 4
+	FreeEntry    = 0x0000_0000_0050_0100
+	FreeExit     = FreeEntry + 4
+	CallocEntry  = 0x0000_0000_0050_0200
+	CallocExit   = CallocEntry + 4
+	ReallocEntry = 0x0000_0000_0050_0300
+	ReallocExit  = ReallocEntry + 4
+)
+
+const (
+	headerSize = 16
+	align      = 16
+
+	// maxBinSize is the largest chunk size served from the LIFO bins
+	// (tcache-like); larger chunks use a first-fit free list.
+	maxBinSize = 512
+	numBins    = maxBinSize / align
+
+	flagInUse = 1
+)
+
+// CostUops is the dynamic micro-op cost charged by the timing model for one
+// allocator call. A fast-path tcache/dlmalloc operation runs a few dozen
+// instructions; because the synthetic workloads are scaled down (they
+// allocate more frequently per instruction than the real benchmarks), the
+// charged cost is kept at the low end so the allocator's share of dynamic
+// micro-ops stays realistic.
+const CostUops = 12
+
+// Allocator is the guest heap. The zero value is not usable; call New.
+type Allocator struct {
+	m *mem.Memory
+
+	top       uint64 // wilderness pointer
+	arenaEnd  uint64
+	bins      [numBins]uint64 // guest address of bin head chunk (0 = empty)
+	largeHead uint64          // first-fit list of large freed chunks
+
+	// Stats
+	TotalAllocs uint64
+	TotalFrees  uint64
+	LiveBytes   uint64
+	LiveChunks  uint64
+	PeakLive    uint64
+}
+
+// New returns an allocator managing the guest heap arena.
+func New(m *mem.Memory) *Allocator {
+	return &Allocator{
+		m:        m,
+		top:      mem.HeapBase,
+		arenaEnd: mem.HeapBase + (1 << 40),
+	}
+}
+
+func alignUp(n uint64) uint64 {
+	if n < align {
+		n = align
+	}
+	return (n + align - 1) &^ (align - 1)
+}
+
+func binIndex(size uint64) int {
+	if size > maxBinSize {
+		return -1
+	}
+	return int(size/align) - 1
+}
+
+// header reads a chunk's (size, flags) pair from guest memory.
+func (a *Allocator) header(ptr uint64) (size, flags uint64) {
+	return a.m.ReadU64(ptr - headerSize), a.m.ReadU64(ptr - headerSize + 8)
+}
+
+func (a *Allocator) setHeader(ptr, size, flags uint64) {
+	a.m.WriteU64(ptr-headerSize, size)
+	a.m.WriteU64(ptr-headerSize+8, flags)
+}
+
+// ChunkSize returns the recorded size of the chunk at ptr (trusting the
+// in-memory header, which an exploit may have corrupted).
+func (a *Allocator) ChunkSize(ptr uint64) uint64 {
+	s, _ := a.header(ptr)
+	return s
+}
+
+// Malloc allocates size bytes and returns the user pointer, or 0 on
+// failure. No defensive validation is performed — by design.
+func (a *Allocator) Malloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	csize := alignUp(size)
+	a.TotalAllocs++
+
+	// Bin fast path: pop the head and follow its fd link. If an exploit
+	// overwrote the freed chunk's fd, this hands out an attacker-chosen
+	// address — the tcache-poisoning behavior How2Heap relies on.
+	if bi := binIndex(csize); bi >= 0 && a.bins[bi] != 0 {
+		ptr := a.bins[bi]
+		a.bins[bi] = a.m.ReadU64(ptr) // fd
+		sz, fl := a.header(ptr)
+		if sz == 0 {
+			sz = csize
+		}
+		a.setHeader(ptr, sz, fl|flagInUse)
+		a.account(csize, +1)
+		return ptr
+	}
+
+	// Large first-fit path.
+	if csize > maxBinSize {
+		prev := uint64(0)
+		cur := a.largeHead
+		for cur != 0 {
+			sz, fl := a.header(cur)
+			if sz >= csize {
+				fd := a.m.ReadU64(cur)
+				if prev == 0 {
+					a.largeHead = fd
+				} else {
+					a.m.WriteU64(prev, fd)
+				}
+				a.setHeader(cur, sz, fl|flagInUse)
+				a.account(csize, +1)
+				return cur
+			}
+			prev = cur
+			cur = a.m.ReadU64(cur)
+		}
+	}
+
+	// Carve from the wilderness.
+	if a.top+headerSize+csize > a.arenaEnd {
+		return 0
+	}
+	ptr := a.top + headerSize
+	a.top += headerSize + csize
+	a.setHeader(ptr, csize, flagInUse)
+	a.account(csize, +1)
+	return ptr
+}
+
+// Free releases the chunk at ptr. Like a fast-path production allocator,
+// it does not validate the pointer: freeing a non-chunk or freeing twice
+// silently corrupts the free lists (the exploit anchor points).
+func (a *Allocator) Free(ptr uint64) {
+	if ptr == 0 {
+		return
+	}
+	a.TotalFrees++
+	size, flags := a.header(ptr)
+	a.setHeader(ptr, size, flags&^flagInUse)
+	if bi := binIndex(alignUp(size)); bi >= 0 && size != 0 {
+		a.m.WriteU64(ptr, a.bins[bi]) // fd <- old head
+		a.bins[bi] = ptr
+	} else {
+		a.m.WriteU64(ptr, a.largeHead)
+		a.largeHead = ptr
+	}
+	a.account(alignUp(size), -1)
+}
+
+// Calloc allocates count*size zeroed bytes. Chunks carved fresh from the
+// wilderness are untouched memory (which reads as zero); only recycled
+// chunks need explicit clearing.
+func (a *Allocator) Calloc(count, size uint64) uint64 {
+	total := count * size
+	topBefore := a.top
+	ptr := a.Malloc(total)
+	if ptr == 0 {
+		return 0
+	}
+	if ptr >= topBefore {
+		return ptr // fresh wilderness: already zero
+	}
+	for off := uint64(0); off < alignUp(total); off += 8 {
+		a.m.WriteU64(ptr+off, 0)
+	}
+	return ptr
+}
+
+// Realloc resizes the allocation at ptr to size, copying min(old,new) bytes.
+func (a *Allocator) Realloc(ptr, size uint64) uint64 {
+	if ptr == 0 {
+		return a.Malloc(size)
+	}
+	if size == 0 {
+		a.Free(ptr)
+		return 0
+	}
+	oldSize, _ := a.header(ptr)
+	np := a.Malloc(size)
+	if np == 0 {
+		return 0
+	}
+	n := oldSize
+	if size < n {
+		n = size
+	}
+	for off := uint64(0); off < n; off += 8 {
+		a.m.WriteU64(np+off, a.m.ReadU64(ptr+off))
+	}
+	a.Free(ptr)
+	return np
+}
+
+func (a *Allocator) account(csize uint64, delta int64) {
+	if delta > 0 {
+		a.LiveBytes += csize
+		a.LiveChunks++
+		if a.LiveBytes > a.PeakLive {
+			a.PeakLive = a.LiveBytes
+		}
+	} else {
+		if a.LiveBytes >= csize {
+			a.LiveBytes -= csize
+		}
+		if a.LiveChunks > 0 {
+			a.LiveChunks--
+		}
+	}
+}
+
+// Top returns the current wilderness pointer (for footprint accounting).
+func (a *Allocator) Top() uint64 { return a.top }
+
+// HeapExtent returns the total bytes carved from the arena so far.
+func (a *Allocator) HeapExtent() uint64 { return a.top - mem.HeapBase }
+
+// InUse reports whether the chunk header at ptr currently has the in-use
+// bit set (trusting guest memory).
+func (a *Allocator) InUse(ptr uint64) bool {
+	_, flags := a.header(ptr)
+	return flags&flagInUse != 0
+}

@@ -1,0 +1,232 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chex86/internal/mem"
+)
+
+func TestMallocAlignmentAndHeaders(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	p1 := a.Malloc(24)
+	p2 := a.Malloc(100)
+	for _, p := range []uint64{p1, p2} {
+		if p%16 != 0 {
+			t.Fatalf("allocation %#x not 16-byte aligned", p)
+		}
+		if !a.InUse(p) {
+			t.Fatalf("fresh chunk %#x not marked in use", p)
+		}
+	}
+	if a.ChunkSize(p1) != 32 {
+		t.Fatalf("24-byte request should carry a 32-byte chunk, got %d", a.ChunkSize(p1))
+	}
+	if p2 <= p1 {
+		t.Fatal("wilderness must grow upward")
+	}
+}
+
+func TestFreeAndBinReuse(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	p := a.Malloc(64)
+	a.Free(p)
+	if a.InUse(p) {
+		t.Fatal("freed chunk still marked in use")
+	}
+	q := a.Malloc(64)
+	if q != p {
+		t.Fatalf("same-size allocation should reuse the freed chunk: %#x vs %#x", q, p)
+	}
+}
+
+func TestLargeFirstFit(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	big := a.Malloc(4096)
+	a.Malloc(64) // barrier so the wilderness pointer moved
+	a.Free(big)
+	q := a.Malloc(2048) // fits in the freed 4 KB chunk
+	if q != big {
+		t.Fatalf("first-fit should reuse the freed large chunk: %#x vs %#x", q, big)
+	}
+}
+
+func TestCallocZeroesRecycledMemory(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	p := a.Malloc(64)
+	m.WriteU64(p, 0xdeadbeef)
+	a.Free(p)
+	// Freeing wrote an fd link over the first word; calloc of the recycled
+	// chunk must scrub everything.
+	q := a.Calloc(8, 8)
+	if q != p {
+		t.Fatal("expected chunk reuse")
+	}
+	for off := uint64(0); off < 64; off += 8 {
+		if v := m.ReadU64(q + off); v != 0 {
+			t.Fatalf("calloc left %#x at offset %d", v, off)
+		}
+	}
+}
+
+func TestReallocCopies(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	p := a.Malloc(32)
+	m.WriteU64(p, 111)
+	m.WriteU64(p+8, 222)
+	q := a.Realloc(p, 4096)
+	if q == p {
+		t.Fatal("growing realloc should move to a new chunk")
+	}
+	if m.ReadU64(q) != 111 || m.ReadU64(q+8) != 222 {
+		t.Fatal("realloc lost the old contents")
+	}
+}
+
+// TestExploitableFdPoisoning verifies the deliberate tcache-poisoning
+// behavior the How2Heap suite depends on: overwriting a freed chunk's fd
+// makes the allocator hand out an attacker-chosen address.
+func TestExploitableFdPoisoning(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	p := a.Malloc(64)
+	a.Free(p)
+	const target = 0x41414140
+	m.WriteU64(p, target) // UAF write poisons the fd
+	if q := a.Malloc(64); q != p {
+		t.Fatal("first pop should return the poisoned chunk itself")
+	}
+	if q := a.Malloc(64); q != target {
+		t.Fatalf("second pop should return the attacker address, got %#x", q)
+	}
+}
+
+// TestExploitableDoubleFree verifies that a double free yields the same
+// chunk twice (the fastbin-dup primitive).
+func TestExploitableDoubleFree(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	p := a.Malloc(48)
+	a.Free(p)
+	a.Free(p)
+	q1 := a.Malloc(48)
+	q2 := a.Malloc(48)
+	if q1 != p || q2 != p {
+		t.Fatalf("double free should dup the chunk: %#x %#x vs %#x", q1, q2, p)
+	}
+}
+
+// TestLiveChunksNeverOverlap is a property test: any interleaving of
+// well-formed mallocs and frees yields pairwise-disjoint live chunks.
+func TestLiveChunksNeverOverlap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := mem.New()
+		a := New(m)
+		type span struct{ base, size uint64 }
+		var live []span
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				a.Free(live[i].base)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := uint64(op%512) + 1
+			p := a.Malloc(size)
+			if p == 0 {
+				return false
+			}
+			live = append(live, span{p, alignUp(size)})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.base < b.base+b.size && b.base < a.base+a.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	p := a.Malloc(100)
+	if a.LiveChunks != 1 || a.LiveBytes != 112 {
+		t.Fatalf("accounting after malloc: %d chunks %d bytes", a.LiveChunks, a.LiveBytes)
+	}
+	a.Free(p)
+	if a.LiveChunks != 0 || a.LiveBytes != 0 {
+		t.Fatalf("accounting after free: %d chunks %d bytes", a.LiveChunks, a.LiveBytes)
+	}
+	if a.TotalAllocs != 1 || a.TotalFrees != 1 {
+		t.Fatal("op counters wrong")
+	}
+	if a.PeakLive != 112 {
+		t.Fatalf("peak live %d", a.PeakLive)
+	}
+	if a.HeapExtent() == 0 {
+		t.Fatal("heap extent must reflect the carved arena")
+	}
+}
+
+func TestZeroAndNullEdgeCases(t *testing.T) {
+	m := mem.New()
+	a := New(m)
+	if p := a.Malloc(0); p == 0 {
+		t.Fatal("malloc(0) returns a unique pointer like glibc")
+	}
+	a.Free(0) // must be a no-op
+	if a.TotalFrees != 0 {
+		t.Fatal("free(NULL) must not count")
+	}
+	if p := a.Realloc(0, 64); p == 0 {
+		t.Fatal("realloc(NULL, n) behaves like malloc")
+	}
+	p := a.Malloc(64)
+	if q := a.Realloc(p, 0); q != 0 {
+		t.Fatal("realloc(p, 0) behaves like free")
+	}
+}
+
+// TestReallocPreservesPrefixProperty: realloc always preserves
+// min(old, new) bytes of contents.
+func TestReallocPreservesPrefixProperty(t *testing.T) {
+	f := func(oldWords, newWords uint8, seed uint64) bool {
+		m := mem.New()
+		a := New(m)
+		ow := uint64(oldWords%32) + 1
+		nw := uint64(newWords%64) + 1
+		p := a.Malloc(ow * 8)
+		for i := uint64(0); i < ow; i++ {
+			m.WriteU64(p+i*8, seed+i)
+		}
+		q := a.Realloc(p, nw*8)
+		if q == 0 {
+			return false
+		}
+		keep := ow
+		if nw < keep {
+			keep = nw
+		}
+		for i := uint64(0); i < keep; i++ {
+			if m.ReadU64(q+i*8) != seed+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package isa defines the simulated instruction set architecture used
+// throughout the CHEx86 reproduction: a representative x86-64 subset of
+// register-memory macro-operations, the RISC-style micro-operations they
+// decode into, architectural registers, condition codes, and flags.
+//
+// The subset is chosen so that every micro-op pattern in the paper's
+// pointer-tracking rule database (Table I) — MOV, AND, LEA, ADD, SUB,
+// LD, ST, MOVI — arises naturally from decoding, and so that every
+// register-memory addressing mode ([base + index*scale + disp]) that the
+// binary-translation and microcode variants must instrument is present.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The first 16 values follow x86-64
+// encoding order. Temporaries T0..T3 are micro-architectural registers
+// used only by decoded micro-ops (the paper's t1 in Figure 5f). FLAGS is
+// modeled as a register for dependency tracking.
+type Reg uint8
+
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	T0 // micro-op temporaries
+	T1
+	T2
+	T3
+	FLAGS
+	RIPReg
+	NumRegs
+
+	// RNone marks an absent register operand.
+	RNone Reg = 0xFF
+)
+
+// NumArchRegs is the number of architectural (program-visible) integer
+// registers.
+const NumArchRegs = 16
+
+var regNames = [NumRegs]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+	"t0", "t1", "t2", "t3", "flags", "rip",
+}
+
+// String returns the conventional AT&T-style name of the register.
+func (r Reg) String() string {
+	if r == RNone {
+		return "-"
+	}
+	if int(r) < len(regNames) {
+		return "%" + regNames[r]
+	}
+	return fmt.Sprintf("%%r?%d", uint8(r))
+}
+
+// Valid reports whether r names a real register (not RNone).
+func (r Reg) Valid() bool { return r != RNone && r < NumRegs }
+
+// Arch reports whether r is an architectural register visible to guest code.
+func (r Reg) Arch() bool { return r < NumArchRegs }
+
+// Flags holds the condition flags produced by arithmetic macro-ops.
+type Flags uint8
+
+const (
+	FlagZ Flags = 1 << iota // zero
+	FlagS                   // sign
+	FlagC                   // carry
+	FlagO                   // overflow
+)
+
+// Cond is a branch condition code.
+type Cond uint8
+
+const (
+	CondNone Cond = iota
+	CondE         // equal (ZF)
+	CondNE        // not equal
+	CondL         // less (signed)
+	CondLE
+	CondG
+	CondGE
+	CondB // below (unsigned)
+	CondBE
+	CondA
+	CondAE
+	CondS // sign
+	CondNS
+)
+
+var condNames = [...]string{"", "e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns"}
+
+// String returns the x86 condition suffix ("e", "ne", ...).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return "?"
+}
+
+// Eval evaluates the condition against a flag word.
+func (c Cond) Eval(f Flags) bool {
+	zf := f&FlagZ != 0
+	sf := f&FlagS != 0
+	cf := f&FlagC != 0
+	of := f&FlagO != 0
+	switch c {
+	case CondE:
+		return zf
+	case CondNE:
+		return !zf
+	case CondL:
+		return sf != of
+	case CondLE:
+		return zf || sf != of
+	case CondG:
+		return !zf && sf == of
+	case CondGE:
+		return sf == of
+	case CondB:
+		return cf
+	case CondBE:
+		return cf || zf
+	case CondA:
+		return !cf && !zf
+	case CondAE:
+		return !cf
+	case CondS:
+		return sf
+	case CondNS:
+		return !sf
+	}
+	return false
+}
+
+// MacroOpcode identifies a macro-operation (a native x86-style instruction).
+type MacroOpcode uint8
+
+const (
+	NOP  MacroOpcode = iota
+	MOV              // mov dst, src (any of reg/imm/mem combinations)
+	MOVB             // byte-sized mov: loads zero-extend, stores write the low byte
+	LEA              // lea reg, mem
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	IMUL
+	SHL
+	SHR
+	CMP  // sets flags only
+	TEST // sets flags only
+	INC  // dst += 1 (CF preserved, as in x86)
+	DEC  // dst -= 1 (CF preserved)
+	NEG  // dst = -dst
+	NOT  // dst = ^dst (no flags)
+	XCHG // swap dst and src (register or memory forms)
+	PUSH
+	POP
+	CALL // direct or indirect through register
+	RET
+	JMP // direct or indirect
+	JCC // conditional branch; condition in Inst.Cond
+	FADD
+	FMUL
+	FDIV
+	HLT // stop execution of the current hart
+	numMacroOpcodes
+)
+
+var macroNames = [numMacroOpcodes]string{
+	"nop", "mov", "movb", "lea", "add", "sub", "and", "or", "xor", "imul",
+	"shl", "shr", "cmp", "test", "inc", "dec", "neg", "not", "xchg",
+	"push", "pop", "call", "ret", "jmp", "j", "fadd", "fmul", "fdiv", "hlt",
+}
+
+// String returns the mnemonic of the macro-opcode.
+func (op MacroOpcode) String() string {
+	if op < numMacroOpcodes {
+		return macroNames[op]
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// IsBranch reports whether the opcode redirects control flow.
+func (op MacroOpcode) IsBranch() bool {
+	switch op {
+	case CALL, RET, JMP, JCC:
+		return true
+	}
+	return false
+}
+
+// WritesFlags reports whether the opcode updates the FLAGS register.
+func (op MacroOpcode) WritesFlags() bool {
+	switch op {
+	case ADD, SUB, AND, OR, XOR, IMUL, SHL, SHR, CMP, TEST, INC, DEC, NEG:
+		return true
+	}
+	return false
+}
+
+// OperandKind discriminates the Operand union.
+type OperandKind uint8
+
+const (
+	OpNone OperandKind = iota
+	OpReg
+	OpImm
+	OpMem
+)
+
+// MemRef is an x86-style effective-address computation
+// [Base + Index*Scale + Disp].
+type MemRef struct {
+	Base  Reg
+	Index Reg
+	Scale uint8 // 1, 2, 4 or 8; 0 treated as 1
+	Disp  int64
+}
+
+// String renders the memory reference in AT&T syntax.
+func (m MemRef) String() string {
+	s := ""
+	if m.Disp != 0 {
+		s = fmt.Sprintf("%#x", m.Disp)
+	}
+	inner := ""
+	if m.Base.Valid() {
+		inner = m.Base.String()
+	}
+	if m.Index.Valid() {
+		sc := m.Scale
+		if sc == 0 {
+			sc = 1
+		}
+		inner += fmt.Sprintf(",%s,%d", m.Index, sc)
+	}
+	if inner != "" {
+		s += "(" + inner + ")"
+	}
+	if s == "" {
+		s = "(0)"
+	}
+	return s
+}
+
+// Operand is a macro-op operand: nothing, a register, an immediate, or a
+// memory reference.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  int64
+	Mem  MemRef
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: OpReg, Reg: r} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: OpImm, Imm: v} }
+
+// MemOp returns a memory operand with the given effective-address parts.
+func MemOp(base Reg, disp int64) Operand {
+	return Operand{Kind: OpMem, Mem: MemRef{Base: base, Index: RNone, Scale: 1, Disp: disp}}
+}
+
+// MemOpIdx returns a memory operand with base, index, scale and displacement.
+func MemOpIdx(base, index Reg, scale uint8, disp int64) Operand {
+	return Operand{Kind: OpMem, Mem: MemRef{Base: base, Index: index, Scale: scale, Disp: disp}}
+}
+
+// String renders the operand in AT&T-ish syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpNone:
+		return ""
+	case OpReg:
+		return o.Reg.String()
+	case OpImm:
+		return fmt.Sprintf("$%#x", o.Imm)
+	case OpMem:
+		return o.Mem.String()
+	}
+	return "?"
+}
+
+// Inst is a single macro-operation. Addr and EncLen are assigned by the
+// assembler; Target holds the resolved destination of direct branches.
+type Inst struct {
+	Op     MacroOpcode
+	Cond   Cond
+	Dst    Operand
+	Src    Operand
+	Target uint64 // resolved direct branch/call target
+	Addr   uint64 // virtual address of this instruction (RIP)
+	EncLen uint8  // encoded length in bytes (for I-cache modeling)
+}
+
+// String renders the instruction for diagnostics.
+func (in *Inst) String() string {
+	switch in.Op {
+	case JCC:
+		return fmt.Sprintf("j%s %#x", in.Cond, in.Target)
+	case JMP, CALL:
+		if in.Dst.Kind == OpReg {
+			return fmt.Sprintf("%s *%s", in.Op, in.Dst.Reg)
+		}
+		return fmt.Sprintf("%s %#x", in.Op, in.Target)
+	case RET, NOP, HLT:
+		return in.Op.String()
+	case PUSH, POP:
+		return fmt.Sprintf("%s %s", in.Op, in.Dst)
+	}
+	if in.Src.Kind == OpNone {
+		return fmt.Sprintf("%s %s", in.Op, in.Dst)
+	}
+	return fmt.Sprintf("%s %s, %s", in.Op, in.Src, in.Dst)
+}
+
+// HasMemOperand reports whether the instruction references memory through a
+// register-memory addressing mode (the instrumentation targets of the
+// binary-translation and always-on microcode variants), including implicit
+// stack accesses of PUSH/POP/CALL/RET.
+func (in *Inst) HasMemOperand() bool {
+	if in.Dst.Kind == OpMem || in.Src.Kind == OpMem {
+		return true
+	}
+	switch in.Op {
+	case PUSH, POP, CALL, RET:
+		return true
+	}
+	return false
+}
+
+// NextAddr returns the address of the sequentially following instruction.
+func (in *Inst) NextAddr() uint64 { return in.Addr + uint64(in.EncLen) }

@@ -1,0 +1,176 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		cond  Cond
+		flags Flags
+		want  bool
+	}{
+		{CondE, FlagZ, true},
+		{CondE, 0, false},
+		{CondNE, 0, true},
+		{CondNE, FlagZ, false},
+		{CondL, FlagS, true},          // SF != OF
+		{CondL, FlagS | FlagO, false}, // SF == OF
+		{CondLE, FlagZ, true},         // equal
+		{CondLE, FlagS, true},         // less
+		{CondG, 0, true},              // not zero, SF==OF
+		{CondG, FlagZ, false},         //
+		{CondGE, FlagS | FlagO, true}, //
+		{CondGE, FlagS, false},        //
+		{CondB, FlagC, true},          //
+		{CondB, 0, false},             //
+		{CondBE, FlagZ, true},         //
+		{CondBE, FlagC, true},         //
+		{CondA, 0, true},              //
+		{CondA, FlagC, false},         //
+		{CondAE, 0, true},             //
+		{CondAE, FlagC, false},        //
+		{CondS, FlagS, true},          //
+		{CondNS, FlagS, false},        //
+		{CondNone, FlagZ | FlagC, false} /* no condition never taken */}
+	for _, c := range cases {
+		if got := c.cond.Eval(c.flags); got != c.want {
+			t.Errorf("Cond %v flags %04b: got %v want %v", c.cond, c.flags, got, c.want)
+		}
+	}
+}
+
+// TestCondComplement checks that complementary condition pairs always
+// disagree, for every flag combination.
+func TestCondComplement(t *testing.T) {
+	pairs := [][2]Cond{{CondE, CondNE}, {CondL, CondGE}, {CondLE, CondG},
+		{CondB, CondAE}, {CondBE, CondA}, {CondS, CondNS}}
+	for f := Flags(0); f < 16; f++ {
+		for _, p := range pairs {
+			if p[0].Eval(f) == p[1].Eval(f) {
+				t.Errorf("conditions %v/%v agree under flags %04b", p[0], p[1], f)
+			}
+		}
+	}
+}
+
+func TestRegProperties(t *testing.T) {
+	if NumArchRegs != 16 {
+		t.Fatalf("x86-64 has 16 architectural integer registers, got %d", NumArchRegs)
+	}
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("register %d should be valid", r)
+		}
+	}
+	if RNone.Valid() {
+		t.Error("RNone must not be valid")
+	}
+	if !RAX.Arch() || T0.Arch() || FLAGS.Arch() {
+		t.Error("architectural classification wrong")
+	}
+	if RAX.String() != "%rax" || R15.String() != "%r15" || RNone.String() != "-" {
+		t.Errorf("register names wrong: %s %s %s", RAX, R15, RNone)
+	}
+}
+
+func TestOperandAndMemRefStrings(t *testing.T) {
+	m := MemRef{Base: RBX, Index: RCX, Scale: 8, Disp: 16}
+	if got := m.String(); got != "0x10(%rbx,%rcx,8)" {
+		t.Errorf("MemRef string: %q", got)
+	}
+	if got := RegOp(RDI).String(); got != "%rdi" {
+		t.Errorf("RegOp string: %q", got)
+	}
+	if got := ImmOp(255).String(); got != "$0xff" {
+		t.Errorf("ImmOp string: %q", got)
+	}
+}
+
+func TestInstClassification(t *testing.T) {
+	ld := Inst{Op: MOV, Dst: RegOp(RAX), Src: MemOp(RBX, 0)}
+	if !ld.HasMemOperand() {
+		t.Error("reg<-mem mov must have a memory operand")
+	}
+	rr := Inst{Op: ADD, Dst: RegOp(RAX), Src: RegOp(RBX)}
+	if rr.HasMemOperand() {
+		t.Error("reg-reg add has no memory operand")
+	}
+	for _, op := range []MacroOpcode{PUSH, POP, CALL, RET} {
+		in := Inst{Op: op, Dst: RegOp(RAX)}
+		if !in.HasMemOperand() {
+			t.Errorf("%v implicitly accesses the stack", op)
+		}
+	}
+	for _, op := range []MacroOpcode{CALL, RET, JMP, JCC} {
+		if !op.IsBranch() {
+			t.Errorf("%v is a branch", op)
+		}
+	}
+	if MOV.IsBranch() || MOV.WritesFlags() {
+		t.Error("mov neither branches nor writes flags")
+	}
+	if !ADD.WritesFlags() || !CMP.WritesFlags() {
+		t.Error("arithmetic must write flags")
+	}
+}
+
+func TestUopFunctionalUnits(t *testing.T) {
+	cases := []struct {
+		u  Uop
+		fu FUClass
+	}{
+		{Uop{Type: ULoad}, FULoad},
+		{Uop{Type: UStore}, FUStore},
+		{Uop{Type: UBranch}, FUBranchUnit},
+		{Uop{Type: UJump}, FUBranchUnit},
+		{Uop{Type: UAlu, Alu: AluAdd}, FUIntALU},
+		{Uop{Type: UAlu, Alu: AluMul}, FUIntMult},
+		{Uop{Type: UAlu, Alu: AluFAdd}, FUFPALU},
+		{Uop{Type: UAlu, Alu: AluFDiv}, FUFPALU},
+		{Uop{Type: UCapCheck}, FUIntALU},
+	}
+	for _, c := range cases {
+		if got := c.u.FU(); got != c.fu {
+			t.Errorf("%v: FU %v, want %v", c.u.Type, got, c.fu)
+		}
+	}
+}
+
+func TestUopLatencies(t *testing.T) {
+	if (&Uop{Type: UAlu, Alu: AluAdd}).Latency() != 1 {
+		t.Error("simple ALU latency should be 1")
+	}
+	if (&Uop{Type: UAlu, Alu: AluFDiv}).Latency() <= (&Uop{Type: UAlu, Alu: AluFMul}).Latency() {
+		t.Error("division must be slower than multiplication")
+	}
+	if (&Uop{Type: UCapCheck}).Latency() == 0 {
+		t.Error("capCheck has a capability-cache access latency")
+	}
+}
+
+// TestCondEvalTotal uses quick to confirm Eval never panics and CondNone
+// never predicts taken for arbitrary flag words.
+func TestCondEvalTotal(t *testing.T) {
+	f := func(c uint8, fl uint8) bool {
+		cond := Cond(c % 13)
+		taken := cond.Eval(Flags(fl))
+		if cond == CondNone && taken {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if (&Uop{Type: UStore, Dst: RNone}).WritesReg() {
+		t.Error("stores produce no register result")
+	}
+	if !(&Uop{Type: ULoad, Dst: RAX}).WritesReg() {
+		t.Error("loads produce a register result")
+	}
+}

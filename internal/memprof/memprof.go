@@ -1,0 +1,98 @@
+// Package memprof implements the allocation-behavior profiling of
+// Figure 3: for a guest program it measures (1) the total number of
+// allocations made over the run, (2) the maximum number of live
+// allocations at any point, and (3) the average number of distinct
+// allocations actually in use during any given measurement interval —
+// the observation (total ≫ max-live ≫ in-use) that motivates the small
+// in-processor capability cache. The paper collected these statistics
+// with valgrind; here the functional emulator plays that role.
+package memprof
+
+import (
+	"chex86/internal/asm"
+	"chex86/internal/emu"
+)
+
+// Stats holds one program's allocation-behavior profile.
+type Stats struct {
+	TotalAllocs   uint64
+	MaxLive       uint64
+	AvgInUse      float64 // average distinct allocations accessed per interval
+	PeakInUse     uint64
+	Intervals     uint64
+	IntervalInsts uint64
+	Insts         uint64
+}
+
+// Profile executes the program functionally and collects Figure 3's three
+// metrics, using measurement intervals of intervalInsts macro-ops (the
+// paper uses 100M-instruction intervals at full benchmark scale).
+func Profile(prog *asm.Program, harts int, intervalInsts, maxInsts uint64) (*Stats, error) {
+	if intervalInsts == 0 {
+		intervalInsts = 100_000
+	}
+	m := emu.New(prog, emu.Options{Harts: harts, MaxInsts: maxInsts})
+	st := &Stats{IntervalInsts: intervalInsts}
+
+	live := uint64(0)
+	dynamic := make(map[int64]struct{})
+	inUse := make(map[int64]struct{})
+	var sumInUse uint64
+	nextBoundary := intervalInsts
+
+	flush := func() {
+		st.Intervals++
+		n := uint64(len(inUse))
+		sumInUse += n
+		if n > st.PeakInUse {
+			st.PeakInUse = n
+		}
+		for k := range inUse {
+			delete(inUse, k)
+		}
+	}
+
+	for {
+		rec, err := m.Step()
+		if err != nil {
+			return st, err
+		}
+		if rec == nil {
+			break
+		}
+		st.Insts++
+		switch rec.Event {
+		case emu.EvAllocEnter:
+			if rec.AllocPID != 0 {
+				st.TotalAllocs++
+				dynamic[rec.AllocPID] = struct{}{}
+				live++
+				if live > st.MaxLive {
+					st.MaxLive = live
+				}
+			}
+		case emu.EvFreeEnter:
+			if rec.AllocPID != 0 && live > 0 {
+				live--
+			}
+		}
+		if rec.HasEA {
+			// Only dynamic allocations count toward "allocations in use"
+			// (globals are not allocations in the Figure 3 sense).
+			if span := m.Truth.Find(rec.EA); span != nil && span.Live {
+				if _, dyn := dynamic[span.PID]; dyn {
+					inUse[span.PID] = struct{}{}
+				}
+			}
+		}
+		if st.Insts >= nextBoundary {
+			flush()
+			nextBoundary += intervalInsts
+		}
+	}
+	if len(inUse) > 0 || st.Intervals == 0 {
+		flush()
+	}
+	st.AvgInUse = float64(sumInUse) / float64(st.Intervals)
+	return st, nil
+}

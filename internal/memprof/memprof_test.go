@@ -1,0 +1,84 @@
+package memprof
+
+import (
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+)
+
+// buildChurn allocates n buffers, touches them, frees half, and halts.
+func buildChurn(n int64) *asm.Program {
+	b := asm.NewBuilder()
+	g := uint64(0x600000)
+	b.Global("tab", g, uint64(n)*8)
+	b.Global("ptab", g+uint64(n)*8+8, 8)
+	b.Reloc(g+uint64(n)*8+8, "tab")
+	b.Load(isa.R8, isa.RNone, int64(g+uint64(n)*8+8))
+
+	b.MovRI(isa.R15, 0)
+	b.Label("alloc")
+	b.MovRI(isa.RDI, 64)
+	b.CallAddr(heap.MallocEntry)
+	b.StoreIdx(isa.R8, isa.R15, 8, 0, isa.RAX)
+	b.Store(isa.RAX, 0, isa.R15) // touch
+	b.AddRI(isa.R15, 1)
+	b.CmpRI(isa.R15, n)
+	b.Jcc(isa.CondL, "alloc")
+
+	b.MovRI(isa.R15, 0)
+	b.Label("free")
+	b.LoadIdx(isa.RDI, isa.R8, isa.R15, 8, 0)
+	b.CallAddr(heap.FreeEntry)
+	b.AddRI(isa.R15, 2) // free every other buffer
+	b.CmpRI(isa.R15, n)
+	b.Jcc(isa.CondL, "free")
+	b.Hlt()
+	return b.MustBuild()
+}
+
+func TestProfileMetrics(t *testing.T) {
+	const n = 20
+	st, err := Profile(buildChurn(n), 1, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalAllocs != n {
+		t.Fatalf("total allocs %d, want %d", st.TotalAllocs, n)
+	}
+	if st.MaxLive != n {
+		t.Fatalf("max live %d, want %d (frees happen after the last alloc)", st.MaxLive, n)
+	}
+	if st.AvgInUse <= 0 || st.AvgInUse > float64(n) {
+		t.Fatalf("avg in-use %f out of range", st.AvgInUse)
+	}
+	if st.Intervals == 0 || st.Insts == 0 {
+		t.Fatal("interval accounting empty")
+	}
+}
+
+func TestFigure3Ordering(t *testing.T) {
+	// The paper's shape: total >= max-live, and the in-use average stays
+	// below the peak of distinct live allocations per interval.
+	st, err := Profile(buildChurn(32), 1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxLive > st.TotalAllocs {
+		t.Fatal("max live cannot exceed total allocations")
+	}
+	if st.PeakInUse < uint64(st.AvgInUse) {
+		t.Fatal("peak in-use below the average")
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	st, err := Profile(buildChurn(32), 1, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Insts > 100 {
+		t.Fatalf("budget ignored: %d insts", st.Insts)
+	}
+}

@@ -1,0 +1,164 @@
+package objfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"chex86/internal/isa"
+)
+
+// imageWriter builds the object image. All integers are varints; strings
+// are length-prefixed UTF-8.
+type imageWriter struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *imageWriter) raw(s string)  { w.buf.WriteString(s) }
+func (w *imageWriter) byte(b byte)   { w.buf.WriteByte(b) }
+func (w *imageWriter) uvar(v uint64) { w.buf.Write(w.tmp[:binary.PutUvarint(w.tmp[:], v)]) }
+func (w *imageWriter) svar(v int64)  { w.buf.Write(w.tmp[:binary.PutVarint(w.tmp[:], v)]) }
+
+func (w *imageWriter) str(s string) {
+	w.uvar(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *imageWriter) operand(o *isa.Operand) {
+	w.byte(byte(o.Kind))
+	switch o.Kind {
+	case isa.OpReg:
+		w.byte(byte(o.Reg))
+	case isa.OpImm:
+		w.svar(o.Imm)
+	case isa.OpMem:
+		w.byte(byte(o.Mem.Base))
+		w.byte(byte(o.Mem.Index))
+		w.byte(o.Mem.Scale)
+		w.svar(o.Mem.Disp)
+	}
+}
+
+func (w *imageWriter) inst(in *isa.Inst) {
+	w.byte(byte(in.Op))
+	w.byte(byte(in.Cond))
+	w.byte(in.EncLen)
+	w.uvar(in.Addr)
+	w.uvar(in.Target)
+	w.operand(&in.Dst)
+	w.operand(&in.Src)
+}
+
+// imageReader parses the object image. The first malformed field latches
+// err; subsequent reads return zero values so callers can decode a whole
+// section and check err once.
+type imageReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *imageReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("objfile: "+format, args...)
+	}
+}
+
+func (r *imageReader) rawN(n int) []byte {
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.fail("truncated at byte %d (need %d more)", r.pos, n)
+		return make([]byte, n)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *imageReader) byte() byte {
+	return r.rawN(1)[0]
+}
+
+func (r *imageReader) uvar() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *imageReader) svar() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("bad signed varint at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *imageReader) str() string {
+	n := r.uvar()
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail("string length %d exceeds remaining image", n)
+		return ""
+	}
+	return string(r.rawN(int(n)))
+}
+
+// count reads a section element count, rejecting values that could not fit
+// in the remaining image (corruption defense ahead of the allocation).
+func (r *imageReader) count(what string) uint64 {
+	n := r.uvar()
+	if n > maxSaneCount || n > uint64(len(r.buf)-r.pos) {
+		r.fail("implausible %s count %d", what, n)
+		return 0
+	}
+	return n
+}
+
+func (r *imageReader) operand(o *isa.Operand) {
+	o.Kind = isa.OperandKind(r.byte())
+	switch o.Kind {
+	case isa.OpNone:
+	case isa.OpReg:
+		o.Reg = isa.Reg(r.byte())
+	case isa.OpImm:
+		o.Imm = r.svar()
+	case isa.OpMem:
+		o.Mem.Base = isa.Reg(r.byte())
+		o.Mem.Index = isa.Reg(r.byte())
+		o.Mem.Scale = r.byte()
+		o.Mem.Disp = r.svar()
+	default:
+		r.fail("unknown operand kind %d", o.Kind)
+	}
+}
+
+func (r *imageReader) inst(in *isa.Inst) {
+	in.Op = isa.MacroOpcode(r.byte())
+	in.Cond = isa.Cond(r.byte())
+	in.EncLen = r.byte()
+	in.Addr = r.uvar()
+	in.Target = r.uvar()
+	r.operand(&in.Dst)
+	r.operand(&in.Src)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

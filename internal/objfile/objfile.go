@@ -1,0 +1,228 @@
+// Package objfile serializes guest programs to a compact on-disk object
+// format and loads them back.
+//
+// CHEx86 bootstraps its shadow capability table from exactly the metadata a
+// stripped-but-relocatable binary still carries: the symbol table (one
+// capability per global data object, Section IV-C) and the relocation
+// entries (shadow-alias seeds for pointer slots materialized through
+// constant pools, Section V-B). The container therefore mirrors the
+// sections a loader would hand to the CHEx86 microcode engine:
+//
+//	.text    the instruction stream (variable-length encoded)
+//	.symtab  global objects: name, address, size, writability
+//	.reloc   pointer slots the loader fills with a global's address
+//	.data    initialized data words
+//	.labels  resolved code labels (debug aid; not needed to execute)
+//
+// The format is deliberately simple — little-endian, varint-packed, with a
+// trailing CRC-32 over the whole image — so a round trip is cheap to verify
+// and corruption is detected at load rather than as a mystery crash inside
+// the simulated machine.
+package objfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"chex86/internal/asm"
+	"chex86/internal/isa"
+)
+
+// Magic identifies a CHEx86 object image.
+const Magic = "CHX86OBJ"
+
+// Version is the current format version. Readers reject images written by
+// a different major version.
+const Version = 1
+
+// maxSaneCount bounds per-section element counts while decoding so a
+// corrupt or adversarial length field cannot drive allocation to OOM
+// before the CRC check is reached.
+const maxSaneCount = 1 << 26
+
+// Encode serializes the program to its object-image byte form.
+func Encode(p *asm.Program) []byte {
+	var w imageWriter
+	w.raw(Magic)
+	w.uvar(Version)
+	w.uvar(p.TextBase)
+
+	// .text
+	w.uvar(uint64(len(p.Insts)))
+	for i := range p.Insts {
+		w.inst(&p.Insts[i])
+	}
+
+	// .symtab
+	w.uvar(uint64(len(p.Globals)))
+	for _, g := range p.Globals {
+		w.str(g.Name)
+		w.uvar(g.Addr)
+		w.uvar(g.Size)
+		var flags byte
+		if g.ReadOnly {
+			flags |= 1
+		}
+		w.byte(flags)
+	}
+
+	// .reloc
+	w.uvar(uint64(len(p.Relocs)))
+	for _, r := range p.Relocs {
+		w.uvar(r.Slot)
+		w.str(r.Target)
+	}
+
+	// .data
+	w.uvar(uint64(len(p.Data)))
+	for _, d := range p.Data {
+		w.uvar(d.Addr)
+		w.uvar(d.Val)
+	}
+
+	// .labels
+	w.uvar(uint64(len(p.Labels)))
+	for _, name := range sortedKeys(p.Labels) {
+		w.str(name)
+		w.uvar(p.Labels[name])
+	}
+
+	sum := crc32.ChecksumIEEE(w.buf.Bytes())
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	w.buf.Write(tail[:])
+	return w.buf.Bytes()
+}
+
+// Decode parses an object image produced by Encode and reconstructs the
+// runnable program, including the address index used by the front end.
+func Decode(img []byte) (*asm.Program, error) {
+	if len(img) < len(Magic)+4 {
+		return nil, fmt.Errorf("objfile: image truncated (%d bytes)", len(img))
+	}
+	body, tail := img[:len(img)-4], img[len(img)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("objfile: checksum mismatch (image %#x, computed %#x)", want, got)
+	}
+	r := &imageReader{buf: body}
+	if string(r.rawN(len(Magic))) != Magic {
+		return nil, fmt.Errorf("objfile: bad magic")
+	}
+	if v := r.uvar(); v != Version {
+		return nil, fmt.Errorf("objfile: unsupported format version %d (have %d)", v, Version)
+	}
+
+	p := &asm.Program{TextBase: r.uvar()}
+
+	n := r.count("instruction")
+	p.Insts = make([]isa.Inst, n)
+	for i := range p.Insts {
+		r.inst(&p.Insts[i])
+	}
+
+	n = r.count("symbol")
+	p.Globals = make([]asm.Global, n)
+	for i := range p.Globals {
+		g := &p.Globals[i]
+		g.Name = r.str()
+		g.Addr = r.uvar()
+		g.Size = r.uvar()
+		g.ReadOnly = r.byte()&1 != 0
+	}
+
+	n = r.count("relocation")
+	p.Relocs = make([]asm.Reloc, n)
+	for i := range p.Relocs {
+		p.Relocs[i].Slot = r.uvar()
+		p.Relocs[i].Target = r.str()
+	}
+
+	n = r.count("data word")
+	p.Data = make([]asm.DataInit, n)
+	for i := range p.Data {
+		p.Data[i].Addr = r.uvar()
+		p.Data[i].Val = r.uvar()
+	}
+
+	n = r.count("label")
+	p.Labels = make(map[string]uint64, n)
+	for i := 0; i < int(n); i++ {
+		name := r.str()
+		p.Labels[name] = r.uvar()
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("objfile: %d trailing bytes after last section", len(r.buf)-r.pos)
+	}
+
+	byAddr := make(map[uint64]int, len(p.Insts))
+	for i := range p.Insts {
+		byAddr[p.Insts[i].Addr] = i
+	}
+	if err := asm.Reindex(p, byAddr); err != nil {
+		return nil, fmt.Errorf("objfile: %w", err)
+	}
+	return p, nil
+}
+
+// Write streams the encoded image to w.
+func Write(w io.Writer, p *asm.Program) error {
+	_, err := w.Write(Encode(p))
+	return err
+}
+
+// Read consumes r to EOF and decodes the image.
+func Read(r io.Reader) (*asm.Program, error) {
+	img, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(img)
+}
+
+// Save writes the program image to path.
+func Save(path string, p *asm.Program) error {
+	return os.WriteFile(path, Encode(p), 0o644)
+}
+
+// Load reads and decodes the program image at path.
+func Load(path string) (*asm.Program, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(img)
+}
+
+// Stats summarizes an encoded image for tooling output.
+type Stats struct {
+	Bytes   int
+	Insts   int
+	Globals int
+	Relocs  int
+	Data    int
+	Labels  int
+}
+
+// Summarize reports section element counts and total image size.
+func Summarize(p *asm.Program) Stats {
+	return Stats{
+		Bytes:   len(Encode(p)),
+		Insts:   len(p.Insts),
+		Globals: len(p.Globals),
+		Relocs:  len(p.Relocs),
+		Data:    len(p.Data),
+		Labels:  len(p.Labels),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d bytes: %d insts, %d symbols, %d relocs, %d data words, %d labels",
+		s.Bytes, s.Insts, s.Globals, s.Relocs, s.Data, s.Labels)
+}

@@ -1,0 +1,252 @@
+package objfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"chex86/internal/asm"
+	"chex86/internal/decode"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// sampleProgram builds a program exercising every section: text with all
+// operand kinds, globals (rw + ro), relocations, data words, labels.
+func sampleProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	g := uint64(mem.GlobalBase)
+	b.Global("table", g, 256)
+	b.GlobalRO("konst", g+256, 64)
+	b.Global("ptr", g+320, 8)
+	b.Reloc(g+320, "table")
+	b.DataU64(g+256, 0xDEADBEEF)
+
+	b.MovRI(isa.RDI, 64)
+	b.CallAddr(heap.MallocEntry)
+	b.MovRR(isa.RBX, isa.RAX)
+	b.Label("loop")
+	b.StoreIdx(isa.RBX, isa.RCX, 8, 0, isa.RCX)
+	b.AddRI(isa.RCX, 1)
+	b.CmpRI(isa.RCX, 8)
+	b.Jcc(isa.CondL, "loop")
+	b.LoadB(isa.RDX, isa.RBX, 3)
+	b.StoreB(isa.RBX, 4, isa.RDX)
+	b.Lea(isa.RSI, isa.MemOp(isa.RBX, 16))
+	b.Hlt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := sampleProgram(t)
+	q, err := Decode(Encode(p))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if q.TextBase != p.TextBase {
+		t.Errorf("TextBase %#x != %#x", q.TextBase, p.TextBase)
+	}
+	if !reflect.DeepEqual(q.Insts, p.Insts) {
+		t.Errorf("instruction streams differ")
+	}
+	if !reflect.DeepEqual(q.Globals, p.Globals) {
+		t.Errorf("symbol tables differ: %+v vs %+v", q.Globals, p.Globals)
+	}
+	if !reflect.DeepEqual(q.Relocs, p.Relocs) {
+		t.Errorf("relocation sections differ")
+	}
+	if !reflect.DeepEqual(q.Data, p.Data) {
+		t.Errorf("data sections differ")
+	}
+	if !reflect.DeepEqual(q.Labels, p.Labels) {
+		t.Errorf("label sections differ")
+	}
+	// The address index must be rebuilt: every instruction reachable.
+	for i := range q.Insts {
+		if q.At(q.Insts[i].Addr) == nil {
+			t.Fatalf("decoded program lost address index at %#x", q.Insts[i].Addr)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := sampleProgram(t)
+	a, b := Encode(p), Encode(p)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not deterministic (label ordering?)")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	p := sampleProgram(t)
+	path := filepath.Join(t.TempDir(), "prog.chx")
+	if err := Save(path, p); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	q, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(q.Insts) != len(p.Insts) || len(q.Globals) != len(p.Globals) {
+		t.Fatalf("loaded program lost content: %d/%d insts, %d/%d globals",
+			len(q.Insts), len(p.Insts), len(q.Globals), len(p.Globals))
+	}
+}
+
+// TestWorkloadRoundTrip: every cataloged benchmark survives a round trip
+// bit-exactly — the loader path chexsim -obj uses.
+func TestWorkloadRoundTrip(t *testing.T) {
+	for _, prof := range workload.Catalog() {
+		p, err := prof.Build(0.05)
+		if err != nil {
+			t.Fatalf("%s: build: %v", prof.Name, err)
+		}
+		q, err := Decode(Encode(p))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", prof.Name, err)
+		}
+		if !reflect.DeepEqual(q.Insts, p.Insts) || !reflect.DeepEqual(q.Globals, p.Globals) ||
+			!reflect.DeepEqual(q.Relocs, p.Relocs) || !reflect.DeepEqual(q.Data, p.Data) {
+			t.Errorf("%s: round trip not bit-exact", prof.Name)
+		}
+	}
+}
+
+// TestCorruptionDetected: flipping any single byte of the image must fail
+// decoding (the CRC catches it), never yield a silently different program.
+func TestCorruptionDetected(t *testing.T) {
+	img := Encode(sampleProgram(t))
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 64; trial++ {
+		bad := append([]byte(nil), img...)
+		i := rng.Intn(len(bad))
+		bad[i] ^= 1 << uint(rng.Intn(8))
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	img := Encode(sampleProgram(t))
+	for _, n := range []int{0, 1, len(Magic), len(img) / 2, len(img) - 1} {
+		if _, err := Decode(img[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestVersionRejected(t *testing.T) {
+	p := sampleProgram(t)
+	img := Encode(p)
+	// Byte right after the magic is the (single-byte) version varint.
+	img[len(Magic)] = Version + 1
+	// Re-seal the CRC so only the version check can object.
+	img = reseal(img)
+	if _, err := Decode(img); err == nil {
+		t.Fatal("future format version decoded without error")
+	}
+}
+
+func TestImplausibleCountRejected(t *testing.T) {
+	// A huge instruction count with a valid CRC must be rejected before
+	// any allocation of that size is attempted.
+	var w imageWriter
+	w.raw(Magic)
+	w.uvar(Version)
+	w.uvar(0x400000)
+	w.uvar(1 << 40) // .text claims 2^40 instructions
+	img := reseal(append(w.buf.Bytes(), 0, 0, 0, 0))
+	if _, err := Decode(img); err == nil {
+		t.Fatal("implausible count decoded without error")
+	}
+}
+
+// reseal recomputes the trailing CRC of a (possibly modified) image.
+func reseal(img []byte) []byte {
+	body := img[:len(img)-4]
+	out := append([]byte(nil), body...)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(body))
+	return append(out, tail[:]...)
+}
+
+// TestOperandPropertyRoundTrip: arbitrary operand encodings survive the
+// codec (property-based, all four kinds, full value ranges).
+func TestOperandPropertyRoundTrip(t *testing.T) {
+	f := func(kind uint8, reg uint8, imm int64, base, index uint8, scale uint8, disp int64) bool {
+		o := isa.Operand{Kind: isa.OperandKind(kind % 4)}
+		switch o.Kind {
+		case isa.OpReg:
+			o.Reg = isa.Reg(reg)
+		case isa.OpImm:
+			o.Imm = imm
+		case isa.OpMem:
+			o.Mem = isa.MemRef{Base: isa.Reg(base), Index: isa.Reg(index), Scale: scale, Disp: disp}
+		}
+		var w imageWriter
+		w.operand(&o)
+		r := &imageReader{buf: w.buf.Bytes()}
+		var got isa.Operand
+		r.operand(&got)
+		return r.err == nil && reflect.DeepEqual(got, o)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsString is a smoke test for the tooling summary.
+func TestStatsString(t *testing.T) {
+	s := Summarize(sampleProgram(t))
+	if s.Insts == 0 || s.Globals != 3 || s.Relocs != 1 || s.Bytes == 0 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+// TestDecodedProgramSimulatesIdentically: the decoded image must be
+// indistinguishable from the in-memory program to the whole machine —
+// same cycles, same committed instructions, same injected µops.
+func TestDecodedProgramSimulatesIdentically(t *testing.T) {
+	prof := workload.ByName("mcf")
+	p, err := prof.Build(0.05)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	q, err := Decode(Encode(p))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	run := func(prog *asm.Program) *pipeline.Result {
+		cfg := pipeline.DefaultConfig()
+		cfg.Variant = decode.VariantMicrocodePrediction
+		cfg.MaxInsts = 150_000
+		sim := pipeline.New(prog, cfg, 1)
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	a, b := run(p), run(q)
+	if a.Cycles != b.Cycles || a.MacroInsts != b.MacroInsts || a.InjectedUops != b.InjectedUops {
+		t.Fatalf("decoded image diverges: cycles %d vs %d, insts %d vs %d, injected %d vs %d",
+			a.Cycles, b.Cycles, a.MacroInsts, b.MacroInsts, a.InjectedUops, b.InjectedUops)
+	}
+}

@@ -1,0 +1,274 @@
+// Package patterns implements the temporal pointer access pattern analysis
+// of Section V-B (Table II): classification of the per-instruction-address
+// PID sequences observed at pointer reloads into the eight pattern kinds
+// the paper identifies, with stride extraction. These patterns — keyed by
+// instruction address rather than effective address — are what make the
+// stride-based pointer-reload predictor effective.
+package patterns
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is one of the temporal pointer access patterns of Table II.
+type Kind uint8
+
+const (
+	Constant Kind = iota
+	Stride
+	BatchStride
+	BatchNoStride
+	RepeatStride
+	RepeatNoStride
+	RandomStride
+	RandomNoStride
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"Constant",
+	"Stride",
+	"Batch + Stride",
+	"Batch + No Stride",
+	"Repeat + Stride",
+	"Repeat + No Stride",
+	"Random + Stride",
+	"Random + No Stride",
+}
+
+// String names the pattern as in Table II.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return "pattern?"
+}
+
+// Predictable reports whether a stride predictor with a short warm-up
+// captures the pattern.
+func (k Kind) Predictable() bool {
+	switch k {
+	case Constant, Stride, BatchStride, RepeatStride:
+		return true
+	}
+	return false
+}
+
+// Classification is the result of analyzing one PID sequence.
+type Classification struct {
+	Kind   Kind
+	Stride int64 // meaningful for the *Stride kinds
+	Batch  int   // batch length for Batch kinds, period for Repeat kinds
+}
+
+// String renders the classification.
+func (c Classification) String() string {
+	switch c.Kind {
+	case Stride, BatchStride, RepeatStride:
+		return fmt.Sprintf("%s (stride %d)", c.Kind, c.Stride)
+	}
+	return c.Kind.String()
+}
+
+// dedupeBatches collapses immediate repetitions, returning the collapsed
+// sequence and the (min) batch length.
+func dedupeBatches(seq []int64) (heads []int64, batch int) {
+	if len(seq) == 0 {
+		return nil, 0
+	}
+	batch = len(seq)
+	run := 1
+	heads = append(heads, seq[0])
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == seq[i-1] {
+			run++
+			continue
+		}
+		if run < batch {
+			batch = run
+		}
+		run = 1
+		heads = append(heads, seq[i])
+	}
+	if run < batch {
+		batch = run
+	}
+	return heads, batch
+}
+
+// constantStride returns the common difference of seq, or (0, false).
+func constantStride(seq []int64) (int64, bool) {
+	if len(seq) < 2 {
+		return 0, false
+	}
+	d := seq[1] - seq[0]
+	for i := 2; i < len(seq); i++ {
+		if seq[i]-seq[i-1] != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
+// repeatPeriod returns the smallest period p (2..maxP) such that seq is a
+// repetition of its first p elements, or 0.
+func repeatPeriod(seq []int64, maxP int) int {
+	for p := 2; p <= maxP && p*2 <= len(seq); p++ {
+		ok := true
+		for i := p; i < len(seq); i++ {
+			if seq[i] != seq[i%p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	return 0
+}
+
+// strideDominant reports whether the majority of successive differences
+// share one value, returning that stride.
+func strideDominant(seq []int64) (int64, bool) {
+	if len(seq) < 3 {
+		return 0, false
+	}
+	counts := make(map[int64]int)
+	for i := 1; i < len(seq); i++ {
+		counts[seq[i]-seq[i-1]]++
+	}
+	var best int64
+	bestN := 0
+	for d, n := range counts {
+		if n > bestN {
+			best, bestN = d, n
+		}
+	}
+	if bestN*2 >= len(seq)-1 && best != 0 {
+		return best, true
+	}
+	return 0, false
+}
+
+// Classify analyzes the temporal PID sequence observed at one load
+// instruction and assigns it a Table II pattern kind.
+func Classify(seq []int64) Classification {
+	if len(seq) == 0 {
+		return Classification{Kind: RandomNoStride}
+	}
+	allSame := true
+	for _, v := range seq {
+		if v != seq[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return Classification{Kind: Constant, Stride: 0}
+	}
+
+	heads, batch := dedupeBatches(seq)
+
+	if d, ok := constantStride(heads); ok {
+		if batch > 1 {
+			return Classification{Kind: BatchStride, Stride: d, Batch: batch}
+		}
+		return Classification{Kind: Stride, Stride: d}
+	}
+
+	if p := repeatPeriod(heads, 8); p > 0 {
+		if d, ok := constantStride(heads[:p]); ok {
+			return Classification{Kind: RepeatStride, Stride: d, Batch: p}
+		}
+		return Classification{Kind: RepeatNoStride, Batch: p}
+	}
+
+	if batch > 1 {
+		// A dominant (if not perfectly constant) stride between batch
+		// heads still counts as Batch + Stride: allocation churn replaces
+		// individual identifiers without destroying the striding shape.
+		if d, ok := strideDominant(heads); ok {
+			return Classification{Kind: BatchStride, Stride: d, Batch: batch}
+		}
+		return Classification{Kind: BatchNoStride, Batch: batch}
+	}
+
+	if d, ok := strideDominant(heads); ok {
+		return Classification{Kind: RandomStride, Stride: d}
+	}
+	return Classification{Kind: RandomNoStride}
+}
+
+// Collector accumulates per-instruction-address PID sequences (the
+// Table II measurement probe). Sequences are capped to bound memory.
+type Collector struct {
+	MaxPerPC int
+	seqs     map[uint64][]int64
+}
+
+// NewCollector returns a collector capping each PC's recorded sequence at
+// maxPerPC observations (0 means 4096).
+func NewCollector(maxPerPC int) *Collector {
+	if maxPerPC <= 0 {
+		maxPerPC = 4096
+	}
+	return &Collector{MaxPerPC: maxPerPC, seqs: make(map[uint64][]int64)}
+}
+
+// Observe records one pointer reload.
+func (c *Collector) Observe(pc uint64, pid int64) {
+	s := c.seqs[pc]
+	if len(s) >= c.MaxPerPC {
+		return
+	}
+	c.seqs[pc] = append(s, pid)
+}
+
+// PCs returns the instruction addresses observed, sorted.
+func (c *Collector) PCs() []uint64 {
+	pcs := make([]uint64, 0, len(c.seqs))
+	for pc := range c.seqs {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
+
+// Seq returns the PID sequence observed at pc.
+func (c *Collector) Seq(pc uint64) []int64 { return c.seqs[pc] }
+
+// Summary tallies classifications over all observed PCs, weighting each PC
+// by its observation count.
+func (c *Collector) Summary() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, s := range c.seqs {
+		if len(s) < 4 {
+			continue
+		}
+		out[Classify(s).Kind]++
+	}
+	return out
+}
+
+// Format renders the summary as a Table II-style report.
+func (c *Collector) Format() string {
+	sum := c.Summary()
+	total := 0
+	for _, n := range sum {
+		total += n
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %8s %8s\n", "Pattern", "PCs", "Share")
+	for k := Kind(0); k < NumKinds; k++ {
+		n := sum[k]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(n) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-20s %8d %7.1f%%\n", k, n, share)
+	}
+	return b.String()
+}

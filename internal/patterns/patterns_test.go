@@ -1,0 +1,156 @@
+package patterns
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqOf(kind Kind, n int, rng *rand.Rand) []int64 {
+	out := make([]int64, 0, n)
+	switch kind {
+	case Constant:
+		for i := 0; i < n; i++ {
+			out = append(out, 31)
+		}
+	case Stride:
+		for i := 0; i < n; i++ {
+			out = append(out, 13+int64(i)*3)
+		}
+	case BatchStride:
+		for i := 0; i < n; i++ {
+			out = append(out, 11+int64(i/4)*4)
+		}
+	case BatchNoStride:
+		cur := int64(0)
+		for i := 0; i < n; i++ {
+			if i%4 == 0 {
+				cur = rng.Int63n(1000) + 1
+			}
+			out = append(out, cur)
+		}
+	case RepeatStride:
+		base := []int64{26, 27, 28}
+		for i := 0; i < n; i++ {
+			out = append(out, base[i%3])
+		}
+	case RepeatNoStride:
+		base := []int64{26, 57, 5}
+		for i := 0; i < n; i++ {
+			out = append(out, base[i%3])
+		}
+	case RandomStride:
+		cur := int64(100)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.8 {
+				cur += 2
+			} else {
+				cur = rng.Int63n(1000) + 1
+			}
+			out = append(out, cur)
+		}
+	default: // RandomNoStride
+		for i := 0; i < n; i++ {
+			out = append(out, rng.Int63n(1_000_000)+1)
+		}
+	}
+	return out
+}
+
+// TestClassifyTableII generates the exact example shapes of Table II and
+// checks the classification.
+func TestClassifyTableII(t *testing.T) {
+	cases := []struct {
+		seq  []int64
+		want Kind
+	}{
+		{[]int64{31, 31, 31, 31, 31, 31, 31}, Constant},
+		{[]int64{13, 16, 19, 22, 25, 28, 31}, Stride},
+		{[]int64{11, 11, 11, 15, 15, 15, 15, 19, 19, 19, 19}, BatchStride},
+		{[]int64{26, 27, 28, 26, 27, 28, 26, 27, 28}, RepeatStride},
+		{[]int64{26, 57, 5, 26, 57, 5, 26, 57, 5}, RepeatNoStride},
+	}
+	for _, c := range cases {
+		if got := Classify(c.seq).Kind; got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestClassifyGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []Kind{Constant, Stride, BatchStride, RepeatStride, RepeatNoStride} {
+		seq := seqOf(kind, 60, rng)
+		if got := Classify(seq).Kind; got != kind {
+			t.Errorf("generated %v classified as %v", kind, got)
+		}
+	}
+	// Random sequences must not be classified as predictable.
+	seq := seqOf(RandomNoStride, 60, rng)
+	if got := Classify(seq).Kind; got.Predictable() {
+		t.Errorf("random sequence classified as predictable %v", got)
+	}
+}
+
+func TestStrideExtraction(t *testing.T) {
+	c := Classify([]int64{13, 16, 19, 22, 25})
+	if c.Kind != Stride || c.Stride != 3 {
+		t.Fatalf("stride classification %+v", c)
+	}
+	c = Classify([]int64{11, 11, 11, 11, 15, 15, 15, 15})
+	if c.Kind != BatchStride || c.Stride != 4 || c.Batch != 4 {
+		t.Fatalf("batch classification %+v", c)
+	}
+}
+
+// TestPredictableClosedUnderPrefix: dropping the tail of a predictable
+// sequence never turns it into a *worse-than-random* classification panic;
+// Classify is total.
+func TestClassifyTotal(t *testing.T) {
+	f := func(raw []int16) bool {
+		seq := make([]int64, len(raw))
+		for i, v := range raw {
+			seq[i] = int64(v)
+		}
+		_ = Classify(seq) // must not panic for any input
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector(8)
+	for i := 0; i < 20; i++ {
+		c.Observe(0x100, 7)
+		c.Observe(0x200, int64(i+1))
+	}
+	if len(c.Seq(0x100)) != 8 {
+		t.Fatal("per-PC cap not enforced")
+	}
+	if len(c.PCs()) != 2 {
+		t.Fatal("PC enumeration wrong")
+	}
+	sum := c.Summary()
+	if sum[Constant] != 1 || sum[Stride] != 1 {
+		t.Fatalf("summary %v", sum)
+	}
+	if s := c.Format(); len(s) == 0 {
+		t.Fatal("empty format")
+	}
+}
+
+func TestEmptyAndShortSequences(t *testing.T) {
+	if Classify(nil).Kind != RandomNoStride {
+		t.Fatal("empty sequence defaults to random")
+	}
+	if Classify([]int64{5}).Kind != Constant {
+		t.Fatal("singleton is constant")
+	}
+	col := NewCollector(0)
+	col.Observe(1, 2)
+	if n := len(col.Summary()); n != 0 {
+		t.Fatal("sequences shorter than 4 are not classified")
+	}
+}

@@ -1,0 +1,176 @@
+// Package pipeline implements the out-of-order timing model of the
+// simulated machine (Table III) and orchestrates the full CHEx86 stack on
+// top of the functional emulator: branch prediction, CISC→µop decode,
+// microcode customization, speculative pointer tracking with alias
+// prediction, capability generation/validation/free, and the memory
+// hierarchy — for every protection variant evaluated in the paper.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"chex86/internal/core"
+	"chex86/internal/decode"
+)
+
+// Config describes the simulated machine and protection scheme.
+type Config struct {
+	// Table III baseline processor parameters.
+	FrequencyGHz  float64
+	FetchWidth    int // fused µops (macro-ops) per cycle
+	IssueWidth    int // unfused µops per cycle
+	CommitWidth   int // unfused µops per cycle
+	ROBSize       int
+	IQSize        int
+	LQSize        int
+	SQSize        int
+	IntALU        int
+	IntMult       int
+	FPALU         int
+	SIMD          int
+	LoadPorts     int
+	StorePorts    int
+	BranchUnits   int
+	FrontendDepth uint64 // fetch-to-dispatch depth in cycles
+	RedirectCost  uint64 // additional redirect penalty on squash
+
+	// Memory hierarchy.
+	L1ISizeKB   int
+	L1IWays     int
+	L1DSizeKB   int
+	L1DWays     int
+	L2SizeKB    int
+	L2Ways      int
+	LLCSizeKB   int
+	LLCWays     int
+	LineSize    uint64
+	L1Latency   uint64
+	L2Latency   uint64
+	LLCLatency  uint64
+	DRAMLatency uint64
+	DRAMCycLine uint64 // DRAM channel occupancy per line (bandwidth limit)
+	TLBEntries  int
+	TLBWays     int
+	TLBWalkCost uint64
+
+	// CHEx86 structures.
+	ShadowCacheKB     int // dedicated shadow-structure cache (0 disables)
+	CapCacheEntries   int // 64 in the default design (Figure 7 sweeps 128)
+	AliasCacheEntries int // 256 (Figure 7 sweeps 512)
+	AliasVictim       int // 32-entry victim cache
+	PredictorEntries  int // 512 (Figure 8 sweeps 1024/2048)
+	MaxAllocSize      uint64
+
+	// Protection scheme and context-sensitivity policy.
+	Variant decode.Variant
+	Context core.ContextPolicy
+
+	// EnableChecker runs the hardware checker co-processor alongside
+	// execution (the offline rule-validation mode of Section V-A).
+	EnableChecker bool
+
+	// StopOnViolation aborts simulation at the first capability violation
+	// (security-evaluation mode). When false, violations are recorded and
+	// execution continues.
+	StopOnViolation bool
+
+	// MaxInsts bounds the simulated macro-op count (0 = run to program
+	// completion).
+	MaxInsts uint64
+
+	// WarmupInsts excludes the first N macro-ops from the reported timing
+	// and statistics (the SimPoint-style measurement the paper uses:
+	// representative regions, not program setup). Simulation state —
+	// caches, predictors, shadow tables — is fully warmed by the excluded
+	// prefix.
+	WarmupInsts uint64
+
+	// Ablation knobs (not part of the paper's design; used by the
+	// ablation benches to attribute overhead to individual mechanisms).
+
+	// IdealShadowLatency makes shadow capability-table accesses free on
+	// capability-cache misses (the table contributes traffic only).
+	IdealShadowLatency bool
+
+	// NoAliasWalks disables shadow alias-table walk traffic and latency on
+	// alias-cache misses (misprediction detection becomes free).
+	NoAliasWalks bool
+
+	// NoPrefetch disables the streaming prefetcher in the memory
+	// hierarchy.
+	NoPrefetch bool
+}
+
+// DefaultConfig returns the Table III machine with the default CHEx86
+// structure sizes and the microcode prediction-driven variant.
+func DefaultConfig() Config {
+	return Config{
+		FrequencyGHz:  3.4,
+		FetchWidth:    4,
+		IssueWidth:    6,
+		CommitWidth:   8,
+		ROBSize:       224,
+		IQSize:        64,
+		LQSize:        72,
+		SQSize:        56,
+		IntALU:        6,
+		IntMult:       1,
+		FPALU:         3,
+		SIMD:          3,
+		LoadPorts:     2,
+		StorePorts:    1,
+		BranchUnits:   2,
+		FrontendDepth: 5,
+		RedirectCost:  12,
+
+		L1ISizeKB:   32,
+		L1IWays:     8,
+		L1DSizeKB:   32,
+		L1DWays:     8,
+		L2SizeKB:    256,
+		L2Ways:      8,
+		LLCSizeKB:   8192,
+		LLCWays:     16,
+		LineSize:    64,
+		L1Latency:   4,
+		L2Latency:   12,
+		LLCLatency:  40,
+		DRAMLatency: 200,
+		DRAMCycLine: 5, // ~43 GB/s at 3.4 GHz with 64-B lines
+		TLBEntries:  64,
+		TLBWays:     4,
+		TLBWalkCost: 20,
+
+		ShadowCacheKB:     32,
+		CapCacheEntries:   64,
+		AliasCacheEntries: 256,
+		AliasVictim:       32,
+		PredictorEntries:  512,
+		MaxAllocSize:      1 << 30,
+
+		Variant: decode.VariantMicrocodePrediction,
+		Context: core.Always(),
+	}
+}
+
+// FormatTableIII renders the configuration as the paper's Table III.
+func (c *Config) FormatTableIII() string {
+	var b strings.Builder
+	b.WriteString("TABLE III: HARDWARE CONFIGURATION OF THE SIMULATED SYSTEM\n")
+	row := func(k1, v1, k2, v2 string) {
+		fmt.Fprintf(&b, "  %-16s %-22s %-12s %s\n", k1, v1, k2, v2)
+	}
+	row("Frequency", fmt.Sprintf("%.1f GHz", c.FrequencyGHz), "I cache", fmt.Sprintf("%d KB, %d way", c.L1ISizeKB, c.L1IWays))
+	row("Fetch width", fmt.Sprintf("%d fused uops", c.FetchWidth), "D cache", fmt.Sprintf("%d KB, %d way", c.L1DSizeKB, c.L1DWays))
+	row("Issue width", fmt.Sprintf("%d unfused uops", c.IssueWidth), "ROB size", fmt.Sprintf("%d entries", c.ROBSize))
+	row("IQ", fmt.Sprintf("%d entries", c.IQSize), "LQ/SQ size", fmt.Sprintf("%d/%d entries", c.LQSize, c.SQSize))
+	row("Branch Predictor", "LTAGE", "BTB size", "4096 entries")
+	row("RAS size", "64 entries", "Functional",
+		fmt.Sprintf("Int ALU (%d) / Mult (%d),", c.IntALU, c.IntMult))
+	row("Cap cache", fmt.Sprintf("%d entries", c.CapCacheEntries), "Units",
+		fmt.Sprintf("FPALU (%d) / SIMD (%d)", c.FPALU, c.SIMD))
+	row("Alias cache", fmt.Sprintf("%d+%d entries", c.AliasCacheEntries, c.AliasVictim),
+		"Alias pred.", fmt.Sprintf("%d entries", c.PredictorEntries))
+	return b.String()
+}

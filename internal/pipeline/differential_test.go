@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/decode"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+)
+
+// randomSafeProgram generates a random but memory-safe-by-construction
+// guest program: all heap accesses are bounded by construction, frees are
+// balanced, and control flow is structured. Used for differential testing
+// across protection variants.
+func randomSafeProgram(rng *rand.Rand) *asm.Program {
+	b := asm.NewBuilder()
+	const bufWords = 16
+
+	nBufs := rng.Intn(3) + 1
+	ptrRegs := []isa.Reg{isa.R12, isa.R13, isa.R14}[:nBufs]
+	for _, r := range ptrRegs {
+		b.MovRI(isa.RDI, bufWords*8)
+		b.CallAddr(heap.MallocEntry)
+		b.MovRR(r, isa.RAX)
+	}
+
+	scratch := []isa.Reg{isa.RAX, isa.RBX, isa.RDX, isa.RSI, isa.R8, isa.R9}
+	label := 0
+	for block := 0; block < rng.Intn(6)+2; block++ {
+		switch rng.Intn(5) {
+		case 0: // bounded store loop over a random buffer
+			p := ptrRegs[rng.Intn(nBufs)]
+			label++
+			l := "blk" + string(rune('a'+label))
+			b.MovRI(isa.RCX, 0)
+			b.Label(l)
+			b.StoreIdx(p, isa.RCX, 8, 0, isa.RCX)
+			b.AddRI(isa.RCX, 1)
+			b.CmpRI(isa.RCX, int64(rng.Intn(bufWords)+1))
+			b.Jcc(isa.CondL, l)
+		case 1: // bounded loads and arithmetic
+			p := ptrRegs[rng.Intn(nBufs)]
+			off := int64(rng.Intn(bufWords)) * 8
+			r := scratch[rng.Intn(len(scratch))]
+			b.Load(r, p, off)
+			b.AddRI(r, int64(rng.Intn(100)))
+		case 2: // register compute
+			r1 := scratch[rng.Intn(len(scratch))]
+			r2 := scratch[rng.Intn(len(scratch))]
+			b.MovRI(r1, int64(rng.Intn(1000)))
+			b.Alu(isa.XOR, isa.RegOp(r1), isa.RegOp(r2))
+			b.Alu(isa.IMUL, isa.RegOp(r1), isa.ImmOp(int64(rng.Intn(7)+1)))
+		case 3: // pointer arithmetic staying in bounds
+			p := ptrRegs[rng.Intn(nBufs)]
+			b.MovRR(isa.RBX, p)
+			b.AddRI(isa.RBX, int64(rng.Intn(bufWords))*8)
+			b.Load(isa.RDX, isa.RBX, 0)
+			b.SubRI(isa.RBX, 8*2)
+			_ = p
+		case 4: // spill/reload through the stack
+			p := ptrRegs[rng.Intn(nBufs)]
+			b.Push(p)
+			b.MovRI(isa.R10, 0)
+			b.Pop(isa.R10)
+			b.Load(isa.RDX, isa.R10, int64(rng.Intn(bufWords))*8)
+		}
+	}
+
+	// Balanced frees.
+	for _, r := range ptrRegs {
+		b.MovRR(isa.RDI, r)
+		b.CallAddr(heap.FreeEntry)
+	}
+	b.Hlt()
+	return b.MustBuild()
+}
+
+// TestDifferentialRandomPrograms: random memory-safe programs must run
+// without violations under every tracked variant, produce identical
+// architectural results across variants, and produce identical cycle
+// counts on repeated runs.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	variants := []decode.Variant{
+		decode.VariantHardwareOnly,
+		decode.VariantBinaryTranslation,
+		decode.VariantMicrocodeAlwaysOn,
+		decode.VariantMicrocodePrediction,
+	}
+	for trial := 0; trial < 30; trial++ {
+		seed := rng.Int63()
+		build := func() *asm.Program { return randomSafeProgram(rand.New(rand.NewSource(seed))) }
+
+		// Reference run: insecure baseline's final architectural state.
+		cfg := DefaultConfig()
+		cfg.Variant = decode.VariantInsecure
+		cfg.StopOnViolation = true
+		ref := New(build(), cfg, 1)
+		if _, err := ref.Run(); err != nil {
+			t.Fatalf("trial %d: baseline error: %v", trial, err)
+		}
+		refRegs := ref.M.Harts[0].Regs
+
+		for _, v := range variants {
+			cfg := DefaultConfig()
+			cfg.Variant = v
+			cfg.StopOnViolation = true
+			sim := New(build(), cfg, 1)
+			if _, err := sim.Run(); err != nil {
+				t.Fatalf("trial %d (seed %d) variant %v: false positive: %v", trial, seed, v, err)
+			}
+			// One-word pointer arithmetic aside, architectural state must
+			// match the baseline exactly (the protection is transparent).
+			if sim.M.Harts[0].Regs != refRegs {
+				t.Fatalf("trial %d variant %v: architectural divergence", trial, v)
+			}
+		}
+	}
+}
+
+// TestRandomProgramsBoundedOverhead: across random safe programs, the
+// prediction-driven variant's slowdown stays within a sane envelope — it
+// must never be pathological on arbitrary (if small) code shapes.
+func TestRandomProgramsBoundedOverhead(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		seed := rng.Int63()
+		build := func() *asm.Program { return randomSafeProgram(rand.New(rand.NewSource(seed))) }
+
+		base := DefaultConfig()
+		base.Variant = decode.VariantInsecure
+		rb, err := New(build(), base, 1).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := New(build(), DefaultConfig(), 1).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := float64(rp.Cycles) / float64(rb.Cycles)
+		if slow > 2.0 {
+			t.Errorf("trial %d (seed %d): pathological slowdown %.2fx", trial, seed, slow)
+		}
+	}
+}

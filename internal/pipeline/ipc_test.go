@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/decode"
+	"chex86/internal/isa"
+)
+
+// TestIPCIndependentALU checks that independent ALU work saturates the
+// 4-wide fetch front-end.
+func TestIPCIndependentALU(t *testing.T) {
+	b := asm.NewBuilder()
+	b.MovRI(isa.RCX, 2000)
+	b.Label("loop")
+	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RDX, isa.RSI, isa.R8, isa.R9, isa.R10, isa.R11}
+	for i := 0; i < 16; i++ {
+		b.AddRI(regs[i%len(regs)], 1)
+	}
+	b.SubRI(isa.RCX, 1)
+	b.CmpRI(isa.RCX, 0)
+	b.Jcc(isa.CondG, "loop")
+	b.Hlt()
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.Variant = decode.VariantInsecure
+	res, err := New(p, cfg, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("independent ALU: IPC=%.2f (insts=%d cycles=%d)\n", res.IPC(), res.MacroInsts, res.Cycles)
+	if res.IPC() < 3.0 {
+		t.Errorf("independent ALU IPC %.2f, want near fetch width 4", res.IPC())
+	}
+}
+
+// TestIPCDependentChain checks that a serial dependence chain runs at ~1
+// uop/cycle.
+func TestIPCDependentChain(t *testing.T) {
+	b := asm.NewBuilder()
+	b.MovRI(isa.RCX, 2000)
+	b.Label("loop")
+	for i := 0; i < 16; i++ {
+		b.AddRI(isa.RAX, 1) // serial chain
+	}
+	b.SubRI(isa.RCX, 1)
+	b.CmpRI(isa.RCX, 0)
+	b.Jcc(isa.CondG, "loop")
+	b.Hlt()
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.Variant = decode.VariantInsecure
+	res, err := New(p, cfg, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("dependent chain: IPC=%.2f\n", res.IPC())
+	if res.IPC() > 1.4 || res.IPC() < 0.7 {
+		t.Errorf("dependent chain IPC %.2f, want ~1", res.IPC())
+	}
+}
+
+// TestIPCStreamLoads checks pipelined L1-hitting loads.
+func TestIPCStreamLoads(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Global("arr", 0x600000, 1<<14)
+	b.MovRI(isa.RBX, 0x600000)
+	b.MovRI(isa.RCX, 0)
+	b.Label("loop")
+	b.LoadIdx(isa.RDX, isa.RBX, isa.RCX, 8, 0)
+	b.AddRR(isa.RSI, isa.RDX)
+	b.LoadIdx(isa.R8, isa.RBX, isa.RCX, 8, 8)
+	b.AddRR(isa.R9, isa.R8)
+	b.AddRI(isa.RCX, 2)
+	b.CmpRI(isa.RCX, 2000)
+	b.Jcc(isa.CondL, "loop")
+	b.Hlt()
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.Variant = decode.VariantInsecure
+	res, err := New(p, cfg, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("stream loads: IPC=%.2f L1Dmiss=%.3f\n", res.IPC(), res.L1D.MissRate())
+	if res.IPC() < 2.0 {
+		t.Errorf("stream load IPC %.2f too low", res.IPC())
+	}
+}

@@ -1,0 +1,165 @@
+package pipeline
+
+// This file implements the scheduling resources of the one-pass
+// out-of-order timing model: per-cycle bandwidth counters (issue width,
+// commit width, functional-unit pools) and in-order occupancy rings (ROB,
+// IQ, LQ, SQ). The model processes the committed micro-op trace in a
+// single pass, computing for every micro-op its fetch, dispatch, issue,
+// completion, and commit cycles subject to these resource constraints —
+// the standard trace-driven instruction-window timing approach.
+
+// bwWindow is the sliding-window size for bandwidth counters. It must
+// exceed the maximum spread between the oldest and newest in-flight cycle,
+// which is bounded by ROB occupancy times worst-case memory latency.
+const bwWindow = 1 << 16
+
+// bandwidth models a per-cycle issue/commit/FU bandwidth limit using a
+// sliding window of per-cycle counters.
+type bandwidth struct {
+	width  uint32
+	base   uint64 // first cycle represented by counts[0]
+	counts [bwWindow]uint32
+}
+
+func newBandwidth(width int) *bandwidth {
+	return &bandwidth{width: uint32(width)}
+}
+
+// reserve finds the first cycle at or after want with spare bandwidth,
+// consumes one slot, and returns that cycle.
+func (b *bandwidth) reserve(want uint64) uint64 {
+	if want < b.base {
+		want = b.base
+	}
+	// Slide the window forward if want runs past it.
+	if want >= b.base+bwWindow {
+		shift := want - b.base - bwWindow/2
+		b.slide(shift)
+	}
+	for {
+		idx := (want - b.base) % bwWindow
+		if want >= b.base+bwWindow {
+			b.slide(want - b.base - bwWindow/2)
+			idx = (want - b.base) % bwWindow
+		}
+		if b.counts[idx] < b.width {
+			b.counts[idx]++
+			return want
+		}
+		want++
+	}
+}
+
+// slide advances the window base by shift cycles, discarding old counters.
+func (b *bandwidth) slide(shift uint64) {
+	if shift >= bwWindow {
+		for i := range b.counts {
+			b.counts[i] = 0
+		}
+		b.base += shift
+		return
+	}
+	for i := uint64(0); i < shift; i++ {
+		b.counts[(b.base+i)%bwWindow] = 0
+	}
+	b.base += shift
+}
+
+// occupancyRing models an in-order-allocated, capacity-limited structure
+// (ROB, IQ, LQ, SQ): entry i cannot allocate until entry i-capacity has
+// released. release cycles are recorded in allocation order.
+type occupancyRing struct {
+	capacity int
+	releases []uint64 // circular: release cycle of the (i mod cap)-th entry
+	count    uint64   // total allocations so far
+}
+
+func newOccupancyRing(capacity int) *occupancyRing {
+	return &occupancyRing{capacity: capacity, releases: make([]uint64, capacity)}
+}
+
+// allocate returns the earliest cycle (at or after want) at which a new
+// entry can be allocated; the caller must follow with release().
+func (r *occupancyRing) allocate(want uint64) uint64 {
+	if r.count >= uint64(r.capacity) {
+		// The slot reused by this entry frees when its previous occupant
+		// released.
+		if prev := r.releases[r.count%uint64(r.capacity)]; prev > want {
+			want = prev
+		}
+	}
+	return want
+}
+
+// release records the release cycle of the most recently allocated entry.
+func (r *occupancyRing) release(cycle uint64) {
+	r.releases[r.count%uint64(r.capacity)] = cycle
+	r.count++
+}
+
+// issueWindow models a capacity-limited structure whose entries free
+// out-of-order (the instruction queue: entries release at issue). A new
+// entry can dispatch once fewer than capacity older entries remain
+// unissued — i.e., no earlier than the capacity-th largest issue time seen
+// so far. A size-capacity min-heap of the largest issue times yields that
+// bound exactly.
+type issueWindow struct {
+	capacity int
+	heap     []uint64 // min-heap of the `capacity` largest issue times
+}
+
+func newIssueWindow(capacity int) *issueWindow {
+	return &issueWindow{capacity: capacity}
+}
+
+// bound returns the earliest cycle at which a new entry may dispatch.
+func (w *issueWindow) bound() uint64 {
+	if len(w.heap) < w.capacity {
+		return 0
+	}
+	return w.heap[0]
+}
+
+// add records an entry's issue time.
+func (w *issueWindow) add(issue uint64) {
+	if len(w.heap) < w.capacity {
+		w.heap = append(w.heap, issue)
+		i := len(w.heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if w.heap[p] <= w.heap[i] {
+				break
+			}
+			w.heap[p], w.heap[i] = w.heap[i], w.heap[p]
+			i = p
+		}
+		return
+	}
+	if issue <= w.heap[0] {
+		return
+	}
+	w.heap[0] = issue
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(w.heap) && w.heap[l] < w.heap[small] {
+			small = l
+		}
+		if r < len(w.heap) && w.heap[r] < w.heap[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		w.heap[i], w.heap[small] = w.heap[small], w.heap[i]
+		i = small
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

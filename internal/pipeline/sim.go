@@ -1,0 +1,603 @@
+package pipeline
+
+import (
+	"chex86/internal/asm"
+	"chex86/internal/branch"
+	"chex86/internal/cache"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/emu"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+	"chex86/internal/tracker"
+)
+
+// Result aggregates a simulation run's outcome for the paper's figures.
+type Result struct {
+	Variant decode.Variant
+
+	// Timing.
+	Cycles        uint64
+	MacroInsts    uint64
+	NativeUops    uint64
+	InjectedUops  uint64
+	SquashCycles  uint64
+	Redirects     uint64
+	AliasFlushes  uint64
+	MSROMMacros   uint64
+	AllocatorUops uint64
+	CapMissLat    uint64 // aggregate shadow-table latency on capability checks
+	WalkLat       uint64 // aggregate alias-table walk latency
+	ChecksRun     uint64 // functional capability checks performed
+	GatedMem      uint64 // memory uops gated on a capability-check token
+
+	// Structures.
+	CapCache   cache.Stats
+	AliasCache cache.Stats
+	Predictor  tracker.PredictorStats
+	Engine     tracker.EngineStats
+	Branch     branch.Stats
+	L1D        cache.Stats
+	L1I        cache.Stats
+	L2         cache.Stats
+	LLC        cache.Stats
+	ShadowC    cache.Stats
+	TLB        mem.TLBStats
+
+	// Memory system.
+	DRAMBytes   uint64
+	UserRSS     uint64
+	ShadowRSS   uint64
+	CapTable    core.TableStats
+	CapEntries  int
+	AliasEntry  int
+	AliasWalks  uint64
+	Invalidates uint64
+
+	// Security.
+	Violations []*core.Violation
+
+	// Checker (when enabled).
+	Checker    tracker.CheckerStats
+	Mismatches []tracker.Mismatch
+
+	cfg Config
+}
+
+// TotalUops returns native plus injected micro-ops.
+func (r *Result) TotalUops() uint64 { return r.NativeUops + r.InjectedUops }
+
+// UopTrace is one scheduled micro-op's pipeline timestamps.
+type UopTrace struct {
+	Core     int
+	RIP      uint64
+	Uop      string
+	Fetch    uint64
+	Dispatch uint64
+	Issue    uint64
+	Done     uint64
+	Commit   uint64
+}
+
+// UopExpansion returns dynamic micro-ops per macro-op (Figure 6 bottom).
+func (r *Result) UopExpansion() float64 {
+	if r.MacroInsts == 0 {
+		return 0
+	}
+	return float64(r.TotalUops()) / float64(r.MacroInsts)
+}
+
+// IPC returns committed macro-ops per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.MacroInsts) / float64(r.Cycles)
+}
+
+// Seconds converts cycles to simulated wall-clock time.
+func (r *Result) Seconds() float64 {
+	return float64(r.Cycles) / (r.cfg.FrequencyGHz * 1e9)
+}
+
+// BandwidthMBs returns DRAM traffic in MB/s of simulated time (Figure 9
+// bottom).
+func (r *Result) BandwidthMBs() float64 {
+	s := r.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.DRAMBytes) / 1e6 / s
+}
+
+// SquashPct returns the percentage of execution time spent squashing
+// (front-end blocked on mispredict recovery; Figure 8 bottom).
+func (r *Result) SquashPct() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(r.SquashCycles) / float64(r.Cycles)
+}
+
+// coreCtx is one core's pipeline and CHEx86 front-end state.
+type coreCtx struct {
+	id  int
+	cfg *Config
+
+	dec     decode.Decoder
+	bu      *branch.Unit
+	eng     *tracker.Engine
+	checker *tracker.Checker
+
+	capCache   *cache.KeyCache
+	aliasCache *cache.KeyCache
+	tlb        *mem.TLB
+	hier       cache.Hierarchy
+
+	// Front-end timing state.
+	fetchAt      uint64
+	macroLeft    int
+	uopLeft      int
+	blockedUntil uint64
+	curLine      uint64
+
+	// Back-end resources.
+	issueBW    *bandwidth
+	commitBW   *bandwidth
+	fuBW       [isa.NumFUClasses]*bandwidth
+	rob        *occupancyRing
+	iq         *issueWindow
+	lq         *occupancyRing
+	sq         *occupancyRing
+	fetchRing  *occupancyRing
+	regReady   [isa.NumRegs]uint64
+	lastCommit uint64
+
+	// Stats.
+	squashCycles  uint64
+	redirects     uint64
+	aliasFlushes  uint64
+	allocatorUops uint64
+	capMissLat    uint64 // total shadow-access latency charged to capChecks
+	walkLat       uint64 // total alias-walk latency charged
+	checksRun     uint64
+	gatedMem      uint64 // memory uops gated on a capability-check token
+
+	// Capability event state.
+	pendingGen     *core.Capability
+	pendingFreePID core.PID
+
+	done    bool
+	uopBuf  []isa.Uop
+	planBuf []uopPlan
+	recsRun uint64
+}
+
+// Sim runs one guest program on the simulated machine under one protection
+// variant.
+type Sim struct {
+	Cfg   Config
+	M     *emu.Machine
+	Table *core.Table
+	PT    *mem.PageTable
+	Ali   *tracker.AliasTable
+	MSRs  *core.MSRConfig
+	DB    *tracker.RuleDB
+
+	// Microcode is the writable microcode RAM holding field updates;
+	// matching macro-ops have their translation re-routed through it
+	// (Section I's unobtrusive-field-update mechanism).
+	Microcode *decode.Microcode
+
+	// TraceUop, when set, observes every scheduled micro-op with its
+	// pipeline timestamps (a debugging probe; adds no simulation cost when
+	// nil).
+	TraceUop func(t UopTrace)
+
+	llc  *cache.LineCache
+	dram *mem.DRAM
+
+	cores []*coreCtx
+	recQ  [][]*emu.Rec
+
+	Violations  []*core.Violation
+	invalidates uint64
+	warm        *Result // snapshot at the warmup boundary
+}
+
+// New constructs a simulation of prog under cfg with the given number of
+// harts (one core per hart).
+func New(prog *asm.Program, cfg Config, harts int) *Sim {
+	opts := emu.Options{Harts: harts, MaxInsts: cfg.MaxInsts}
+	if cfg.Variant == decode.VariantASan {
+		opts.RedzonePad = 32
+		opts.Quarantine = true
+	}
+	m := emu.New(prog, opts)
+
+	s := &Sim{
+		Cfg:       cfg,
+		M:         m,
+		PT:        mem.NewPageTable(),
+		MSRs:      core.NewMSRConfig(0),
+		DB:        tracker.NewRuleDB(),
+		Microcode: &decode.Microcode{},
+		dram:      mem.NewDRAM(cfg.DRAMLatency),
+	}
+	s.dram.CyclesPerLine = cfg.DRAMCycLine
+	s.dram.SetLanes(harts)
+	s.Table = core.NewTable(m.Mem)
+	s.Table.MaxAllocSize = cfg.MaxAllocSize
+	s.Ali = tracker.NewAliasTable(m.Mem, s.PT)
+	s.llc = cache.NewLineCache("LLC", cfg.LLCSizeKB*1024, cfg.LLCWays, cfg.LineSize, cfg.LLCLatency)
+
+	// OS kernel configuration: register the heap-management routines'
+	// entry/exit points and signatures in the MSRs (Section IV-C).
+	regs := []core.RegisteredFn{
+		{Kind: core.FnMalloc, Entry: heap.MallocEntry, Exit: heap.MallocExit, ArgReg: isa.RDI, RetReg: isa.RAX},
+		{Kind: core.FnCalloc, Entry: heap.CallocEntry, Exit: heap.CallocExit, ArgReg: isa.RDI, RetReg: isa.RAX},
+		{Kind: core.FnRealloc, Entry: heap.ReallocEntry, Exit: heap.ReallocExit, ArgReg: isa.RDI, RetReg: isa.RAX},
+		{Kind: core.FnFree, Entry: heap.FreeEntry, Exit: heap.FreeExit, ArgReg: isa.RDI},
+	}
+	for _, r := range regs {
+		if err := s.MSRs.Register(r); err != nil {
+			panic(err)
+		}
+	}
+
+	// Program load: initialize the shadow capability table from the symbol
+	// table and seed the shadow alias table from relocation entries.
+	if cfg.Variant.UsesTracker() {
+		for _, g := range prog.Globals {
+			pid := m.GlobalPIDs[g.Name]
+			s.Table.AddGlobal(pid, g.Addr, g.Size, g.ReadOnly)
+		}
+		for _, r := range prog.Relocs {
+			for _, g := range prog.Globals {
+				if g.Name == r.Target {
+					s.Ali.Set(r.Slot, m.GlobalPIDs[g.Name])
+					break
+				}
+			}
+		}
+	}
+
+	s.recQ = make([][]*emu.Rec, harts)
+	for i := 0; i < harts; i++ {
+		s.cores = append(s.cores, s.newCore(i))
+	}
+	return s
+}
+
+func (s *Sim) newCore(id int) *coreCtx {
+	cfg := &s.Cfg
+	c := &coreCtx{
+		id:         id,
+		cfg:        cfg,
+		bu:         branch.NewUnit(),
+		capCache:   core.NewCapCache(cfg.CapCacheEntries),
+		aliasCache: tracker.NewAliasCache(cfg.AliasCacheEntries, cfg.AliasVictim),
+		tlb:        mem.NewTLB(cfg.TLBEntries, cfg.TLBWays, s.PT),
+		issueBW:    newBandwidth(cfg.IssueWidth),
+		commitBW:   newBandwidth(cfg.CommitWidth),
+		rob:        newOccupancyRing(cfg.ROBSize),
+		fetchRing:  newOccupancyRing(cfg.ROBSize + 64),
+		iq:         newIssueWindow(cfg.IQSize),
+		lq:         newOccupancyRing(cfg.LQSize),
+		sq:         newOccupancyRing(cfg.SQSize),
+		macroLeft:  cfg.FetchWidth,
+		uopLeft:    cfg.IssueWidth,
+	}
+	c.eng = tracker.NewEngine(s.DB, s.Ali, tracker.NewAliasPredictor(cfg.PredictorEntries))
+	if cfg.EnableChecker {
+		c.checker = tracker.NewChecker(s.M.Truth, c.eng.Tags)
+	}
+	fuCounts := [isa.NumFUClasses]int{
+		isa.FUIntALU:     cfg.IntALU,
+		isa.FUIntMult:    cfg.IntMult,
+		isa.FUFPALU:      cfg.FPALU,
+		isa.FUSIMD:       cfg.SIMD,
+		isa.FULoad:       cfg.LoadPorts,
+		isa.FUStore:      cfg.StorePorts,
+		isa.FUBranchUnit: cfg.BranchUnits,
+	}
+	for f := isa.FUClass(0); f < isa.NumFUClasses; f++ {
+		c.fuBW[f] = newBandwidth(fuCounts[f])
+	}
+	c.hier = cache.Hierarchy{
+		Lane: id,
+		L1I:  cache.NewLineCache("L1I", cfg.L1ISizeKB*1024, cfg.L1IWays, cfg.LineSize, cfg.L1Latency),
+		L1D:  cache.NewLineCache("L1D", cfg.L1DSizeKB*1024, cfg.L1DWays, cfg.LineSize, cfg.L1Latency),
+		L2:   cache.NewLineCache("L2", cfg.L2SizeKB*1024, cfg.L2Ways, cfg.LineSize, cfg.L2Latency),
+		LLC:  s.llc,
+		Ram:  s.dram,
+	}
+	c.hier.NoPrefetch = cfg.NoPrefetch
+	if cfg.ShadowCacheKB > 0 {
+		c.hier.Shadow = cache.NewLineCache("shadow", cfg.ShadowCacheKB*1024, 8, cfg.LineSize, 4)
+	}
+	return c
+}
+
+// SetReloadHook installs a pointer-reload observer on every core's tracker
+// engine (the Table II pattern-collection probe).
+func (s *Sim) SetReloadHook(fn func(pc uint64, pid core.PID)) {
+	for _, c := range s.cores {
+		c.eng.ReloadHook = fn
+	}
+}
+
+// nextRec returns the next committed record for the given core, buffering
+// records belonging to other cores, or nil when the core's hart is done.
+func (s *Sim) nextRec(id int) (*emu.Rec, error) {
+	for {
+		if q := s.recQ[id]; len(q) > 0 {
+			rec := q[0]
+			s.recQ[id] = q[1:]
+			return rec, nil
+		}
+		rec, err := s.M.Step()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			return nil, nil
+		}
+		if rec.Core == id {
+			return rec, nil
+		}
+		s.recQ[rec.Core] = append(s.recQ[rec.Core], rec)
+	}
+}
+
+// Run simulates to completion (or the instruction budget, or the first
+// violation in StopOnViolation mode) and returns the aggregated result.
+func (s *Sim) Run() (*Result, error) {
+	for {
+		done, err := s.Step(1)
+		if err != nil {
+			return s.result(), err
+		}
+		if done {
+			return s.result(), nil
+		}
+	}
+}
+
+// Step advances the simulation by up to rounds macro-ops per core,
+// returning done=true when every core has drained. With StopOnViolation
+// set, the first violation is returned as the error. Step enables
+// time-shared execution of multiple processes (see TimeShare).
+func (s *Sim) Step(rounds int) (bool, error) {
+	for r := 0; r < rounds; r++ {
+		progress := false
+		for _, c := range s.cores {
+			if c.done {
+				continue
+			}
+			rec, err := s.nextRec(c.id)
+			if err != nil {
+				return false, err
+			}
+			if rec == nil {
+				c.done = true
+				continue
+			}
+			progress = true
+			if s.warm == nil && s.Cfg.WarmupInsts > 0 && s.M.TotalInsts() >= s.Cfg.WarmupInsts {
+				s.warm = s.result()
+			}
+			if v := s.processRec(c, rec); v != nil {
+				s.Violations = append(s.Violations, v)
+				if s.Cfg.StopOnViolation {
+					return false, v
+				}
+			}
+		}
+		if !progress {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Done reports whether every core has drained.
+func (s *Sim) Done() bool {
+	for _, c := range s.cores {
+		if !c.done {
+			return false
+		}
+	}
+	return true
+}
+
+// CurrentCycle returns the latest commit cycle across cores.
+func (s *Sim) CurrentCycle() uint64 {
+	var max uint64
+	for _, c := range s.cores {
+		if c.lastCommit > max {
+			max = c.lastCommit
+		}
+	}
+	return max
+}
+
+// Result aggregates and returns the statistics so far (callers normally
+// use Run's return value; TimeShare needs interim access).
+func (s *Sim) Result() *Result { return s.result() }
+
+// AdvanceTo raises every core's timeline floor to cycle (the wall-clock
+// position at which the process is rescheduled onto the hardware).
+func (s *Sim) AdvanceTo(cycle uint64) {
+	for _, c := range s.cores {
+		if c.fetchAt < cycle {
+			c.fetchAt = cycle
+			c.resetSlots()
+		}
+		if c.lastCommit < cycle {
+			c.lastCommit = cycle
+		}
+	}
+}
+
+// OnContextSwitchIn models being scheduled onto the core after another
+// process ran: the per-process security structures are cold — the OS
+// restored the MSRs (Section IV-C), but the capability cache, alias cache,
+// and TLB hold no entries for this address space.
+func (s *Sim) OnContextSwitchIn(kernelCost uint64) {
+	for _, c := range s.cores {
+		c.fetchAt += kernelCost
+		c.resetSlots()
+		// Cold per-process structures (statistics survive the flush).
+		c.capCache.Flush()
+		c.aliasCache.Flush()
+		c.tlb.Flush()
+	}
+}
+
+func (s *Sim) result() *Result {
+	r := &Result{Variant: s.Cfg.Variant, cfg: s.Cfg, Violations: s.Violations}
+	for _, c := range s.cores {
+		if c.lastCommit > r.Cycles {
+			r.Cycles = c.lastCommit
+		}
+		r.MacroInsts += c.dec.Stats.MacroOps
+		r.NativeUops += c.dec.Stats.NativeUops
+		r.InjectedUops += c.dec.Stats.InjectedUops
+		r.MSROMMacros += c.dec.Stats.MSROMMacros
+		r.SquashCycles += c.squashCycles
+		r.Redirects += c.redirects
+		r.AliasFlushes += c.aliasFlushes
+		r.AllocatorUops += c.allocatorUops
+		r.CapMissLat += c.capMissLat
+		r.WalkLat += c.walkLat
+		r.ChecksRun += c.checksRun
+		r.GatedMem += c.gatedMem
+
+		addStats(&r.CapCache, &c.capCache.Stats)
+		addStats(&r.AliasCache, &c.aliasCache.Stats)
+		addPred(&r.Predictor, &c.eng.Pred.Stats)
+		addEng(&r.Engine, &c.eng.Stats)
+		r.Branch.Lookups += c.bu.Dir.Stats.Lookups
+		r.Branch.DirMispred += c.bu.Dir.Stats.DirMispred
+		r.Branch.TargMispred += c.bu.Dir.Stats.TargMispred
+		addStats(&r.L1D, &c.hier.L1D.Stats)
+		addStats(&r.L1I, &c.hier.L1I.Stats)
+		addStats(&r.L2, &c.hier.L2.Stats)
+		if c.hier.Shadow != nil {
+			addStats(&r.ShadowC, &c.hier.Shadow.Stats)
+		}
+		r.TLB.Hits += c.tlb.Stats.Hits
+		r.TLB.Misses += c.tlb.Stats.Misses
+		if c.checker != nil {
+			r.Checker.Validations += c.checker.Stats.Validations
+			r.Checker.Matches += c.checker.Stats.Matches
+			r.Checker.Mismatches += c.checker.Stats.Mismatches
+			r.Mismatches = append(r.Mismatches, c.checker.Log...)
+		}
+	}
+	// With multiple cores the squash percentage is relative to aggregate
+	// core-cycles.
+	if n := uint64(len(s.cores)); n > 1 {
+		r.SquashCycles /= n
+	}
+	r.LLC = s.llc.Stats
+	r.DRAMBytes = s.dram.TotalBytes()
+	r.UserRSS = s.M.Mem.UserRSS()
+	r.ShadowRSS = s.M.Mem.ShadowRSS()
+	r.CapTable = s.Table.Stats
+	r.CapEntries = s.Table.Len()
+	r.AliasEntry = s.Ali.Entries()
+	r.AliasWalks = s.Ali.Walks
+	r.Invalidates = s.invalidates
+	if s.warm != nil {
+		subtractWarm(r, s.warm)
+	}
+	return r
+}
+
+// subtractWarm removes the warmup prefix's counters from the totals.
+// End-of-run state metrics (RSS, table sizes, violations) stay absolute.
+func subtractWarm(r, w *Result) {
+	r.Cycles -= minU64(w.Cycles, r.Cycles)
+	r.MacroInsts -= w.MacroInsts
+	r.NativeUops -= w.NativeUops
+	r.InjectedUops -= w.InjectedUops
+	r.SquashCycles -= minU64(w.SquashCycles, r.SquashCycles)
+	r.Redirects -= w.Redirects
+	r.AliasFlushes -= w.AliasFlushes
+	r.MSROMMacros -= w.MSROMMacros
+	r.AllocatorUops -= w.AllocatorUops
+	r.CapMissLat -= w.CapMissLat
+	r.WalkLat -= w.WalkLat
+	r.ChecksRun -= w.ChecksRun
+	r.GatedMem -= w.GatedMem
+	r.DRAMBytes -= w.DRAMBytes
+	r.AliasWalks -= w.AliasWalks
+	subStats(&r.CapCache, &w.CapCache)
+	subStats(&r.AliasCache, &w.AliasCache)
+	subStats(&r.L1D, &w.L1D)
+	subStats(&r.L1I, &w.L1I)
+	subStats(&r.L2, &w.L2)
+	subStats(&r.LLC, &w.LLC)
+	subStats(&r.ShadowC, &w.ShadowC)
+	r.TLB.Hits -= w.TLB.Hits
+	r.TLB.Misses -= w.TLB.Misses
+	r.Predictor.Lookups -= w.Predictor.Lookups
+	r.Predictor.Predictions -= w.Predictor.Predictions
+	r.Predictor.Correct -= w.Predictor.Correct
+	r.Predictor.PNA0 -= w.Predictor.PNA0
+	r.Predictor.P0AN -= w.Predictor.P0AN
+	r.Predictor.PMAN -= w.Predictor.PMAN
+	r.Predictor.Blacklisted -= w.Predictor.Blacklisted
+	r.Branch.Lookups -= w.Branch.Lookups
+	r.Branch.DirMispred -= w.Branch.DirMispred
+	r.Branch.TargMispred -= w.Branch.TargMispred
+	r.Engine.UopsSeen -= w.Engine.UopsSeen
+	r.Engine.RulesApplied -= w.Engine.RulesApplied
+	r.Engine.SpilledAliases -= w.Engine.SpilledAliases
+	r.Engine.AliasClears -= w.Engine.AliasClears
+	r.Engine.PointerReloads -= w.Engine.PointerReloads
+}
+
+func subStats(dst, w *cache.Stats) {
+	dst.Hits -= w.Hits
+	dst.Misses -= w.Misses
+	dst.Evictions -= w.Evictions
+	dst.Writebacks -= w.Writebacks
+	dst.Invals -= w.Invals
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func addStats(dst *cache.Stats, src *cache.Stats) {
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.Evictions += src.Evictions
+	dst.Writebacks += src.Writebacks
+	dst.Invals += src.Invals
+}
+
+func addPred(dst *tracker.PredictorStats, src *tracker.PredictorStats) {
+	dst.Lookups += src.Lookups
+	dst.Predictions += src.Predictions
+	dst.Correct += src.Correct
+	dst.PNA0 += src.PNA0
+	dst.P0AN += src.P0AN
+	dst.PMAN += src.PMAN
+	dst.Blacklisted += src.Blacklisted
+}
+
+func addEng(dst *tracker.EngineStats, src *tracker.EngineStats) {
+	dst.UopsSeen += src.UopsSeen
+	dst.RulesApplied += src.RulesApplied
+	dst.SpilledAliases += src.SpilledAliases
+	dst.AliasClears += src.AliasClears
+	dst.PointerReloads += src.PointerReloads
+}

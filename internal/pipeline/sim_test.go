@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+)
+
+// buildHeapProg builds a guest program that mallocs a 64-byte buffer,
+// walks it with stores and loads, then runs the epilogue emitted by tail.
+func buildHeapProg(t *testing.T, tail func(b *asm.Builder)) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.MovRI(isa.RDI, 64)
+	b.CallAddr(heap.MallocEntry)
+	b.MovRR(isa.R12, isa.RAX) // keep base pointer
+	b.MovRR(isa.RBX, isa.RAX) // cursor
+	b.MovRI(isa.RCX, 8)
+	b.Label("loop")
+	b.MovRI(isa.RDX, 42)
+	b.Store(isa.RBX, 0, isa.RDX)
+	b.Load(isa.RDX, isa.RBX, 0)
+	b.AddRI(isa.RBX, 8)
+	b.SubRI(isa.RCX, 1)
+	b.CmpRI(isa.RCX, 0)
+	b.Jcc(isa.CondNE, "loop")
+	tail(b)
+	b.Hlt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *asm.Program, variant decode.Variant) (*Result, error) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Variant = variant
+	cfg.StopOnViolation = true
+	sim := New(p, cfg, 1)
+	return sim.Run()
+}
+
+func TestCleanRunNoViolations(t *testing.T) {
+	p := buildHeapProg(t, func(b *asm.Builder) {
+		b.MovRR(isa.RDI, isa.R12)
+		b.CallAddr(heap.FreeEntry)
+	})
+	for v := decode.Variant(0); v < decode.NumVariants; v++ {
+		res, err := runProg(t, p, v)
+		if err != nil {
+			t.Fatalf("%v: unexpected error: %v", v, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("%v: unexpected violations: %v", v, res.Violations[0])
+		}
+		if res.Cycles == 0 || res.MacroInsts == 0 {
+			t.Fatalf("%v: empty result: %+v", v, res)
+		}
+	}
+}
+
+func TestOutOfBoundsDetected(t *testing.T) {
+	p := buildHeapProg(t, func(b *asm.Builder) {
+		// One-past-the-end write: r12[64].
+		b.MovRI(isa.RDX, 7)
+		b.Store(isa.R12, 64, isa.RDX)
+	})
+	_, err := runProg(t, p, decode.VariantMicrocodePrediction)
+	v, ok := err.(*core.Violation)
+	if !ok {
+		t.Fatalf("expected violation, got %v", err)
+	}
+	if v.Kind != core.VOutOfBounds {
+		t.Fatalf("expected out-of-bounds, got %v", v)
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	p := buildHeapProg(t, func(b *asm.Builder) {
+		b.MovRR(isa.RDI, isa.R12)
+		b.CallAddr(heap.FreeEntry)
+		b.Load(isa.RDX, isa.R12, 0) // dangling read
+	})
+	_, err := runProg(t, p, decode.VariantMicrocodePrediction)
+	v, ok := err.(*core.Violation)
+	if !ok {
+		t.Fatalf("expected violation, got %v", err)
+	}
+	if v.Kind != core.VUseAfterFree {
+		t.Fatalf("expected use-after-free, got %v", v)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	p := buildHeapProg(t, func(b *asm.Builder) {
+		b.MovRR(isa.RDI, isa.R12)
+		b.CallAddr(heap.FreeEntry)
+		b.MovRR(isa.RDI, isa.R12)
+		b.CallAddr(heap.FreeEntry)
+	})
+	_, err := runProg(t, p, decode.VariantMicrocodePrediction)
+	v, ok := err.(*core.Violation)
+	if !ok {
+		t.Fatalf("expected violation, got %v", err)
+	}
+	if v.Kind != core.VDoubleFree {
+		t.Fatalf("expected double-free, got %v", v)
+	}
+}
+
+func TestSpilledAliasReloadChecked(t *testing.T) {
+	// Spill the pointer to the stack, clobber the register, reload it, and
+	// dereference out of bounds: the alias machinery must recover the PID.
+	b := asm.NewBuilder()
+	b.MovRI(isa.RDI, 32)
+	b.CallAddr(heap.MallocEntry)
+	b.Push(isa.RAX)     // spill pointer alias
+	b.MovRI(isa.RAX, 0) // clobber
+	b.Pop(isa.RBX)      // reload via alias
+	b.MovRI(isa.RDX, 1)
+	b.Store(isa.RBX, 40, isa.RDX) // out of bounds through reloaded pointer
+	b.Hlt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	_, rerr := runProg(t, p, decode.VariantMicrocodePrediction)
+	v, ok := rerr.(*core.Violation)
+	if !ok {
+		t.Fatalf("expected violation, got %v", rerr)
+	}
+	if v.Kind != core.VOutOfBounds {
+		t.Fatalf("expected out-of-bounds via reloaded alias, got %v", v)
+	}
+}
+
+func TestInsecureBaselineMissesViolation(t *testing.T) {
+	p := buildHeapProg(t, func(b *asm.Builder) {
+		b.MovRI(isa.RDX, 7)
+		b.Store(isa.R12, 64, isa.RDX)
+	})
+	res, err := runProg(t, p, decode.VariantInsecure)
+	if err != nil {
+		t.Fatalf("baseline should not fault: %v", err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("baseline should detect nothing, got %v", res.Violations)
+	}
+}
+
+func TestUopExpansionOrdering(t *testing.T) {
+	p := buildHeapProg(t, func(b *asm.Builder) {
+		b.MovRR(isa.RDI, isa.R12)
+		b.CallAddr(heap.FreeEntry)
+	})
+	exp := make(map[decode.Variant]float64)
+	for _, v := range []decode.Variant{decode.VariantInsecure, decode.VariantMicrocodePrediction,
+		decode.VariantMicrocodeAlwaysOn, decode.VariantASan} {
+		res, err := runProg(t, p, v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		exp[v] = res.UopExpansion()
+	}
+	if !(exp[decode.VariantInsecure] <= exp[decode.VariantMicrocodePrediction]) {
+		t.Errorf("prediction-driven expansion %f should exceed baseline %f",
+			exp[decode.VariantMicrocodePrediction], exp[decode.VariantInsecure])
+	}
+	if !(exp[decode.VariantMicrocodePrediction] <= exp[decode.VariantMicrocodeAlwaysOn]) {
+		t.Errorf("always-on expansion %f should exceed prediction-driven %f",
+			exp[decode.VariantMicrocodeAlwaysOn], exp[decode.VariantMicrocodePrediction])
+	}
+	if !(exp[decode.VariantMicrocodeAlwaysOn] < exp[decode.VariantASan]) {
+		t.Errorf("ASan expansion %f should exceed always-on %f",
+			exp[decode.VariantASan], exp[decode.VariantMicrocodeAlwaysOn])
+	}
+}

@@ -1,0 +1,54 @@
+package pipeline
+
+// TimeShareResult reports a time-shared run of multiple processes on the
+// same simulated hardware.
+type TimeShareResult struct {
+	PerProcess []*Result
+	// Switches is the number of context switches performed.
+	Switches uint64
+	// WallCycles is the wall-clock span of the whole schedule.
+	WallCycles uint64
+}
+
+// TimeShare runs the given processes round-robin on the simulated core,
+// sliceRecs committed macro-ops per quantum, charging kernelCost cycles
+// per context switch and flushing the per-process security structures
+// (capability cache, alias cache, TLB) on every switch-in — the paper's
+// Section IV-C context-switch semantics: the MSRs are saved and restored
+// by the OS, the shadow tables are per-process, and the in-processor
+// caches hold no other process's metadata.
+func TimeShare(sims []*Sim, sliceRecs int, kernelCost uint64) (*TimeShareResult, error) {
+	out := &TimeShareResult{}
+	var clock uint64
+	remaining := len(sims)
+	// The first process starts warm (it was loaded, not switched to).
+	first := true
+	for remaining > 0 {
+		for _, s := range sims {
+			if s.Done() {
+				continue
+			}
+			s.AdvanceTo(clock)
+			if !first {
+				s.OnContextSwitchIn(kernelCost)
+				out.Switches++
+			}
+			first = false
+			done, err := s.Step(sliceRecs)
+			if err != nil {
+				return out, err
+			}
+			if c := s.CurrentCycle(); c > clock {
+				clock = c
+			}
+			if done {
+				remaining--
+			}
+		}
+	}
+	out.WallCycles = clock
+	for _, s := range sims {
+		out.PerProcess = append(out.PerProcess, s.Result())
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+)
+
+// buildWorker returns a process hammering its own heap buffer.
+func buildWorker(iters int64) *asm.Program {
+	b := asm.NewBuilder()
+	b.MovRI(isa.RDI, 512)
+	b.CallAddr(heap.MallocEntry)
+	b.MovRR(isa.RBX, isa.RAX)
+	b.MovRI(isa.RSI, 0)
+	b.Label("outer")
+	b.MovRI(isa.RCX, 0)
+	b.Label("inner")
+	b.LoadIdx(isa.RDX, isa.RBX, isa.RCX, 8, 0)
+	b.AddRI(isa.RDX, 1)
+	b.StoreIdx(isa.RBX, isa.RCX, 8, 0, isa.RDX)
+	b.AddRI(isa.RCX, 1)
+	b.CmpRI(isa.RCX, 64)
+	b.Jcc(isa.CondL, "inner")
+	b.AddRI(isa.RSI, 1)
+	b.CmpRI(isa.RSI, iters)
+	b.Jcc(isa.CondL, "outer")
+	b.Hlt()
+	return b.MustBuild()
+}
+
+func TestTimeShareTwoProcesses(t *testing.T) {
+	mk := func() *Sim { return New(buildWorker(30), DefaultConfig(), 1) }
+
+	// Solo runs for reference.
+	soloA, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Time-shared run.
+	simA, simB := mk(), mk()
+	res, err := TimeShare([]*Sim{simA, simB}, 200, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerProcess) != 2 || res.Switches == 0 {
+		t.Fatalf("schedule bookkeeping wrong: %+v", res)
+	}
+	// Both processes completed the same work as a solo run.
+	for i, pr := range res.PerProcess {
+		if pr.MacroInsts != soloA.MacroInsts {
+			t.Fatalf("process %d executed %d insts, want %d", i, pr.MacroInsts, soloA.MacroInsts)
+		}
+	}
+	// Wall time covers both processes plus switch costs: it must exceed
+	// either solo run, and each process's own span must exceed its solo
+	// span (cold security structures after each switch-in).
+	if res.WallCycles <= soloA.Cycles {
+		t.Fatalf("wall %d should exceed a solo run %d", res.WallCycles, soloA.Cycles)
+	}
+	if res.PerProcess[0].CapCache.Misses <= soloA.CapCache.Misses {
+		t.Fatalf("switched-in process should see extra capability-cache misses (%d vs %d)",
+			res.PerProcess[0].CapCache.Misses, soloA.CapCache.Misses)
+	}
+}
+
+// TestTimeShareIsolation: one process's use-after-free must be detected
+// even when interleaved with an innocent process, and the innocent process
+// must stay clean — the per-process shadow tables do not leak.
+func TestTimeShareIsolation(t *testing.T) {
+	bad := asm.NewBuilder()
+	bad.MovRI(isa.RDI, 64)
+	bad.CallAddr(heap.MallocEntry)
+	bad.MovRR(isa.RBX, isa.RAX)
+	// Busy work so the quantum expires before the exploit fires.
+	bad.MovRI(isa.RCX, 0)
+	bad.Label("spin")
+	bad.Store(isa.RBX, 0, isa.RCX)
+	bad.AddRI(isa.RCX, 1)
+	bad.CmpRI(isa.RCX, 600)
+	bad.Jcc(isa.CondL, "spin")
+	bad.MovRR(isa.RDI, isa.RBX)
+	bad.CallAddr(heap.FreeEntry)
+	bad.Load(isa.RDX, isa.RBX, 0) // UAF after the switches
+	bad.Hlt()
+
+	cfgBad := DefaultConfig()
+	cfgBad.StopOnViolation = true
+	simBad := New(bad.MustBuild(), cfgBad, 1)
+	simGood := New(buildWorker(10), DefaultConfig(), 1)
+
+	_, err := TimeShare([]*Sim{simGood, simBad}, 200, 1000)
+	v, ok := err.(*core.Violation)
+	if !ok || v.Kind != core.VUseAfterFree {
+		t.Fatalf("interleaved UAF missed: %v", err)
+	}
+	if len(simGood.Violations) != 0 {
+		t.Fatal("the innocent process must not inherit violations")
+	}
+}

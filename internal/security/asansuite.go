@@ -1,0 +1,145 @@
+package security
+
+import (
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+)
+
+// ASanSuite returns unit cases modeled after LLVM AddressSanitizer's test
+// suite: one case per classic violation the sanitizer must flag, plus the
+// two resource-exhaustion anchors ("allocator returns NULL" and "sizes")
+// that CHEx86 catches at capability generation via the pre-configured
+// maximum allocation size (Section VII-A).
+func ASanSuite() []*Exploit {
+	mk := func(name, desc string, expect core.ViolationKind, body func(b *asm.Builder)) *Exploit {
+		return &Exploit{
+			Name: name, Suite: SuiteASan, Desc: desc, Expect: expect,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder()
+				body(b)
+				b.Hlt()
+				return b.Build()
+			},
+		}
+	}
+
+	// allocate n bytes into dst.
+	malloc := func(b *asm.Builder, n int64, dst isa.Reg) {
+		b.MovRI(isa.RDI, n)
+		b.CallAddr(heap.MallocEntry)
+		b.MovRR(dst, isa.RAX)
+	}
+	free := func(b *asm.Builder, r isa.Reg) {
+		b.MovRR(isa.RDI, r)
+		b.CallAddr(heap.FreeEntry)
+	}
+
+	return []*Exploit{
+		mk("heap-buffer-overflow-write", "store one past the end", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 40, isa.RBX)
+			b.MovRI(isa.RDX, 1)
+			b.Store(isa.RBX, 40, isa.RDX)
+		}),
+		mk("heap-buffer-overflow-read", "load one past the end", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 40, isa.RBX)
+			b.Load(isa.RDX, isa.RBX, 40)
+		}),
+		mk("heap-buffer-underflow", "store before the start", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 40, isa.RBX)
+			b.MovRI(isa.RDX, 1)
+			b.Store(isa.RBX, -8, isa.RDX)
+		}),
+		mk("heap-use-after-free-read", "load through a dangling pointer", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 40, isa.RBX)
+			free(b, isa.RBX)
+			b.Load(isa.RDX, isa.RBX, 0)
+		}),
+		mk("heap-use-after-free-write", "store through a dangling pointer", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 40, isa.RBX)
+			free(b, isa.RBX)
+			b.MovRI(isa.RDX, 7)
+			b.Store(isa.RBX, 8, isa.RDX)
+		}),
+		mk("tail-magic", "UAF touching the last word of a freed chunk", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 48, isa.RBX)
+			free(b, isa.RBX)
+			b.Load(isa.RDX, isa.RBX, 40)
+		}),
+		mk("uaf-with-rb-distance", "UAF after many intervening allocations", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 48, isa.RBX)
+			free(b, isa.RBX)
+			b.MovRI(isa.RCX, 32)
+			b.Label("churn")
+			b.Push(isa.RCX)
+			malloc(b, 96, isa.RDX)
+			b.Pop(isa.RCX)
+			b.SubRI(isa.RCX, 1)
+			b.CmpRI(isa.RCX, 0)
+			b.Jcc(isa.CondG, "churn")
+			b.Load(isa.RDX, isa.RBX, 0) // dangling
+		}),
+		mk("double-free", "free the same chunk twice", core.VDoubleFree, func(b *asm.Builder) {
+			malloc(b, 40, isa.RBX)
+			free(b, isa.RBX)
+			free(b, isa.RBX)
+		}),
+		mk("invalid-free-middle", "free a pointer into the middle of a chunk", core.VInvalidFree, func(b *asm.Builder) {
+			malloc(b, 64, isa.RBX)
+			b.MovRR(isa.RDI, isa.RBX)
+			b.AddRI(isa.RDI, 16) // mid-chunk: same PID but not the base; the
+			// allocator would corrupt its lists — CHEx86 flags the free of a
+			// pointer whose capability base does not match.
+			b.CallAddr(heap.FreeEntry)
+			// The capability is freed under pid; the dangling base deref trips.
+			b.Load(isa.RDX, isa.RBX, 0)
+		}),
+		mk("invalid-free-untracked", "free a stack address", core.VInvalidFree, func(b *asm.Builder) {
+			b.Lea(isa.RDI, isa.MemOp(isa.RSP, -64))
+			b.CallAddr(heap.FreeEntry)
+		}),
+		mk("allocator-returns-null", "resource-exhaustion: huge malloc", core.VResourceExhaustion, func(b *asm.Builder) {
+			b.MovRI(isa.RDI, 2<<30) // 2 GB > the 1 GB pre-configured limit
+			b.CallAddr(heap.MallocEntry)
+		}),
+		mk("sizes", "resource-exhaustion: absurd calloc", core.VResourceExhaustion, func(b *asm.Builder) {
+			b.MovRI(isa.RDI, 1<<20)
+			b.MovRI(isa.RSI, 1<<12) // 4 GB total
+			b.CallAddr(heap.CallocEntry)
+		}),
+		mk("global-buffer-overflow", "store past a global object", core.VOutOfBounds, func(b *asm.Builder) {
+			g := uint64(mem.GlobalBase)
+			b.Global("gbuf", g, 32)
+			b.Global("pg", g+64, 8)
+			b.Reloc(g+64, "gbuf")
+			b.Load(isa.RBX, isa.RNone, int64(g+64))
+			b.MovRI(isa.RDX, 5)
+			b.Store(isa.RBX, 32, isa.RDX)
+		}),
+		mk("use-after-realloc", "use the stale pointer after realloc moved the block", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 40, isa.RBX)
+			b.MovRR(isa.RDI, isa.RBX)
+			b.MovRI(isa.RSI, 4096) // forces a move to a new chunk
+			b.CallAddr(heap.ReallocEntry)
+			b.MovRR(isa.R12, isa.RAX)
+			b.Load(isa.RDX, isa.RBX, 0) // stale pointer
+		}),
+		mk("benign-in-bounds", "clean allocate/use/free must not be flagged", core.VNone, func(b *asm.Builder) {
+			malloc(b, 64, isa.RBX)
+			b.MovRI(isa.RCX, 0)
+			b.Label("w")
+			b.StoreIdx(isa.RBX, isa.RCX, 8, 0, isa.RCX)
+			b.AddRI(isa.RCX, 1)
+			b.CmpRI(isa.RCX, 8)
+			b.Jcc(isa.CondL, "w")
+			free(b, isa.RBX)
+		}),
+		mk("benign-last-byte", "access to the final word is in bounds", core.VNone, func(b *asm.Builder) {
+			malloc(b, 64, isa.RBX)
+			b.Load(isa.RDX, isa.RBX, 56)
+			free(b, isa.RBX)
+		}),
+	}
+}

@@ -1,0 +1,121 @@
+package security
+
+import (
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+)
+
+// FalsePositiveProbes returns the Section VII-B cases:
+//
+//   - Intentional constant dereferencing. The common pattern — a global's
+//     address retrieved from a constant pool with a PC-relative load —
+//     must be tracked correctly and run clean. The rare pattern the paper
+//     observed once (leela statically linked against libstdc++): an
+//     integer-constant address moved directly into a register and then
+//     dereferenced, which the MOVI rule deliberately flags as a wild
+//     dereference (the documented false positive).
+//
+//   - Non-local control transfers. A setjmp/longjmp-style context restore
+//     reloads spilled pointer aliases from the jump buffer; the alias
+//     machinery must recover the PIDs, so neither false positives nor
+//     false negatives occur.
+func FalsePositiveProbes() []*Exploit {
+	return []*Exploit{
+		{
+			Name:  "constant-pool-global",
+			Suite: SuiteFP,
+			Desc:  "PC-relative constant-pool load of a global's address runs clean",
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder()
+				g := uint64(mem.GlobalBase)
+				b.Global("table", g, 64)
+				b.Global("ptable", g+64, 8)
+				b.Reloc(g+64, "table")
+				b.Load(isa.RBX, isa.RNone, int64(g+64))
+				b.MovRI(isa.RCX, 0)
+				b.Label("w")
+				b.StoreIdx(isa.RBX, isa.RCX, 8, 0, isa.RCX)
+				b.AddRI(isa.RCX, 1)
+				b.CmpRI(isa.RCX, 8)
+				b.Jcc(isa.CondL, "w")
+				b.Hlt()
+				return b.Build()
+			},
+			Expect: core.VNone,
+		},
+		{
+			Name:  "leela-libstdc++-constant-deref",
+			Suite: SuiteFP,
+			Desc:  "integer-constant address moved into a register and dereferenced: the documented wild-dereference false positive",
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder()
+				g := uint64(mem.GlobalBase)
+				b.Global("table", g, 64)
+				// The statically-linked-libstdc++ pattern: the literal
+				// address as an immediate, then a dereference.
+				b.MovRI(isa.RAX, int64(g))
+				b.Load(isa.RDX, isa.RAX, 0)
+				b.Hlt()
+				return b.Build()
+			},
+			Expect: core.VWildDereference,
+		},
+		{
+			Name:  "setjmp-longjmp-restore",
+			Suite: SuiteFP,
+			Desc:  "pointer spilled to a jump buffer and restored by a non-local transfer stays tracked",
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder()
+				g := uint64(mem.GlobalBase)
+				b.Global("jmpbuf", g, 64)
+				b.Global("pjmpbuf", g+64, 8)
+				b.Reloc(g+64, "jmpbuf")
+
+				b.MovRI(isa.RDI, 64)
+				b.CallAddr(heap.MallocEntry)
+				b.MovRR(isa.RBX, isa.RAX)
+				// setjmp: spill the live pointer into the jump buffer.
+				b.Load(isa.R8, isa.RNone, int64(g+64))
+				b.Store(isa.R8, 0, isa.RBX)
+				// Do work, clobber the register.
+				b.MovRI(isa.RBX, 0)
+				// longjmp: restore the context from the jump buffer and use
+				// the pointer; heap-allocated buffers are not cleaned up.
+				b.Load(isa.RBX, isa.R8, 0)
+				b.MovRI(isa.RDX, 9)
+				b.Store(isa.RBX, 32, isa.RDX) // in bounds: no false positive
+				b.Load(isa.RDX, isa.RBX, 56)  // last word: still fine
+				b.Hlt()
+				return b.Build()
+			},
+			Expect: core.VNone,
+		},
+		{
+			Name:  "exception-unwind-restore",
+			Suite: SuiteFP,
+			Desc:  "stack unwinding restores spilled callee-saved pointers; subsequent use runs clean",
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder()
+				b.MovRI(isa.RDI, 64)
+				b.CallAddr(heap.MallocEntry)
+				b.MovRR(isa.RBX, isa.RAX)
+				b.Call("frame1")
+				b.MovRI(isa.RDX, 3)
+				b.Store(isa.RBX, 0, isa.RDX) // rbx restored by the unwind path
+				b.Hlt()
+				// frame1 spills rbx (callee-saved), "throws", and the
+				// unwind epilogue restores it before returning.
+				b.Label("frame1")
+				b.Push(isa.RBX)
+				b.MovRI(isa.RBX, 0xdead) // clobber inside the frame
+				b.Pop(isa.RBX)           // unwind restores the spilled alias
+				b.Ret()
+				return b.Build()
+			},
+			Expect: core.VNone,
+		},
+	}
+}

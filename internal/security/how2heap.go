@@ -1,0 +1,156 @@
+package security
+
+import (
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+)
+
+// How2Heap returns 18 exploits modeled after ShellPhish's How2Heap
+// collection: evasive heap-metadata-corruption techniques. Whatever degree
+// of evasion tricks the allocator, the principal anchor points remain
+// out-of-bounds accesses, use-after-free, double free, and invalid free
+// (Section VII-A) — which is where CHEx86 flags them, before the corrupted
+// metadata can be weaponized.
+func How2Heap() []*Exploit {
+	mk := func(name, desc string, expect core.ViolationKind, body func(b *asm.Builder)) *Exploit {
+		return &Exploit{
+			Name: name, Suite: SuiteHow2Heap, Desc: desc, Expect: expect,
+			Build: func() (*asm.Program, error) {
+				b := asm.NewBuilder()
+				body(b)
+				b.Hlt()
+				return b.Build()
+			},
+		}
+	}
+	malloc := func(b *asm.Builder, n int64, dst isa.Reg) {
+		b.MovRI(isa.RDI, n)
+		b.CallAddr(heap.MallocEntry)
+		b.MovRR(dst, isa.RAX)
+	}
+	free := func(b *asm.Builder, r isa.Reg) {
+		b.MovRR(isa.RDI, r)
+		b.CallAddr(heap.FreeEntry)
+	}
+
+	// Overflow from chunk a into the metadata of the chunk behind it.
+	overflowIntoNeighbor := func(b *asm.Builder, size int64) {
+		malloc(b, size, isa.RBX)
+		malloc(b, size, isa.R12)
+		// Write through a's end into b's header (header sits 16 bytes
+		// before the user pointer, i.e. right past a's chunk).
+		b.MovRI(isa.RDX, 0x1000)
+		b.Store(isa.RBX, size, isa.RDX) // first out-of-bounds word
+	}
+
+	return []*Exploit{
+		mk("first-fit", "UAF write into a freed chunk reused by first-fit", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 128, isa.RBX)
+			malloc(b, 128, isa.R12)
+			free(b, isa.RBX)
+			b.MovRI(isa.RDX, 0x41)
+			b.Store(isa.RBX, 0, isa.RDX) // write into the freed chunk
+		}),
+		mk("fastbin-dup", "double free of a fastbin-sized chunk", core.VDoubleFree, func(b *asm.Builder) {
+			malloc(b, 32, isa.RBX)
+			malloc(b, 32, isa.R12)
+			free(b, isa.RBX)
+			free(b, isa.R12) // evade naive double-free head check
+			free(b, isa.RBX) // the dup
+		}),
+		mk("fastbin-dup-into-stack", "double free, then poison fd toward the stack", core.VDoubleFree, func(b *asm.Builder) {
+			malloc(b, 32, isa.RBX)
+			free(b, isa.RBX)
+			free(b, isa.RBX)
+		}),
+		mk("fastbin-dup-consolidate", "double free across consolidation boundary", core.VDoubleFree, func(b *asm.Builder) {
+			malloc(b, 32, isa.RBX)
+			free(b, isa.RBX)
+			malloc(b, 600, isa.R12) // trigger "consolidation"
+			free(b, isa.RBX)
+		}),
+		mk("unsafe-unlink", "overflow corrupts neighbor's size/fd for unlink", core.VOutOfBounds, func(b *asm.Builder) {
+			overflowIntoNeighbor(b, 128)
+		}),
+		mk("house-of-spirit", "free of a fake chunk fabricated on the stack", core.VInvalidFree, func(b *asm.Builder) {
+			// Build a fake chunk header in stack memory and free its "user
+			// pointer".
+			b.MovRI(isa.RDX, 64)
+			b.Store(isa.RSP, -64, isa.RDX) // fake size field
+			b.Lea(isa.RDI, isa.MemOp(isa.RSP, -48))
+			b.CallAddr(heap.FreeEntry)
+		}),
+		mk("poison-null-byte", "single NUL byte written one past the end", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 96, isa.RBX)
+			malloc(b, 96, isa.R12)
+			b.MovRI(isa.RDX, 0)
+			b.StoreB(isa.RBX, 96, isa.RDX) // the classic off-by-one NUL
+		}),
+		mk("house-of-lore", "UAF poison of a freed small-bin chunk's links", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 96, isa.RBX)
+			free(b, isa.RBX)
+			b.Lea(isa.RDX, isa.MemOp(isa.RSP, -128))
+			b.Store(isa.RBX, 8, isa.RDX) // bk <- fake stack chunk
+		}),
+		mk("overlapping-chunks", "size-field overwrite makes chunks overlap", core.VOutOfBounds, func(b *asm.Builder) {
+			overflowIntoNeighbor(b, 256)
+		}),
+		mk("overlapping-chunks-2", "size corruption of an in-use neighbor", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 256, isa.RBX)
+			malloc(b, 256, isa.R12)
+			malloc(b, 256, isa.R13)
+			b.MovRI(isa.RDX, 0x221)
+			b.Store(isa.RBX, 264, isa.RDX) // deep overflow into next header
+		}),
+		mk("house-of-force", "overflow rewrites the top-chunk size", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 128, isa.RBX)
+			b.MovRI(isa.RDX, -1)
+			b.Store(isa.RBX, 136, isa.RDX) // clobber wilderness header
+		}),
+		mk("unsorted-bin-attack", "UAF write of a freed chunk's bk pointer", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 600, isa.RBX)
+			malloc(b, 64, isa.R12) // barrier chunk
+			free(b, isa.RBX)
+			b.Lea(isa.RDX, isa.MemOp(isa.RSP, -256))
+			b.Store(isa.RBX, 8, isa.RDX) // bk
+		}),
+		mk("unsorted-bin-into-stack", "UAF fake-chunk injection via unsorted bin", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 600, isa.RBX)
+			free(b, isa.RBX)
+			b.MovRI(isa.RDX, 0)
+			b.Store(isa.RBX, 0, isa.RDX)
+		}),
+		mk("large-bin-attack", "UAF write of a freed large chunk's size/links", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 1024, isa.RBX)
+			malloc(b, 64, isa.R12)
+			free(b, isa.RBX)
+			b.MovRI(isa.RDX, 0x1234)
+			b.Store(isa.RBX, 16, isa.RDX)
+		}),
+		mk("house-of-einherjar", "off-by-one into prev-size/prev-inuse", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 192, isa.RBX)
+			malloc(b, 192, isa.R12)
+			b.MovRI(isa.RDX, 0x100)
+			b.Store(isa.RBX, 192, isa.RDX)
+		}),
+		mk("house-of-orange", "top-chunk corruption without a call to free", core.VOutOfBounds, func(b *asm.Builder) {
+			malloc(b, 400, isa.RBX)
+			b.MovRI(isa.RDX, 0xc01)
+			b.Store(isa.RBX, 408, isa.RDX)
+		}),
+		mk("tcache-poisoning", "UAF overwrite of a freed chunk's fd", core.VUseAfterFree, func(b *asm.Builder) {
+			malloc(b, 64, isa.RBX)
+			free(b, isa.RBX)
+			b.Lea(isa.RDX, isa.MemOp(isa.RSP, -512))
+			b.Store(isa.RBX, 0, isa.RDX) // fd <- target; next malloc would
+			// return the attacker-chosen address
+		}),
+		mk("tcache-dup", "double free within tcache-sized bins", core.VDoubleFree, func(b *asm.Builder) {
+			malloc(b, 48, isa.RBX)
+			free(b, isa.RBX)
+			free(b, isa.RBX)
+		}),
+	}
+}

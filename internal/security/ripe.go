@@ -1,0 +1,142 @@
+package security
+
+import (
+	"fmt"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+)
+
+// RIPE-style dimensions (Wilander et al., ACSAC 2011). The original suite
+// sweeps buffer location, target code pointer, overflow technique, attack
+// code, and abused libc function on real Linux processes; this generator
+// sweeps the equivalent dimensions that exist inside the simulated process
+// at CHEx86's protection granularity (heap and global data section,
+// object-level bounds).
+type ripeDims struct {
+	Location  string // "heap" | "global"
+	Technique string // "direct" | "indirect"
+	Target    string // "funcptr" | "chunkmeta" | "adjacent"
+	Access    string // "write" | "read"
+	Width     string // "word" | "byte"
+	Distance  int64  // bytes past the end of the buffer
+}
+
+func (d ripeDims) name() string {
+	return fmt.Sprintf("%s-%s-%s-%s-%s-%d", d.Location, d.Technique, d.Target, d.Access, d.Width, d.Distance)
+}
+
+// RIPE returns the generated spatial-violation sweep. Every case must be
+// flagged as an out-of-bounds access regardless of how the attacker
+// reaches past the allocation (Section VII-A).
+func RIPE() []*Exploit {
+	var out []*Exploit
+	for _, loc := range []string{"heap", "global"} {
+		for _, tech := range []string{"direct", "indirect"} {
+			for _, tgt := range []string{"funcptr", "chunkmeta", "adjacent"} {
+				if loc == "global" && tgt == "chunkmeta" {
+					continue // no chunk metadata behind globals
+				}
+				for _, acc := range []string{"write", "read"} {
+					for _, width := range []string{"word", "byte"} {
+						for _, dist := range []int64{8, 64, 512} {
+							if width == "byte" && tech == "direct" {
+								continue // the byte cases exercise the single stray access
+							}
+							d := ripeDims{loc, tech, tgt, acc, width, dist}
+							out = append(out, &Exploit{
+								Name:   d.name(),
+								Suite:  SuiteRIPE,
+								Desc:   "RIPE-style spatial violation sweep case",
+								Build:  ripeBuilder(d),
+								Expect: core.VOutOfBounds,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+const ripeBufBytes = 64
+
+// ripeBuilder assembles one sweep case. The buffer is a 64-byte object; a
+// victim object (the stand-in for the target code pointer / adjacent
+// structure) sits immediately after it; the attack reaches dist bytes past
+// the buffer's end.
+func ripeBuilder(d ripeDims) func() (*asm.Program, error) {
+	return func() (*asm.Program, error) {
+		b := asm.NewBuilder()
+
+		switch d.Location {
+		case "heap":
+			// buffer, then the victim allocation right behind it.
+			b.MovRI(isa.RDI, ripeBufBytes)
+			b.CallAddr(heap.MallocEntry)
+			b.MovRR(isa.RBX, isa.RAX) // buffer
+			b.MovRI(isa.RDI, 64)
+			b.CallAddr(heap.MallocEntry)
+			b.MovRR(isa.R12, isa.RAX) // victim (function-pointer table / struct)
+		case "global":
+			bufAddr := uint64(mem.GlobalBase)
+			victim := bufAddr + ripeBufBytes
+			pool := victim + 128
+			b.Global("buf", bufAddr, ripeBufBytes)
+			b.Global("victim", victim, 64)
+			b.Global("pbuf", pool, 8)
+			b.Reloc(pool, "buf")
+			b.Load(isa.RBX, isa.RNone, int64(pool)) // rbx <- &buf via constant pool
+		}
+
+		// Benign warm-up: initialize the buffer in bounds.
+		b.MovRI(isa.RCX, 0)
+		b.Label("init")
+		b.StoreIdx(isa.RBX, isa.RCX, 8, 0, isa.RCX)
+		b.AddRI(isa.RCX, 1)
+		b.CmpRI(isa.RCX, ripeBufBytes/8)
+		b.Jcc(isa.CondL, "init")
+
+		off := ripeBufBytes + d.Distance - 8 // the out-of-bounds word
+		switch d.Technique {
+		case "direct":
+			// Sequential overflow: keep writing/reading past the end, the
+			// way an unchecked copy loop trespasses.
+			b.MovRI(isa.RCX, 0)
+			b.Label("smash")
+			if d.Access == "write" {
+				b.StoreIdx(isa.RBX, isa.RCX, 8, 0, isa.RCX)
+			} else {
+				b.LoadIdx(isa.RDX, isa.RBX, isa.RCX, 8, 0)
+			}
+			b.AddRI(isa.RCX, 1)
+			b.CmpRI(isa.RCX, (ripeBufBytes+d.Distance)/8)
+			b.Jcc(isa.CondL, "smash")
+		case "indirect":
+			// Attacker-controlled index: a single stray access at the
+			// computed offset (word- or byte-granular).
+			if d.Width == "byte" {
+				if d.Access == "write" {
+					b.MovRI(isa.RDX, 0x41)
+					b.StoreB(isa.RBX, off, isa.RDX)
+				} else {
+					b.LoadB(isa.RDX, isa.RBX, off)
+				}
+				break
+			}
+			b.MovRI(isa.RCX, off)
+			if d.Access == "write" {
+				b.MovRI(isa.RDX, 0x41414141)
+				b.StoreIdx(isa.RBX, isa.RCX, 1, 0, isa.RDX)
+			} else {
+				b.LoadIdx(isa.RDX, isa.RBX, isa.RCX, 1, 0)
+			}
+		}
+		b.Hlt()
+		return b.Build()
+	}
+}

@@ -1,0 +1,102 @@
+package security
+
+import (
+	"testing"
+
+	"chex86/internal/core"
+	"chex86/internal/decode"
+)
+
+// TestAllSuitesDetected reproduces the paper's headline security result:
+// CHEx86 thwarts every exploit from the RIPE-style sweep, the ASan-style
+// unit suite, and the How2Heap-style collection, with the expected
+// violation class, while the benign and false-positive probes behave as
+// Section VII-B describes.
+func TestAllSuitesDetected(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Suite+"/"+e.Name, func(t *testing.T) {
+			out := Run(e, decode.VariantMicrocodePrediction)
+			if out.Err != nil && out.Violation == nil {
+				t.Fatalf("run error: %v", out.Err)
+			}
+			if !out.Correct() {
+				t.Fatalf("%s", out)
+			}
+		})
+	}
+}
+
+// TestSuiteSizes pins the suite composition: RIPE's sweep, the ASan unit
+// cases, and the 18 How2Heap techniques.
+func TestSuiteSizes(t *testing.T) {
+	counts := map[string]int{}
+	for _, e := range All() {
+		counts[e.Suite]++
+	}
+	if counts[SuiteHow2Heap] != 18 {
+		t.Errorf("How2Heap should carry 18 exploits, got %d", counts[SuiteHow2Heap])
+	}
+	if counts[SuiteRIPE] < 50 {
+		t.Errorf("RIPE sweep too small: %d", counts[SuiteRIPE])
+	}
+	if counts[SuiteASan] < 12 {
+		t.Errorf("ASan suite too small: %d", counts[SuiteASan])
+	}
+}
+
+// TestInsecureBaselineDetectsNothing verifies the baseline provides no
+// protection: the same exploits run to completion (or crash) without any
+// capability violation being raised.
+func TestInsecureBaselineDetectsNothing(t *testing.T) {
+	for _, e := range All() {
+		if e.Expect == core.VNone {
+			continue
+		}
+		out := Run(e, decode.VariantInsecure)
+		if out.Detected {
+			t.Errorf("%s/%s: baseline should not detect anything, got %v",
+				e.Suite, e.Name, out.Violation)
+		}
+	}
+}
+
+// TestAllVariantsDetect verifies every protected CHEx86 variant catches a
+// representative exploit from each class.
+func TestAllVariantsDetect(t *testing.T) {
+	reps := map[string]bool{
+		"heap-buffer-overflow-write": true,
+		"heap-use-after-free-read":   true,
+		"double-free":                true,
+		"tcache-poisoning":           true,
+	}
+	variants := []decode.Variant{
+		decode.VariantHardwareOnly,
+		decode.VariantBinaryTranslation,
+		decode.VariantMicrocodeAlwaysOn,
+		decode.VariantMicrocodePrediction,
+	}
+	for _, e := range All() {
+		if !reps[e.Name] {
+			continue
+		}
+		for _, v := range variants {
+			out := Run(e, v)
+			if !out.Correct() {
+				t.Errorf("variant %v: %s", v, out)
+			}
+		}
+	}
+}
+
+// TestSummarize checks the aggregate bookkeeping.
+func TestSummarize(t *testing.T) {
+	outs := RunSuite(SuiteHow2Heap)
+	s := Summarize(outs)
+	if s.Total != 18 || s.Correct != 18 {
+		t.Fatalf("How2Heap summary: %d/%d correct; failures: %v", s.Correct, s.Total, s.Failures)
+	}
+	if s.ByClass[core.VDoubleFree] == 0 || s.ByClass[core.VUseAfterFree] == 0 || s.ByClass[core.VOutOfBounds] == 0 {
+		t.Errorf("expected a mix of violation classes, got %v", s.ByClass)
+	}
+}

@@ -1,0 +1,168 @@
+package tracker
+
+import (
+	"chex86/internal/core"
+	"chex86/internal/isa"
+)
+
+// EngineStats aggregates rule-engine activity.
+type EngineStats struct {
+	UopsSeen       uint64
+	RulesApplied   uint64
+	SpilledAliases uint64 // stores that recorded a spilled pointer alias
+	AliasClears    uint64 // stores that overwrote an alias with a non-pointer
+	PointerReloads uint64 // loads that resolved to a non-zero PID
+}
+
+// Engine is the rule-based pointer tracker: it applies the rule database
+// to the decoded micro-op stream in the front-end, maintains per-register
+// PID tags, and drives the alias detection machinery for loads and stores.
+type Engine struct {
+	DB      *RuleDB
+	Tags    *RegTags
+	Aliases *AliasTable
+	Pred    *AliasPredictor
+	SB      *StoreBuffer
+	Stats   EngineStats
+
+	// ReloadHook, when set, observes every pointer reload (a load whose
+	// effective address resolved to a non-zero spilled-alias PID) — the
+	// probe used to collect the temporal pointer access patterns of
+	// Table II.
+	ReloadHook func(pc uint64, pid core.PID)
+}
+
+// NewEngine assembles a tracker engine from its components.
+func NewEngine(db *RuleDB, aliases *AliasTable, pred *AliasPredictor) *Engine {
+	return &Engine{DB: db, Tags: NewRegTags(), Aliases: aliases, Pred: pred,
+		SB: NewStoreBuffer(56)}
+}
+
+// ApplyRegRule processes a non-memory micro-op in program order, applying
+// the first matching rule from the database (or the default PID(result) <-
+// PID(0)). It returns the PID propagated to the destination register.
+func (e *Engine) ApplyRegRule(seq uint64, u *isa.Uop) core.PID {
+	e.Stats.UopsSeen++
+	if !u.Dst.Valid() || u.Dst == isa.FLAGS {
+		return 0
+	}
+	r := e.DB.Match(u)
+	if r == nil || r.Propagate == nil {
+		// Default rule: all other operations clear the destination tag.
+		e.Tags.Propagate(seq, u.Dst, 0)
+		return 0
+	}
+	e.Stats.RulesApplied++
+	src1 := e.Tags.Current(u.Src1)
+	var src2 core.PID
+	if !u.HasImm && u.Src2.Valid() {
+		src2 = e.Tags.Current(u.Src2)
+	}
+	if u.Type == isa.ULea {
+		// LEA propagates from the addressing-mode base (and index for
+		// base-less scaled forms).
+		src1 = e.Tags.Current(u.Mem.Base)
+		src2 = e.Tags.Current(u.Mem.Index)
+	}
+	pid := r.Propagate(src1, src2)
+	e.Tags.Propagate(seq, u.Dst, pid)
+	return pid
+}
+
+// DerefPID returns the PID associated with the base register of a memory
+// micro-op's addressing mode — the capability the dereference must be
+// checked against.
+func (e *Engine) DerefPID(u *isa.Uop) core.PID {
+	pid := e.Tags.Current(u.Mem.Base)
+	if pid == 0 {
+		pid = e.Tags.Current(u.Mem.Index)
+	}
+	return pid
+}
+
+// PredictLoad returns the pointer-reload predictor's PID prediction for
+// the load at pc (Figure 4), consulted at decode time.
+func (e *Engine) PredictLoad(pc uint64) core.PID {
+	return e.Pred.Predict(pc)
+}
+
+// LoadResolution is the outcome of resolving a load's predicted PID
+// against the shadow alias table at execute.
+type LoadResolution struct {
+	Predicted core.PID
+	Actual    core.PID
+	Outcome   Outcome
+}
+
+// ResolveLoad resolves the load at pc with effective address ea: it looks
+// up the shadow alias table for the actual spilled-alias PID, trains the
+// predictor, classifies the outcome, and propagates the actual PID to the
+// destination register (the forward/fix-up paths of Figure 5).
+func (e *Engine) ResolveLoad(seq, pc, ea uint64, dst isa.Reg, predicted core.PID) LoadResolution {
+	e.Stats.UopsSeen++
+	// In-flight stores forward their PIDs from the store buffer before the
+	// shadow alias table is consulted (store-to-load forwarding).
+	actual, forwarded := e.SB.Forward(ea)
+	if !forwarded {
+		actual = e.Aliases.Lookup(ea)
+	}
+	if actual != 0 {
+		e.Stats.PointerReloads++
+		if e.ReloadHook != nil {
+			e.ReloadHook(pc, actual)
+		}
+	}
+	out := e.Pred.Resolve(pc, predicted, actual)
+	if dst.Valid() {
+		e.Tags.Propagate(seq, dst, actual)
+	}
+	return LoadResolution{Predicted: predicted, Actual: actual, Outcome: out}
+}
+
+// StoreAlias processes a store in the front-end: if the stored register
+// carries a non-zero PID, the store buffer records the spilled alias; a
+// non-pointer store over a live alias records a clear. Effects reach the
+// shadow alias table only when CommitThrough drains the buffer. It returns
+// the PID recorded (0 for clears) and whether an alias effect was queued.
+func (e *Engine) StoreAlias(seq, ea uint64, src isa.Reg) (core.PID, bool) {
+	e.Stats.UopsSeen++
+	pid := e.Tags.Current(src)
+	if pid != 0 && pid != core.WildPID {
+		e.SB.Insert(seq, ea, pid, false)
+		e.Stats.SpilledAliases++
+		return pid, true
+	}
+	prior, forwarded := e.SB.Forward(ea)
+	if !forwarded {
+		prior = e.Aliases.Lookup(ea)
+	}
+	if prior != 0 {
+		e.SB.Insert(seq, ea, 0, true)
+		e.Stats.AliasClears++
+		return 0, true
+	}
+	return 0, false
+}
+
+// CommitThrough retires the tracker state for all instructions with
+// sequence numbers at or below seq: committed transient register tags
+// become architectural and the store buffer drains into the shadow alias
+// table.
+func (e *Engine) CommitThrough(seq uint64) {
+	e.Tags.Commit(seq)
+	e.SB.DrainCommitted(seq, e.Aliases)
+}
+
+// SquashAfter discards all transient tracker state younger than seq
+// (misspeculation recovery across both tag planes).
+func (e *Engine) SquashAfter(seq uint64) {
+	e.Tags.Squash(seq)
+	e.SB.Squash(seq)
+}
+
+// SetReg force-sets a register's PID tag (used by the capability transfer
+// at allocator exit: the return-value register %rax receives the freshly
+// generated capability's PID).
+func (e *Engine) SetReg(seq uint64, r isa.Reg, pid core.PID) {
+	e.Tags.Propagate(seq, r, pid)
+}

@@ -1,0 +1,209 @@
+// Package tracker implements the CHEx86 speculative pointer tracker
+// (Section V): the rule-based pointer tracking engine driven by the
+// automatically constructed rule database of Table I, per-register PID tags
+// with committed and transient (in-flight) state and squash recovery, the
+// spilled-pointer alias detection machinery — stride-based pointer-reload
+// predictor with blacklist, alias cache with victim cache, and the 5-level
+// hierarchical shadow alias table — and the hardware checker co-processor
+// used to validate and incrementally extend the rule database.
+package tracker
+
+import (
+	"fmt"
+	"strings"
+
+	"chex86/internal/core"
+	"chex86/internal/isa"
+)
+
+// AddrMode classifies a micro-op's operand pattern for rule matching.
+type AddrMode uint8
+
+const (
+	ModeRegReg AddrMode = iota
+	ModeRegImm
+	ModeRegMem
+	ModeOther
+)
+
+var modeNames = [...]string{"Reg-Reg", "Reg-Imm", "Reg-Mem(qw)", "-"}
+
+// String names the addressing mode.
+func (m AddrMode) String() string { return modeNames[m] }
+
+// Rule is one entry of the pointer-tracking rule database. Propagate
+// computes the destination PID from the source PIDs; rules for memory
+// micro-ops are handled structurally by the engine (the LD rule consults
+// the alias machinery, the ST rule updates it).
+type Rule struct {
+	Name      string // µop mnemonic as listed in Table I
+	Uop       isa.UopType
+	Alu       isa.AluOp
+	HasAlu    bool
+	Mode      AddrMode
+	Example   string // micro-code example from Table I
+	Semantics string // capability-propagation description
+	CExample  string // source-level code example
+
+	// Propagate computes PID(dst) from the source PIDs for register rules.
+	Propagate func(src1, src2 core.PID) core.PID
+}
+
+// Matches reports whether the rule applies to the micro-op.
+func (r *Rule) Matches(u *isa.Uop) bool {
+	if u.Type != r.Uop {
+		return false
+	}
+	if r.HasAlu && u.Alu != r.Alu {
+		return false
+	}
+	switch r.Mode {
+	case ModeRegReg:
+		return u.Type != isa.UAlu || !u.HasImm
+	case ModeRegImm:
+		return u.Type != isa.UAlu || u.HasImm
+	}
+	return true
+}
+
+// preferFirst propagates the first source's PID unconditionally (the SUB
+// rule: "always assign the PID of the second operand", where Table I's
+// second operand is our Src1 in three-address form).
+func preferFirst(a, _ core.PID) core.PID { return a }
+
+// eitherNonzero implements the symmetric ADD/AND rule: if the PID of one
+// source operand is zero, assign the PID of the other source operand. When
+// both are tagged, the genuine capability (positive PID) wins over the
+// wild-integer tag.
+func eitherNonzero(a, b core.PID) core.PID {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a == core.WildPID:
+		return b
+	default:
+		return a
+	}
+}
+
+// DefaultRules returns the automatically constructed rule database of
+// Table I. The database is ordered; the engine applies the first matching
+// rule and falls through to the default (PID(result) <- 0) otherwise.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "MOV", Uop: isa.UMov, Mode: ModeRegReg,
+			Example:   "mov %rcx, %rbx",
+			Semantics: "PID(rcx) <- PID(rbx)",
+			CExample:  "ptr1 = ptr2;",
+			Propagate: preferFirst,
+		},
+		{
+			Name: "AND", Uop: isa.UAlu, Alu: isa.AluAnd, HasAlu: true, Mode: ModeRegReg,
+			Example:   "and %rcx, %rbx, %rax",
+			Semantics: "if PID of one source is zero, assign the PID of the other source",
+			CExample:  "ptr2 = ptr1 & mask;",
+			Propagate: eitherNonzero,
+		},
+		{
+			Name: "AND", Uop: isa.UAlu, Alu: isa.AluAnd, HasAlu: true, Mode: ModeRegImm,
+			Example:   "andi %rcx, %rbx, $imm",
+			Semantics: "PID(rcx) <- PID(rbx)",
+			CExample:  "ptr2 = ptr1 & 0xffff0000;",
+			Propagate: preferFirst,
+		},
+		{
+			Name: "LEA", Uop: isa.ULea, Mode: ModeRegReg,
+			Example:   "lea %rcx, (%rbx, %idx, scl)",
+			Semantics: "PID(rcx) <- PID(rbx)",
+			CExample:  "ptr = &a[50];",
+			Propagate: eitherNonzero, // base preferred; index covers base-less forms
+		},
+		{
+			Name: "ADD", Uop: isa.UAlu, Alu: isa.AluAdd, HasAlu: true, Mode: ModeRegReg,
+			Example:   "add %rcx, %rbx, %rax",
+			Semantics: "if PID of one source is zero, assign the PID of the other source",
+			CExample:  "ptr2 = ptr1 + const;",
+			Propagate: eitherNonzero,
+		},
+		{
+			Name: "ADD", Uop: isa.UAlu, Alu: isa.AluAdd, HasAlu: true, Mode: ModeRegImm,
+			Example:   "addi %rcx, %rbx, $imm",
+			Semantics: "PID(rcx) <- PID(rbx)",
+			CExample:  "ptr2 = ptr1 + 4;",
+			Propagate: preferFirst,
+		},
+		{
+			Name: "SUB", Uop: isa.UAlu, Alu: isa.AluSub, HasAlu: true, Mode: ModeRegReg,
+			Example:   "sub %rcx, %rbx, %rax",
+			Semantics: "always assign the PID of the minuend to the destination",
+			CExample:  "ptr2 = ptr1 - const;",
+			Propagate: preferFirst,
+		},
+		{
+			Name: "SUB", Uop: isa.UAlu, Alu: isa.AluSub, HasAlu: true, Mode: ModeRegImm,
+			Example:   "subi %rcx, %rbx, $imm",
+			Semantics: "PID(rcx) <- PID(rbx)",
+			CExample:  "ptr2 = ptr1 - 4;",
+			Propagate: preferFirst,
+		},
+		{
+			Name: "LD", Uop: isa.ULoad, Mode: ModeRegMem,
+			Example:   "ldq %rcx, [EA]",
+			Semantics: "PID(rcx) <- PID(Mem[EA])",
+			CExample:  "int *ptr2 = ptr1[100];",
+		},
+		{
+			Name: "ST", Uop: isa.UStore, Mode: ModeRegMem,
+			Example:   "stq %rcx, [EA]",
+			Semantics: "PID(Mem[EA]) <- PID(rcx)",
+			CExample:  "*ptr1 = ptr2;",
+		},
+		{
+			Name: "MOVI", Uop: isa.ULimm, Mode: ModeRegImm,
+			Example:   "limm %rax, $imm",
+			Semantics: "PID(rax) <- PID(-1)",
+			CExample:  "int *p = (int *)0x7fff1000;",
+			Propagate: func(_, _ core.PID) core.PID { return core.WildPID },
+		},
+	}
+}
+
+// RuleDB is the configurable pointer-tracking rule database, updatable in
+// the field via microcode updates.
+type RuleDB struct {
+	rules []Rule
+}
+
+// NewRuleDB returns a database seeded with the default (Table I) rules.
+func NewRuleDB() *RuleDB { return &RuleDB{rules: DefaultRules()} }
+
+// Add appends a rule (the field-update path for new workloads).
+func (db *RuleDB) Add(r Rule) { db.rules = append(db.rules, r) }
+
+// Rules returns the rule list.
+func (db *RuleDB) Rules() []Rule { return db.rules }
+
+// Match returns the first rule matching u, or nil (the engine then applies
+// the default PID(result) <- 0).
+func (db *RuleDB) Match(u *isa.Uop) *Rule {
+	for i := range db.rules {
+		if db.rules[i].Matches(u) {
+			return &db.rules[i]
+		}
+	}
+	return nil
+}
+
+// Format renders the database as a table mirroring Table I of the paper.
+func (db *RuleDB) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-12s %-30s %s\n", "uop", "Addr. Mode", "Example", "Capability Propagation")
+	for _, r := range db.rules {
+		fmt.Fprintf(&b, "%-6s %-12s %-30s %s\n", r.Name, r.Mode, r.Example, r.Semantics)
+	}
+	fmt.Fprintf(&b, "%-6s %-12s %-30s %s\n", "*", "-", "all other operations", "PID(result) <- PID(0)")
+	return b.String()
+}

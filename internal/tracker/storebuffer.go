@@ -1,0 +1,96 @@
+package tracker
+
+import (
+	"chex86/internal/core"
+)
+
+// StoreBuffer holds the PIDs of in-flight pointer-spilling stores until
+// they commit (Section V-C: "for transient stores that may spill pointers
+// to memory, we extend the store buffer to hold their corresponding PIDs,
+// until the time they commit"). Loads snoop it youngest-first for
+// store-to-load forwarding of alias PIDs; only committed entries drain
+// into the shadow alias table, so wrong-path stores never pollute it.
+type sbEntry struct {
+	seq  uint64
+	addr uint64 // 8-byte aligned
+	pid  core.PID
+	// clear marks a non-pointer store overwriting a potential alias: on
+	// commit it removes the alias-table entry.
+	clear bool
+}
+
+// StoreBuffer is ordered oldest-first.
+type StoreBuffer struct {
+	entries []sbEntry
+
+	// Capacity mirrors the machine's store-queue depth; inserts beyond it
+	// indicate a modeling bug upstream (the SQ occupancy ring gates
+	// dispatch) and are still accepted, growth-bounded by the caller.
+	Capacity int
+
+	Stats struct {
+		Inserts  uint64
+		Forwards uint64
+		Squashed uint64
+		Drained  uint64
+	}
+}
+
+// NewStoreBuffer returns a buffer sized to the store queue.
+func NewStoreBuffer(capacity int) *StoreBuffer {
+	return &StoreBuffer{Capacity: capacity}
+}
+
+// Insert records an in-flight store's alias effect.
+func (sb *StoreBuffer) Insert(seq, addr uint64, pid core.PID, clear bool) {
+	sb.Stats.Inserts++
+	sb.entries = append(sb.entries, sbEntry{seq: seq, addr: addr &^ 7, pid: pid, clear: clear})
+}
+
+// Forward snoops the buffer youngest-first for an in-flight store to addr,
+// returning its PID and true on a hit (a clearing store forwards PID 0).
+func (sb *StoreBuffer) Forward(addr uint64) (core.PID, bool) {
+	addr &^= 7
+	for i := len(sb.entries) - 1; i >= 0; i-- {
+		if sb.entries[i].addr == addr {
+			sb.Stats.Forwards++
+			if sb.entries[i].clear {
+				return 0, true
+			}
+			return sb.entries[i].pid, true
+		}
+	}
+	return 0, false
+}
+
+// Squash discards entries younger than seq (mispredict recovery): their
+// stores never commit, so their alias effects must never reach the shadow
+// table.
+func (sb *StoreBuffer) Squash(seq uint64) {
+	n := len(sb.entries)
+	for n > 0 && sb.entries[n-1].seq > seq {
+		n--
+		sb.Stats.Squashed++
+	}
+	sb.entries = sb.entries[:n]
+}
+
+// DrainCommitted applies all entries with sequence numbers at or below seq
+// to the shadow alias table and removes them from the buffer.
+func (sb *StoreBuffer) DrainCommitted(seq uint64, table *AliasTable) {
+	i := 0
+	for i < len(sb.entries) && sb.entries[i].seq <= seq {
+		e := &sb.entries[i]
+		if e.clear {
+			table.Set(e.addr, 0)
+		} else {
+			table.Set(e.addr, e.pid)
+		}
+		sb.Stats.Drained++
+		i++
+	}
+	sb.entries = sb.entries[:copy(sb.entries, sb.entries[i:])]
+}
+
+// Len returns the number of in-flight entries.
+func (sb *StoreBuffer) Len() int { return len(sb.entries) }

@@ -1,0 +1,100 @@
+package tracker
+
+import (
+	"chex86/internal/core"
+	"chex86/internal/isa"
+)
+
+// transPID is one transient (in-flight, uncommitted) PID propagation,
+// tagged with the sequence number of the instruction that produced it.
+type transPID struct {
+	seq uint64
+	pid core.PID
+}
+
+// regTag is the speculative pointer tracker's tag for one architectural
+// register (Section V-D): the finalized PID propagated by the last
+// committed instruction, plus a vector of transient PIDs propagated by
+// in-flight older instructions with their sequence numbers.
+type regTag struct {
+	committed core.PID
+	transient []transPID
+}
+
+// RegTags tracks PID tags for all registers (architectural plus the
+// micro-op temporaries).
+type RegTags struct {
+	tags [isa.NumRegs]regTag
+}
+
+// NewRegTags returns zeroed tags.
+func NewRegTags() *RegTags { return &RegTags{} }
+
+// Current returns the PID the front-end should use for capability
+// transfers involving r: the transient PID with the highest sequence
+// number if any exist (the fetch stage runs ahead of the rest of the
+// pipeline), otherwise the committed PID.
+func (t *RegTags) Current(r isa.Reg) core.PID {
+	if !r.Valid() || r >= isa.NumRegs {
+		return 0
+	}
+	tag := &t.tags[r]
+	if n := len(tag.transient); n > 0 {
+		return tag.transient[n-1].pid
+	}
+	return tag.committed
+}
+
+// Propagate records a transient PID propagation to register r by the
+// instruction with sequence number seq.
+func (t *RegTags) Propagate(seq uint64, r isa.Reg, pid core.PID) {
+	if !r.Valid() || r >= isa.NumRegs {
+		return
+	}
+	tag := &t.tags[r]
+	// Coalesce repeated propagation by the same instruction (e.g. a
+	// corrected prediction overwriting the speculative one).
+	if n := len(tag.transient); n > 0 && tag.transient[n-1].seq == seq {
+		tag.transient[n-1].pid = pid
+		return
+	}
+	tag.transient = append(tag.transient, transPID{seq: seq, pid: pid})
+}
+
+// Commit finalizes all transient propagations with sequence numbers at or
+// below seq: the newest of them becomes the committed PID.
+func (t *RegTags) Commit(seq uint64) {
+	for r := range t.tags {
+		tag := &t.tags[r]
+		i := 0
+		for i < len(tag.transient) && tag.transient[i].seq <= seq {
+			tag.committed = tag.transient[i].pid
+			i++
+		}
+		if i > 0 {
+			tag.transient = tag.transient[:copy(tag.transient, tag.transient[i:])]
+		}
+	}
+}
+
+// Squash discards all transient propagations younger than seq (sequence
+// number strictly greater), implementing the misspeculation recovery of
+// Section V-D: on a squash signal the tracker inspects the offending
+// instruction's sequence number and removes newer transient PIDs.
+func (t *RegTags) Squash(seq uint64) {
+	for r := range t.tags {
+		tag := &t.tags[r]
+		n := len(tag.transient)
+		for n > 0 && tag.transient[n-1].seq > seq {
+			n--
+		}
+		tag.transient = tag.transient[:n]
+	}
+}
+
+// Reset clears all tags (process switch).
+func (t *RegTags) Reset() {
+	for r := range t.tags {
+		t.tags[r] = regTag{}
+	}
+}

@@ -1,0 +1,332 @@
+package tracker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chex86/internal/core"
+	"chex86/internal/isa"
+	"chex86/internal/mem"
+)
+
+func newEngine() *Engine {
+	pt := mem.NewPageTable()
+	return NewEngine(NewRuleDB(), NewAliasTable(mem.New(), pt), NewAliasPredictor(512))
+}
+
+// TestTableIRules drives every rule of Table I through the engine and
+// checks the propagated PID, mirroring the paper's rows.
+func TestTableIRules(t *testing.T) {
+	const p1, p2 = core.PID(11), core.PID(22)
+	cases := []struct {
+		name string
+		uop  isa.Uop
+		rbx  core.PID // preset tag for RBX (src1)
+		rax  core.PID // preset tag for RAX (src2)
+		want core.PID // expected PID(RCX)
+	}{
+		{"MOV reg-reg", isa.Uop{Type: isa.UMov, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RNone}, p1, 0, p1},
+		{"AND reg-reg left", isa.Uop{Type: isa.UAlu, Alu: isa.AluAnd, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX}, p1, 0, p1},
+		{"AND reg-reg right", isa.Uop{Type: isa.UAlu, Alu: isa.AluAnd, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX}, 0, p2, p2},
+		{"AND reg-imm", isa.Uop{Type: isa.UAlu, Alu: isa.AluAnd, Dst: isa.RCX, Src1: isa.RBX, Imm: 0xffff0000, HasImm: true, Src2: isa.RNone}, p1, 0, p1},
+		{"LEA", isa.Uop{Type: isa.ULea, Dst: isa.RCX, Src1: isa.RNone, Src2: isa.RNone,
+			Mem: isa.MemRef{Base: isa.RBX, Index: isa.RNone, Scale: 8, Disp: 400}}, p1, 0, p1},
+		{"ADD reg-reg", isa.Uop{Type: isa.UAlu, Alu: isa.AluAdd, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX}, 0, p2, p2},
+		{"ADD reg-imm", isa.Uop{Type: isa.UAlu, Alu: isa.AluAdd, Dst: isa.RCX, Src1: isa.RBX, Imm: 4, HasImm: true, Src2: isa.RNone}, p1, 0, p1},
+		{"SUB reg-reg keeps minuend", isa.Uop{Type: isa.UAlu, Alu: isa.AluSub, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX}, p1, p2, p1},
+		{"SUB reg-imm", isa.Uop{Type: isa.UAlu, Alu: isa.AluSub, Dst: isa.RCX, Src1: isa.RBX, Imm: 4, HasImm: true, Src2: isa.RNone}, p1, 0, p1},
+		{"MOVI wild", isa.Uop{Type: isa.ULimm, Dst: isa.RCX, Imm: 0x7fff1000, HasImm: true, Src1: isa.RNone, Src2: isa.RNone}, 0, 0, core.WildPID},
+		{"default clears", isa.Uop{Type: isa.UAlu, Alu: isa.AluMul, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX}, p1, p2, 0},
+	}
+	for i, c := range cases {
+		e := newEngine()
+		seq := uint64(i + 1)
+		e.Tags.Propagate(seq, isa.RBX, c.rbx)
+		e.Tags.Propagate(seq, isa.RAX, c.rax)
+		e.ApplyRegRule(seq+1, &c.uop)
+		if got := e.Tags.Current(isa.RCX); got != c.want {
+			t.Errorf("%s: PID(rcx)=%d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLDSTRules(t *testing.T) {
+	e := newEngine()
+	const pid = core.PID(9)
+	e.Tags.Propagate(1, isa.RBX, pid)
+
+	// ST: PID(Mem[EA]) <- PID(rbx), staged in the store buffer.
+	stored, updated := e.StoreAlias(2, 0x5000, isa.RBX)
+	if !updated || stored != pid {
+		t.Fatal("ST rule must record the spilled alias")
+	}
+	if e.Aliases.Lookup(0x5000) != 0 {
+		t.Fatal("uncommitted store must not reach the shadow alias table")
+	}
+	// LD before the store commits: forwarded from the store buffer.
+	pred := e.PredictLoad(0x400100)
+	res := e.ResolveLoad(3, 0x400100, 0x5000, isa.RCX, pred)
+	if res.Actual != pid || e.Tags.Current(isa.RCX) != pid {
+		t.Fatal("LD must forward the in-flight alias PID from the store buffer")
+	}
+	// Commit: the alias reaches the shadow table.
+	e.CommitThrough(3)
+	if e.Aliases.Lookup(0x5000) != pid {
+		t.Fatal("commit must drain the store buffer into the alias table")
+	}
+	// A non-pointer store over the alias must clear it (after commit).
+	if _, updated := e.StoreAlias(4, 0x5000, isa.R15); !updated {
+		t.Fatal("clearing store must queue an alias clear")
+	}
+	e.CommitThrough(4)
+	if e.Aliases.Lookup(0x5000) != 0 {
+		t.Fatal("stale alias survived a data overwrite")
+	}
+}
+
+func TestWildPIDNeverSpills(t *testing.T) {
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, core.WildPID)
+	if _, updated := e.StoreAlias(2, 0x5000, isa.RBX); updated {
+		t.Fatal("wild tags carry no capability and must not create aliases")
+	}
+}
+
+// TestStoreBufferSquash: wrong-path spills must never pollute the shadow
+// alias table (Section V-C's reason for holding PIDs in the store buffer).
+func TestStoreBufferSquash(t *testing.T) {
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, 7)
+	e.StoreAlias(5, 0x6000, isa.RBX) // wrong-path spill
+	e.SquashAfter(4)
+	e.CommitThrough(10)
+	if e.Aliases.Lookup(0x6000) != 0 {
+		t.Fatal("squashed store leaked into the alias table")
+	}
+	if e.SB.Stats.Squashed != 1 {
+		t.Fatalf("squash not counted: %+v", e.SB.Stats)
+	}
+}
+
+func TestStoreBufferForwardingOrder(t *testing.T) {
+	sb := NewStoreBuffer(8)
+	sb.Insert(1, 0x1000, 5, false)
+	sb.Insert(2, 0x1000, 9, false) // younger store to the same word
+	if pid, ok := sb.Forward(0x1000); !ok || pid != 9 {
+		t.Fatalf("forwarding must be youngest-first, got %d", pid)
+	}
+	sb.Insert(3, 0x1000, 0, true) // clearing store
+	if pid, ok := sb.Forward(0x1004); !ok || pid != 0 {
+		t.Fatal("clear must forward PID 0 for any offset in the word")
+	}
+	if _, ok := sb.Forward(0x2000); ok {
+		t.Fatal("unrelated address must miss")
+	}
+}
+
+func TestDerefPID(t *testing.T) {
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, 7)
+	u := &isa.Uop{Type: isa.ULoad, Dst: isa.RAX, Mem: isa.MemRef{Base: isa.RBX, Index: isa.RCX}}
+	if e.DerefPID(u) != 7 {
+		t.Fatal("base register's PID selects the capability")
+	}
+	e.Tags.Propagate(2, isa.RBX, 0)
+	e.Tags.Propagate(2, isa.RCX, 8)
+	if e.DerefPID(u) != 8 {
+		t.Fatal("index register is the fallback when the base is untagged")
+	}
+}
+
+func TestTransientCommitSquash(t *testing.T) {
+	tags := NewRegTags()
+	tags.Propagate(1, isa.RAX, 10)
+	tags.Propagate(5, isa.RAX, 20)
+	tags.Propagate(9, isa.RAX, 30)
+	if tags.Current(isa.RAX) != 30 {
+		t.Fatal("front-end must use the newest transient PID")
+	}
+	// Squash everything younger than seq 5 (branch mispredict recovery).
+	tags.Squash(5)
+	if tags.Current(isa.RAX) != 20 {
+		t.Fatal("squash must discard younger transients only")
+	}
+	// Commit through seq 5: the PID becomes architectural.
+	tags.Commit(5)
+	if tags.Current(isa.RAX) != 20 {
+		t.Fatal("commit must preserve the PID")
+	}
+	tags.Squash(0) // squash everything in flight
+	if tags.Current(isa.RAX) != 20 {
+		t.Fatal("committed state survives any squash")
+	}
+}
+
+// TestTagsProperty: for any interleaving, Current equals the newest
+// propagation not yet squashed, falling back to the committed value.
+func TestTagsProperty(t *testing.T) {
+	f := func(pids []uint8) bool {
+		tags := NewRegTags()
+		var want core.PID
+		for i, p := range pids {
+			pid := core.PID(p%50) + 1
+			tags.Propagate(uint64(i+1), isa.RDX, pid)
+			want = pid
+		}
+		return tags.Current(isa.RDX) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasTable(t *testing.T) {
+	m := mem.New()
+	pt := mem.NewPageTable()
+	at := NewAliasTable(m, pt)
+	at.Set(0x5004, 7) // unaligned: rounds down
+	if at.Lookup(0x5000) != 7 {
+		t.Fatal("alias entries are 8-byte-word granular")
+	}
+	if !pt.AliasHosting(0x5000) {
+		t.Fatal("alias-hosting bit must be set on the page")
+	}
+	pid, touches := at.Walk(0x5000)
+	if pid != 7 || len(touches) != at.WalkLevels {
+		t.Fatalf("walk returned pid=%d with %d touches", pid, len(touches))
+	}
+	if at.LeafAddr(0x5000) == 0 {
+		t.Fatal("leaf address must exist after materialization")
+	}
+	at.Set(0x5000, 0)
+	if at.Lookup(0x5000) != 0 || at.Entries() != 0 {
+		t.Fatal("clearing must remove the entry")
+	}
+	if at.FootprintBytes() == 0 {
+		t.Fatal("the materialized leaf page remains resident")
+	}
+}
+
+func TestPredictorConstantAndStride(t *testing.T) {
+	p := NewAliasPredictor(512)
+	pc := uint64(0x400100)
+	// Constant PID: correct from the third resolve.
+	for i := 0; i < 10; i++ {
+		pred := p.Predict(pc)
+		p.Resolve(pc, pred, 42)
+	}
+	if p.Predict(pc) != 42 {
+		t.Fatal("constant pattern not learned")
+	}
+	// Striding PIDs at another PC.
+	pc2 := uint64(0x400200)
+	for i := core.PID(1); i <= 10; i++ {
+		pred := p.Predict(pc2)
+		p.Resolve(pc2, pred, i*3)
+	}
+	if p.Predict(pc2) != 33 {
+		t.Fatalf("stride pattern not learned: predicted %d, want 33", p.Predict(pc2))
+	}
+}
+
+func TestPredictorOutcomeClasses(t *testing.T) {
+	p := NewAliasPredictor(512)
+	if p.Resolve(0x100, 5, 0) != OutcomePNA0 {
+		t.Fatal("predicted-N actual-0 is PNA0")
+	}
+	if p.Resolve(0x200, 0, 5) != OutcomeP0AN {
+		t.Fatal("predicted-0 actual-N is P0AN")
+	}
+	if p.Resolve(0x300, 4, 5) != OutcomePMAN {
+		t.Fatal("predicted-M actual-N is PMAN")
+	}
+	if p.Resolve(0x400, 5, 5) != OutcomeOK {
+		t.Fatal("match is OK")
+	}
+	if p.Stats.PNA0 != 1 || p.Stats.P0AN != 1 || p.Stats.PMAN != 1 {
+		t.Fatalf("class counters wrong: %+v", p.Stats)
+	}
+}
+
+func TestBlacklistFiltersDataLoads(t *testing.T) {
+	p := NewAliasPredictor(512)
+	pc := uint64(0x400300)
+	for i := 0; i < 5; i++ {
+		pred := p.Predict(pc)
+		p.Resolve(pc, pred, 0) // always a data load
+	}
+	before := p.Stats.Blacklisted
+	p.Predict(pc)
+	if p.Stats.Blacklisted != before+1 {
+		t.Fatal("repeated non-pointer loads must be blacklisted")
+	}
+	// A pointer reload rescinds the blacklisting.
+	p.Resolve(pc, 0, 9)
+	p.Predict(pc)
+	p.Resolve(pc, p.Predict(pc), 9)
+	if p.Predict(pc) != 9 {
+		t.Fatal("blacklist must be rescinded after a real reload")
+	}
+}
+
+func TestRuleDBFormatAndExtension(t *testing.T) {
+	db := NewRuleDB()
+	if len(db.Rules()) != 11 {
+		t.Fatalf("Table I carries 11 rules, got %d", len(db.Rules()))
+	}
+	s := db.Format()
+	for _, frag := range []string{"MOV", "MOVI", "ldq %rcx, [EA]", "PID(result) <- PID(0)"} {
+		if !contains(s, frag) {
+			t.Errorf("formatted database missing %q", frag)
+		}
+	}
+	// Field extension: a new rule becomes matchable.
+	db.Add(Rule{Name: "XOR", Uop: isa.UAlu, Alu: isa.AluXor, HasAlu: true, Mode: ModeRegReg,
+		Propagate: func(a, b core.PID) core.PID { return a }})
+	u := &isa.Uop{Type: isa.UAlu, Alu: isa.AluXor, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX}
+	if r := db.Match(u); r == nil || r.Name != "XOR" {
+		t.Fatal("field-updated rule not matched")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestAliasTableMatchesReference: any interleaving of sets and clears
+// leaves the alias table agreeing with a reference map.
+func TestAliasTableMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		at := NewAliasTable(mem.New(), mem.NewPageTable())
+		ref := map[uint64]core.PID{}
+		for i, op := range ops {
+			addr := uint64(op%256) * 8
+			if i%3 == 2 {
+				at.Set(addr, 0)
+				delete(ref, addr)
+			} else {
+				pid := core.PID(op%50) + 1
+				at.Set(addr, pid)
+				ref[addr] = pid
+			}
+		}
+		for addr, pid := range ref {
+			if at.Lookup(addr) != pid {
+				return false
+			}
+		}
+		return at.Entries() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

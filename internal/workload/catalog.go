@@ -1,0 +1,200 @@
+package workload
+
+import "chex86/internal/patterns"
+
+// Suite labels.
+const (
+	SuiteSPEC   = "SPEC CPU2017"
+	SuitePARSEC = "PARSEC 2.1"
+)
+
+// Catalog returns the 14 benchmark profiles in the paper's Figure 6 order:
+// the C/C++ SPEC CPU2017 subset, then the PARSEC 2.1 subset. The parameters
+// model each benchmark's published character: allocation counts follow the
+// Figure 3 shape (scaled down ~3 orders of magnitude with ratios
+// preserved), pointer-chasing intensity and churn mark the paper's outliers
+// (mcf, xalancbmk, leela, canneal), and FP/branch mixes follow the
+// benchmarks' domains.
+func Catalog() []*Profile {
+	return []*Profile{
+		{
+			Name: "perlbench", Suite: SuiteSPEC,
+			About:   "interpreter: many small allocations, batchy pointer reuse",
+			MaxLive: 400, ChurnPerRound: 16, Rounds: 16,
+			AllocSize: 64, SweepLen: 4, ComputeOps: 24, InnerCompute: 8, FPRatio: 0,
+			NoiseBranches: 1, SpillEvery: 4,
+			Patterns: []PatternSpec{
+				{patterns.BatchStride, 144}, // perlbench: most Batch+Stride
+				{patterns.RepeatStride, 48},
+				{patterns.RandomNoStride, 24},
+			},
+		},
+		{
+			Name: "gcc", Suite: SuiteSPEC,
+			About:   "compiler: IR churn, mixed access order",
+			MaxLive: 600, ChurnPerRound: 24, Rounds: 12,
+			AllocSize: 96, SweepLen: 4, ComputeOps: 24, InnerCompute: 8, FPRatio: 0,
+			NoiseBranches: 2, SpillEvery: 3,
+			Patterns: []PatternSpec{
+				{patterns.Stride, 96},
+				{patterns.BatchNoStride, 72},
+				{patterns.RandomNoStride, 48},
+			},
+		},
+		{
+			Name: "mcf", Suite: SuiteSPEC,
+			About:   "network simplex: few huge arrays, relentless pointer chasing",
+			MaxLive: 96, ChurnPerRound: 0, Rounds: 24,
+			AllocSize: 8192, Chase: true, ChaseLen: 24, ComputeOps: 4, InnerCompute: 1, FPRatio: 0,
+			NoiseBranches: 1, SpillEvery: 2,
+			Patterns: []PatternSpec{
+				{patterns.Stride, 64},
+				{patterns.RandomNoStride, 48},
+			},
+		},
+		{
+			Name: "xalancbmk", Suite: SuiteSPEC,
+			About:   "XSLT: DOM node storm, pointer-intensive with heavy churn",
+			MaxLive: 1200, ChurnPerRound: 48, Rounds: 12,
+			AllocSize: 256, Chase: true, ChaseLen: 6, ComputeOps: 12, InnerCompute: 4, FPRatio: 0,
+			NoiseBranches: 2, SpillEvery: 2, PhaseWindow: 64,
+			Patterns: []PatternSpec{
+				{patterns.BatchStride, 64},
+				{patterns.RandomNoStride, 96},
+				{patterns.RandomStride, 48},
+			},
+		},
+		{
+			Name: "deepsjeng", Suite: SuiteSPEC,
+			About:   "chess search: few big hash tables, branchy integer code",
+			MaxLive: 24, ChurnPerRound: 0, Rounds: 36,
+			AllocSize: 16384, SweepLen: 6, ComputeOps: 24, InnerCompute: 4, FPRatio: 0,
+			NoiseBranches: 4, SpillEvery: 6,
+			Patterns: []PatternSpec{
+				{patterns.Constant, 96}, // the few big tables live in registers
+				{patterns.RandomNoStride, 32},
+			},
+		},
+		{
+			Name: "leela", Suite: SuiteSPEC,
+			About:   "Go MCTS: tree node churn, pointer-heavy, irregular reuse",
+			MaxLive: 300, ChurnPerRound: 16, Rounds: 14,
+			AllocSize: 256, Chase: true, ChaseLen: 8, ComputeOps: 14, InnerCompute: 5, FPRatio: 0.2,
+			NoiseBranches: 2, SpillEvery: 3,
+			Patterns: []PatternSpec{
+				{patterns.RepeatNoStride, 48},
+				{patterns.RandomStride, 64},
+				{patterns.BatchStride, 32},
+			},
+		},
+		{
+			Name: "lbm", Suite: SuiteSPEC,
+			About:   "lattice Boltzmann: two big grids, streaming FP sweeps",
+			MaxLive: 8, ChurnPerRound: 0, Rounds: 40,
+			AllocSize: 1048576, SweepLen: 48, ComputeOps: 16, InnerCompute: 10, FPRatio: 0.6,
+			NoiseBranches: 0, SpillEvery: 0,
+			Patterns: []PatternSpec{
+				{patterns.Constant, 48}, // lbm: one buffer repeatedly
+				{patterns.Stride, 16},
+			},
+		},
+		{
+			Name: "nab", Suite: SuiteSPEC,
+			About:   "molecular dynamics: moderate arrays, FP kernels",
+			MaxLive: 48, ChurnPerRound: 1, Rounds: 30,
+			AllocSize: 2048, SweepLen: 24, ComputeOps: 20, InnerCompute: 6, FPRatio: 0.5,
+			NoiseBranches: 1, SpillEvery: 5,
+			Patterns: []PatternSpec{
+				{patterns.Stride, 48},
+				{patterns.BatchStride, 24},
+			},
+		},
+
+		// --- PARSEC 2.1 (multithreaded). ---
+		{
+			Name: "blackscholes", Suite: SuitePARSEC, Threads: 4,
+			About:   "option pricing: tiny allocation count, pure FP streaming",
+			MaxLive: 16, ChurnPerRound: 0, Rounds: 30,
+			AllocSize: 65536, SweepLen: 32, ComputeOps: 22, InnerCompute: 10, FPRatio: 0.7,
+			NoiseBranches: 0, SpillEvery: 0,
+			Patterns: []PatternSpec{
+				{patterns.Stride, 32},
+			},
+		},
+		{
+			Name: "bodytrack", Suite: SuitePARSEC, Threads: 4,
+			About:   "vision: per-frame buffer churn, mixed FP",
+			MaxLive: 160, ChurnPerRound: 8, Rounds: 14,
+			AllocSize: 512, SweepLen: 12, ComputeOps: 16, InnerCompute: 5, FPRatio: 0.4,
+			NoiseBranches: 1, SpillEvery: 4,
+			Patterns: []PatternSpec{
+				{patterns.BatchStride, 48},
+				{patterns.RandomNoStride, 24},
+			},
+		},
+		{
+			Name: "fluidanimate", Suite: SuitePARSEC, Threads: 4,
+			About:   "SPH fluid: cell lists, neighbor pointer walks",
+			MaxLive: 320, ChurnPerRound: 6, Rounds: 12,
+			AllocSize: 256, Chase: true, ChaseLen: 5, ComputeOps: 14, InnerCompute: 6, FPRatio: 0.5,
+			NoiseBranches: 1, SpillEvery: 4,
+			Patterns: []PatternSpec{
+				{patterns.Stride, 64},
+				{patterns.RepeatStride, 24},
+			},
+		},
+		{
+			Name: "freqmine", Suite: SuitePARSEC, Threads: 4,
+			About:   "FP-growth: tree construction, integer pointer work",
+			MaxLive: 400, ChurnPerRound: 16, Rounds: 12,
+			AllocSize: 256, Chase: true, ChaseLen: 6, ComputeOps: 14, InnerCompute: 5, FPRatio: 0,
+			NoiseBranches: 2, SpillEvery: 3,
+			Patterns: []PatternSpec{
+				{patterns.BatchStride, 48},
+				{patterns.RandomStride, 32},
+			},
+		},
+		{
+			Name: "swaptions", Suite: SuitePARSEC, Threads: 4,
+			About:   "HJM Monte Carlo: small working set, FP heavy",
+			MaxLive: 64, ChurnPerRound: 4, Rounds: 20,
+			AllocSize: 1024, SweepLen: 16, ComputeOps: 20, InnerCompute: 8, FPRatio: 0.6,
+			NoiseBranches: 0, SpillEvery: 5,
+			Patterns: []PatternSpec{
+				{patterns.RepeatStride, 32},
+				{patterns.Stride, 24},
+			},
+		},
+		{
+			Name: "canneal", Suite: SuitePARSEC, Threads: 4,
+			About:   "simulated annealing: enormous element count, random pointer swaps",
+			MaxLive: 2000, ChurnPerRound: 40, Rounds: 10,
+			AllocSize: 256, Chase: true, ChaseLen: 6, ComputeOps: 8, InnerCompute: 3, FPRatio: 0.1,
+			NoiseBranches: 2, SpillEvery: 2, PhaseWindow: 48,
+			Patterns: []PatternSpec{
+				{patterns.RandomNoStride, 96},
+				{patterns.RandomStride, 48},
+			},
+		},
+	}
+}
+
+// ByName returns the profile with the given name, or nil.
+func ByName(name string) *Profile {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Names returns the catalog's benchmark names in order.
+func Names() []string {
+	c := Catalog()
+	out := make([]string, len(c))
+	for i, p := range c {
+		out[i] = p.Name
+	}
+	return out
+}
