@@ -76,6 +76,21 @@ type (
 	Reg = isa.Reg
 	// Cond is a branch condition code.
 	Cond = isa.Cond
+	// SimError is a structured simulator error (configuration, watchdog,
+	// cancellation); it carries a pipeline Snapshot when one is available.
+	SimError = pipeline.SimError
+	// Snapshot is the per-hart pipeline state attached to watchdog and
+	// cancellation errors.
+	Snapshot = pipeline.Snapshot
+)
+
+// Structured simulator error kinds.
+const (
+	ErrConfig     = pipeline.ErrConfig
+	ErrHang       = pipeline.ErrHang
+	ErrCycleLimit = pipeline.ErrCycleLimit
+	ErrCanceled   = pipeline.ErrCanceled
+	ErrDeadline   = pipeline.ErrDeadline
 )
 
 // Architectural registers, in x86-64 encoding order.
@@ -158,16 +173,29 @@ func DefaultConfig() Config { return pipeline.DefaultConfig() }
 func NewProgramBuilder() *ProgramBuilder { return asm.NewBuilder() }
 
 // NewSim constructs a simulation of prog under cfg with the given hart
-// count (one core per hart).
-func NewSim(prog *Program, cfg Config, harts int) *Sim {
+// count (one core per hart). Invalid configurations are reported as a
+// *SimError with kind ErrConfig.
+func NewSim(prog *Program, cfg Config, harts int) (*Sim, error) {
+	return pipeline.NewSim(prog, cfg, harts)
+}
+
+// MustSim is NewSim for known-good configurations: it panics on a
+// configuration error.
+func MustSim(prog *Program, cfg Config, harts int) *Sim {
 	return pipeline.New(prog, cfg, harts)
 }
 
 // Run simulates prog to completion under cfg and returns the aggregated
 // result. With cfg.StopOnViolation set, the first detected capability
-// violation is returned as a *Violation error.
+// violation is returned as a *Violation error; configuration problems,
+// watchdog trips (cfg.MaxCycles / cfg.StallCycles), and cancellations
+// surface as *SimError.
 func Run(prog *Program, cfg Config, harts int) (*Result, error) {
-	return pipeline.New(prog, cfg, harts).Run()
+	sim, err := pipeline.NewSim(prog, cfg, harts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
 }
 
 // Always returns the context policy that instruments every code region.

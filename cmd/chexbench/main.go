@@ -26,6 +26,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	insts := flag.Uint64("insts", 0, "macro-instruction budget per run (0 = completion)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline per simulation run (0 = none); expiry is a non-zero exit")
+	maxCycles := flag.Uint64("max-cycles", 0, "simulated-cycle budget per run (0 = none); exceeding it reports a structured livelock error")
 	benches := flag.String("benches", "", "comma-separated benchmark subset")
 	jsonDir := flag.String("json", "", "also write results as JSON into this directory")
 	contextBench := flag.String("context", "", "run the context-sensitivity sweep for this benchmark")
@@ -40,7 +42,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		ro := experiments.Options{Scale: *scale, MaxInsts: *insts}
+		ro := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles, Timeout: *timeout}
 		if *benches != "" {
 			ro.Benches = strings.Split(*benches, ",")
 		}
@@ -52,7 +54,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Scale: *scale, MaxInsts: *insts}
+	o := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles, Timeout: *timeout}
 	if *benches != "" {
 		o.Benches = strings.Split(*benches, ",")
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,8 @@ func main() {
 	checker := flag.Bool("checker", false, "enable the hardware checker co-processor")
 	trace := flag.Int("trace", 0, "dump pipeline timestamps for the first N micro-ops")
 	pats := flag.Bool("patterns", false, "classify temporal pointer access patterns per reload site (Table II)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none); expiry is a non-zero exit")
+	maxCycles := flag.Uint64("max-cycles", 0, "simulated-cycle budget (0 = none); exceeding it reports a structured livelock error")
 	savePath := flag.String("save", "", "write the built benchmark as a CHEx86 object image and exit")
 	objPath := flag.String("obj", "", "simulate a saved object image instead of building a benchmark")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
@@ -111,7 +114,12 @@ func main() {
 		cfg.MaxInsts += cfg.WarmupInsts
 	}
 	cfg.EnableChecker = *checker
-	sim := pipeline.New(prog, cfg, harts)
+	cfg.MaxCycles = *maxCycles
+	sim, err := pipeline.NewSim(prog, cfg, harts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chexsim:", err)
+		os.Exit(1)
+	}
 	var col *patterns.Collector
 	if *pats {
 		col = patterns.NewCollector(0)
@@ -130,7 +138,13 @@ func main() {
 				t.Core, fmt.Sprintf("%#x", t.RIP), t.Uop, t.Fetch, t.Dispatch, t.Issue, t.Done, t.Commit)
 		}
 	}
-	res, err := sim.Run()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := sim.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chexsim:", err)
 		os.Exit(1)

@@ -63,7 +63,10 @@ func main() {
 	}
 
 	cfg := chex86.DefaultConfig()
-	sim := chex86.NewSim(prog, cfg, 1)
+	sim, err := chex86.NewSim(prog, cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	col := patterns.NewCollector(0)
 	sim.SetReloadHook(func(pc uint64, pid core.PID) { col.Observe(pc, pid) })
 	res, err := sim.Run()

@@ -46,7 +46,10 @@ func build() *chex86.Program {
 func run(install bool) error {
 	cfg := chex86.DefaultConfig()
 	cfg.StopOnViolation = true
-	sim := chex86.NewSim(build(), cfg, 1)
+	sim, err := chex86.NewSim(build(), cfg, 1)
+	if err != nil {
+		return err
+	}
 	if install {
 		// The field update: one new row for the rule database, deployed
 		// through the same microcode-update channel as custom translations.
@@ -68,7 +71,7 @@ func run(install bool) error {
 			},
 		})
 	}
-	_, err := sim.Run()
+	_, err = sim.Run()
 	return err
 }
 

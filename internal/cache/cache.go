@@ -453,6 +453,49 @@ func (c *KeyCache) fill(set int, key uint64) {
 	c.lru[set][victim] = c.clock
 }
 
+// ValidCount returns the number of live entries in the main array (victim
+// cache excluded).
+func (c *KeyCache) ValidCount() int {
+	n := 0
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			if c.valid[s][w] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DropNth drops the n-th live entry (set-major order, n taken modulo the
+// live count) without touching statistics-relevant state beyond an
+// invalidation — the fault-injection hook modeling a spontaneous line
+// loss in the capability or alias cache. Because the authoritative data
+// lives in the shadow tables, a drop is performance-only: the next access
+// re-misses and refills. It returns the dropped key and whether any live
+// entry existed.
+func (c *KeyCache) DropNth(n int) (uint64, bool) {
+	total := c.ValidCount()
+	if total == 0 {
+		return 0, false
+	}
+	n %= total
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			if !c.valid[s][w] {
+				continue
+			}
+			if n == 0 {
+				c.valid[s][w] = false
+				c.Stats.Invals++
+				return c.keys[s][w], true
+			}
+			n--
+		}
+	}
+	return 0, false
+}
+
 // Invalidate removes key from the cache and victim cache if present,
 // modeling the cross-core invalidation requests sent on capability frees
 // and alias updates (Sections IV-C, V-C).

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"chex86/internal/cache"
 	"chex86/internal/isa"
@@ -40,11 +41,40 @@ func (p Perms) Has(p2 Perms) bool { return p&p2 == p2 }
 
 // Capability is one 128-bit shadow capability table entry: a 64-bit base,
 // a 32-bit bounds (object size in bytes), and a 32-bit permissions word.
+// The entry carries an integrity code (ecc) maintained by the table on
+// every legitimate mutation; single-event upsets in the privileged shadow
+// metadata — the fault model exercised by internal/faultinject — are
+// detected on the next validation and fail closed.
 type Capability struct {
 	PID    PID
 	Base   uint64
 	Bounds uint32
 	Perms  Perms
+
+	ecc uint8
+}
+
+// seal recomputes the entry's integrity code after a legitimate mutation.
+func (c *Capability) seal() { c.ecc = c.integrity() }
+
+// Reseal recomputes the integrity code after an intentional edit of the
+// exported fields (e.g. a privileged permissions downgrade). Fault
+// injection deliberately skips this — an unsealed flip is what the
+// integrity check exists to catch.
+func (c *Capability) Reseal() { c.seal() }
+
+// IntegrityOK reports whether the entry's integrity code matches its
+// contents (false after an unsealed bit-flip).
+func (c *Capability) IntegrityOK() bool { return c.ecc == c.integrity() }
+
+// integrity folds the 128-bit entry into the 8-bit parity code modeling
+// the per-entry ECC of the privileged shadow structures.
+func (c *Capability) integrity() uint8 {
+	x := uint64(c.PID) ^ c.Base ^ uint64(c.Bounds)<<13 ^ uint64(c.Perms)<<29
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	return uint8(x)
 }
 
 // Contains reports whether the size-byte access at addr falls entirely
@@ -70,11 +100,17 @@ const (
 	VWildDereference
 	VResourceExhaustion
 	VPermission
+	// VMetadataCorrupt is raised when a capability entry fails its
+	// integrity check: the privileged shadow metadata was corrupted (a
+	// fault-injection campaign, an SEU). The entry is quarantined and the
+	// access faults — the fail-closed contract for metadata faults.
+	VMetadataCorrupt
 )
 
 var violationNames = [...]string{
 	"none", "out-of-bounds", "use-after-free", "double-free",
 	"invalid-free", "wild-dereference", "resource-exhaustion", "permission",
+	"metadata-corrupt",
 }
 
 // String names the violation kind.
@@ -106,6 +142,13 @@ type TableStats struct {
 	Freed      uint64
 	Checks     uint64
 	Violations uint64
+
+	// Degraded counts enforcement-capacity losses that were tolerated
+	// with accounting instead of a violation: capability entries lost to
+	// forced eviction and corrupt entries quarantined by integrity checks
+	// or audit sweeps. A non-zero count means enforcement is (explicitly)
+	// partial — never silently wrong.
+	Degraded uint64
 }
 
 // Table is the per-process shadow capability table. It lives in the
@@ -175,6 +218,7 @@ func (t *Table) GenBegin(pid PID, size uint64, rip uint64) (*Capability, *Violat
 		bounds = 0xFFFF_FFFF
 	}
 	c := &Capability{PID: pid, Bounds: uint32(bounds), Perms: PermRead | PermWrite | PermBusy}
+	c.seal()
 	t.caps[c.PID] = c
 	t.materialize(c)
 	return c, nil
@@ -189,6 +233,7 @@ func (t *Table) GenEnd(c *Capability, base uint64) {
 	if base != 0 {
 		c.Perms |= PermValid
 	}
+	c.seal()
 	t.materialize(c)
 }
 
@@ -205,6 +250,7 @@ func (t *Table) AddGlobal(pid PID, base, size uint64, readOnly bool) *Capability
 		perms |= PermWrite
 	}
 	c := &Capability{PID: pid, Base: base, Bounds: uint32(bounds), Perms: perms}
+	c.seal()
 	t.caps[c.PID] = c
 	t.materialize(c)
 	return c
@@ -224,6 +270,9 @@ func (t *Table) FreeBegin(pid PID, addr uint64, rip uint64) *Violation {
 		t.Stats.Violations++
 		return &Violation{Kind: VInvalidFree, PID: pid, EA: addr, RIP: rip, Msg: "no capability for pid"}
 	}
+	if v := t.verify(c, addr, rip); v != nil {
+		return v
+	}
 	if !c.Perms.Has(PermValid) {
 		t.Stats.Violations++
 		return &Violation{Kind: VDoubleFree, PID: pid, EA: c.Base, RIP: rip, Msg: "valid bit already clear"}
@@ -234,6 +283,7 @@ func (t *Table) FreeBegin(pid PID, addr uint64, rip uint64) *Violation {
 			Msg: "freed pointer does not match the capability's base"}
 	}
 	c.Perms |= PermBusy
+	c.seal()
 	t.materialize(c)
 	return nil
 }
@@ -247,6 +297,7 @@ func (t *Table) FreeEnd(pid PID) {
 		return
 	}
 	c.Perms &^= PermValid | PermBusy
+	c.seal()
 	t.Stats.Freed++
 	t.materialize(c)
 }
@@ -268,6 +319,9 @@ func (t *Table) Check(pid PID, ea uint64, size uint32, write bool, rip uint64) *
 		t.Stats.Violations++
 		return &Violation{Kind: VWildDereference, PID: pid, EA: ea, RIP: rip, Msg: "no capability for pid"}
 	}
+	if v := t.verify(c, ea, rip); v != nil {
+		return v
+	}
 	if !c.Perms.Has(PermValid) {
 		t.Stats.Violations++
 		return &Violation{Kind: VUseAfterFree, PID: pid, EA: ea, RIP: rip, Msg: "valid bit clear"}
@@ -286,6 +340,86 @@ func (t *Table) Check(pid PID, ea uint64, size uint32, write bool, rip uint64) *
 		return &Violation{Kind: VPermission, PID: pid, EA: ea, RIP: rip, Msg: "insufficient permissions"}
 	}
 	return nil
+}
+
+// verify checks an entry's integrity code before it is trusted. A corrupt
+// entry is quarantined (dropped from the table, with Degraded accounting)
+// and the access fails closed with a metadata-corrupt violation.
+func (t *Table) verify(c *Capability, ea uint64, rip uint64) *Violation {
+	if c.IntegrityOK() {
+		return nil
+	}
+	delete(t.caps, c.PID)
+	t.Stats.Degraded++
+	t.Stats.Violations++
+	return &Violation{Kind: VMetadataCorrupt, PID: c.PID, EA: ea, RIP: rip,
+		Msg: "capability entry failed its integrity check; entry quarantined"}
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection hooks (internal/faultinject). These model faults in the
+// privileged shadow metadata itself — the substrate the CHEx86 security
+// argument rests on — so campaigns can prove the fail-closed contract.
+// ---------------------------------------------------------------------
+
+// PIDs returns every table entry's identifier in ascending order (a
+// deterministic enumeration for seeded fault-injection campaigns).
+func (t *Table) PIDs() []PID {
+	out := make([]PID, 0, len(t.caps))
+	for pid := range t.caps {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlipBit flips one bit of the 128-bit entry for pid without resealing
+// its integrity code — a single-event upset in the shadow capability
+// table. Bits [0,64) hit the base, [64,96) the bounds, [96,128) the
+// permissions word. It reports whether an entry was present to corrupt.
+func (t *Table) FlipBit(pid PID, bit uint) bool {
+	c := t.caps[pid]
+	if c == nil {
+		return false
+	}
+	switch {
+	case bit < 64:
+		c.Base ^= 1 << bit
+	case bit < 96:
+		c.Bounds ^= 1 << (bit - 64)
+	default:
+		c.Perms ^= 1 << (bit - 96)
+	}
+	t.materialize(c)
+	return true
+}
+
+// Evict force-drops the entry for pid — eviction-driven capability loss
+// (a shadow structure reclaimed under pressure). The loss is accounted as
+// degraded enforcement; later dereferences through pid fail closed as
+// wild dereferences. It reports whether an entry was present.
+func (t *Table) Evict(pid PID) bool {
+	if t.caps[pid] == nil {
+		return false
+	}
+	delete(t.caps, pid)
+	t.Stats.Degraded++
+	return true
+}
+
+// Audit sweeps the table verifying every entry's integrity code — the
+// background scrubber pass. Corrupt entries are quarantined with Degraded
+// accounting; their PIDs are returned in ascending order.
+func (t *Table) Audit() []PID {
+	var bad []PID
+	for _, pid := range t.PIDs() {
+		if c := t.caps[pid]; c != nil && !c.IntegrityOK() {
+			bad = append(bad, pid)
+			delete(t.caps, pid)
+			t.Stats.Degraded++
+		}
+	}
+	return bad
 }
 
 // materialize writes the 128-bit entry into shadow memory so the table's

@@ -176,6 +176,7 @@ func TestPermissionCheck(t *testing.T) {
 	c, _ := tab.GenBegin(1, 64, 0)
 	tab.GenEnd(c, 0x1000)
 	c.Perms &^= PermWrite // read-only capability
+	c.Reseal()
 	if v := tab.Check(1, 0x1000, 8, true, 0); v == nil || v.Kind != VPermission {
 		t.Fatal("write through a read-only capability must be flagged")
 	}

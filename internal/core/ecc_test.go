@@ -1,0 +1,105 @@
+package core
+
+import "testing"
+
+// TestFlipBitDetectedOnCheck: an unsealed single-bit flip in a capability
+// entry fails its integrity check at the next validation, surfaces as a
+// metadata-corrupt violation, and quarantines the entry.
+func TestFlipBitDetectedOnCheck(t *testing.T) {
+	tab := NewTable(nil)
+	c, _ := tab.GenBegin(1, 64, 0)
+	tab.GenEnd(c, 0x1000)
+
+	if !tab.FlipBit(1, 3) { // base bit
+		t.Fatal("flip must land on a live entry")
+	}
+	v := tab.Check(1, 0x1000, 8, false, 0x42)
+	if v == nil || v.Kind != VMetadataCorrupt {
+		t.Fatalf("corrupt entry must be flagged as metadata-corrupt, got %v", v)
+	}
+	if tab.Stats.Degraded != 1 {
+		t.Fatalf("quarantine must be accounted, Degraded = %d", tab.Stats.Degraded)
+	}
+	if tab.Lookup(1) != nil {
+		t.Fatal("corrupt entry must be quarantined (removed)")
+	}
+	// The fail-closed follow-up: later dereferences through the
+	// quarantined PID read as wild, never as silently-allowed.
+	if v := tab.Check(1, 0x1000, 8, false, 0); v == nil || v.Kind != VWildDereference {
+		t.Fatalf("post-quarantine dereference must be wild, got %v", v)
+	}
+}
+
+// TestFlipBitEverySegment: flips in the base, bounds, and permission
+// segments of the 128-bit entry are all ECC-visible.
+func TestFlipBitEverySegment(t *testing.T) {
+	for _, bit := range []uint{0, 63, 64, 95, 96, 127} {
+		tab := NewTable(nil)
+		c, _ := tab.GenBegin(1, 64, 0)
+		tab.GenEnd(c, 0x1000)
+		tab.FlipBit(1, bit)
+		if tab.Lookup(1).IntegrityOK() {
+			t.Fatalf("bit %d flip not visible to the integrity code", bit)
+		}
+	}
+}
+
+// TestAuditQuarantinesLatentFaults: corruption never reached by a check is
+// converted into accounted degradation by the end-of-run audit sweep.
+func TestAuditQuarantinesLatentFaults(t *testing.T) {
+	tab := NewTable(nil)
+	for pid := PID(1); pid <= 3; pid++ {
+		c, _ := tab.GenBegin(pid, 64, 0)
+		tab.GenEnd(c, 0x1000*uint64(pid))
+	}
+	tab.FlipBit(2, 70) // bounds bit, never checked afterwards
+
+	bad := tab.Audit()
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("audit must quarantine exactly the corrupt entry, got %v", bad)
+	}
+	if tab.Stats.Degraded != 1 {
+		t.Fatalf("audit quarantine must be accounted, Degraded = %d", tab.Stats.Degraded)
+	}
+	if tab.Lookup(1) == nil || tab.Lookup(3) == nil {
+		t.Fatal("healthy entries must survive the audit")
+	}
+	if again := tab.Audit(); len(again) != 0 {
+		t.Fatalf("second audit must be clean, got %v", again)
+	}
+}
+
+// TestEvictAccountsDegradation: a forced eviction is accounted at
+// injection time and later dereferences fail closed as wild.
+func TestEvictAccountsDegradation(t *testing.T) {
+	tab := NewTable(nil)
+	c, _ := tab.GenBegin(1, 64, 0)
+	tab.GenEnd(c, 0x1000)
+
+	if !tab.Evict(1) {
+		t.Fatal("evict must land on a live entry")
+	}
+	if tab.Stats.Degraded != 1 {
+		t.Fatalf("eviction must be accounted, Degraded = %d", tab.Stats.Degraded)
+	}
+	if tab.Evict(1) {
+		t.Fatal("evicting a missing entry must report false")
+	}
+	if v := tab.Check(1, 0x1000, 8, false, 0); v == nil || v.Kind != VWildDereference {
+		t.Fatalf("post-eviction dereference must be wild, got %v", v)
+	}
+}
+
+// TestPIDsSortedAndFresh: PIDs enumerates deterministically (sorted), the
+// property campaign scheduling depends on for reproducibility.
+func TestPIDsSortedAndFresh(t *testing.T) {
+	tab := NewTable(nil)
+	for _, pid := range []PID{5, 1, 3} {
+		c, _ := tab.GenBegin(pid, 64, 0)
+		tab.GenEnd(c, 0x1000*uint64(pid))
+	}
+	pids := tab.PIDs()
+	if len(pids) != 3 || pids[0] != 1 || pids[1] != 3 || pids[2] != 5 {
+		t.Fatalf("PIDs must be sorted, got %v", pids)
+	}
+}

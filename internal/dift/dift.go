@@ -55,12 +55,25 @@ type Stats struct {
 	TaintedStores uint64
 	Propagations  uint64
 	Checks        uint64
+
+	// InjectedTagFaults counts taint-tag bit flips applied through the
+	// fault-injection hooks (FlipReg/FlipMem). A flipped tag degrades the
+	// taint lattice — the policy may over- or under-enforce downstream —
+	// but the degradation is accounted here, never silent.
+	InjectedTagFaults uint64
 }
 
 // Engine tracks taint through registers and memory words.
 type Engine struct {
 	Policy Policy
 	Stats  Stats
+
+	// Insts counts macro-ops processed by Run.
+	Insts uint64
+
+	// OnInst, when set, observes every macro-op Run processes (the
+	// fault-injection scheduling hook; adds no cost when nil).
+	OnInst func(n uint64)
 
 	sources []asm.Global // untrusted input ranges
 	regs    [isa.NumRegs]bool
@@ -162,6 +175,27 @@ func (e *Engine) propagate(dst isa.Reg, t bool) {
 	e.setReg(dst, t)
 }
 
+// FlipReg flips a register's taint tag — the fault-injection hook
+// modeling an upset in the per-register tag file. The flip is accounted
+// in Stats.InjectedTagFaults. It reports whether r names a flippable tag.
+func (e *Engine) FlipReg(r isa.Reg) bool {
+	if !r.Valid() || r >= isa.NumRegs || r == isa.FLAGS {
+		return false
+	}
+	e.regs[r] = !e.regs[r]
+	e.Stats.InjectedTagFaults++
+	return true
+}
+
+// FlipMem flips the taint tag of the 8-byte word at addr — the
+// fault-injection hook for the shadow taint memory. Accounted like
+// FlipReg.
+func (e *Engine) FlipMem(addr uint64) {
+	addr &^= 7
+	e.mem[addr] = !e.mem[addr]
+	e.Stats.InjectedTagFaults++
+}
+
 // Run executes the program functionally while tracking information flow,
 // returning the first policy violation (nil if the program is clean).
 // Untrusted sources must be registered before the run.
@@ -176,6 +210,10 @@ func (e *Engine) Run(prog *asm.Program, maxInsts uint64) (*Violation, error) {
 		}
 		if rec == nil {
 			return nil, nil
+		}
+		e.Insts++
+		if e.OnInst != nil {
+			e.OnInst(e.Insts)
 		}
 		if rec.Event == emu.EvAllocExit {
 			e.setReg(isa.RAX, false) // allocator results are trusted

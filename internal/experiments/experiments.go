@@ -13,9 +13,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"chex86/internal/core"
 	"chex86/internal/decode"
@@ -32,6 +34,23 @@ type Options struct {
 	MaxInsts uint64
 	// Benches restricts the benchmark set (nil = full catalog).
 	Benches []string
+	// MaxCycles bounds each run in simulated cycles; exceeding it is a
+	// structured livelock error (0 = unbounded).
+	MaxCycles uint64
+	// Timeout bounds each run in wall-clock time (0 = unbounded).
+	Timeout time.Duration
+}
+
+// runSim executes one configured simulation under the harness's
+// cancellation policy (Options.Timeout).
+func (o *Options) runSim(sim *pipeline.Sim) (*pipeline.Result, error) {
+	ctx := context.Background()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	return sim.RunContext(ctx)
 }
 
 // DefaultOptions returns full-scale harness options.
@@ -69,8 +88,12 @@ func run(p *workload.Profile, cfg pipeline.Config, o *Options) (*pipeline.Result
 	if cfg.MaxInsts > 0 {
 		cfg.MaxInsts += cfg.WarmupInsts
 	}
-	sim := pipeline.New(prog, cfg, harts(p))
-	return sim.Run()
+	cfg.MaxCycles = o.MaxCycles
+	sim, err := pipeline.NewSim(prog, cfg, harts(p))
+	if err != nil {
+		return nil, err
+	}
+	return o.runSim(sim)
 }
 
 // ---------------------------------------------------------------------
@@ -463,10 +486,14 @@ func RunTable2(o Options) ([]Table2Result, error) {
 		}
 		cfg := pipeline.DefaultConfig()
 		cfg.MaxInsts = o.MaxInsts
-		sim := pipeline.New(prog, cfg, harts(p))
+		cfg.MaxCycles = o.MaxCycles
+		sim, err := pipeline.NewSim(prog, cfg, harts(p))
+		if err != nil {
+			return nil, err
+		}
 		col := patterns.NewCollector(0)
 		sim.SetReloadHook(func(pc uint64, pid core.PID) { col.Observe(pc, pid) })
-		if _, err := sim.Run(); err != nil {
+		if _, err := o.runSim(sim); err != nil {
 			return nil, err
 		}
 		out = append(out, Table2Result{Bench: p.Name, Summary: col.Summary()})

@@ -79,8 +79,12 @@ func RunTable1(o Options) ([]Table1Result, error) {
 		cfg := pipeline.DefaultConfig()
 		cfg.EnableChecker = true
 		cfg.MaxInsts = o.MaxInsts
-		sim := pipeline.New(prog, cfg, harts(p))
-		res, err := sim.Run()
+		cfg.MaxCycles = o.MaxCycles
+		sim, err := pipeline.NewSim(prog, cfg, harts(p))
+		if err != nil {
+			return nil, err
+		}
+		res, err := o.runSim(sim)
 		if err != nil {
 			return nil, err
 		}

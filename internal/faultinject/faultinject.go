@@ -1,0 +1,485 @@
+// Package faultinject is a seeded, deterministic fault-injection framework
+// for the CHEx86 security substrate. A campaign runs workload × variant
+// combinations and, mid-simulation, injects faults into the structures the
+// enforcement path depends on:
+//
+//   - shadow capability table entries (base/bounds/permission bit flips and
+//     forced evictions),
+//   - capability-cache and alias-cache line drops,
+//   - pointer-reload-predictor entry corruption,
+//   - DIFT taint-tag flips, and
+//   - forced context-switch state loss (cold cap/alias/TLB structures).
+//
+// Every outcome is classified against the fail-closed contract: corrupted
+// capability metadata must surface as a Violation ("detected") or as an
+// explicitly accounted enforcement-capacity loss ("degraded"); faults in
+// advisory structures must cost performance only ("perf-only"). A fault
+// that produces neither — or a panic — fails the campaign.
+//
+// Campaigns are reproducible: the same seed yields a byte-identical JSON
+// report (no timestamps, deterministic enumeration orders, per-run RNGs
+// derived from seed ⊕ FNV(workload|variant|site)).
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/dift"
+	"chex86/internal/isa"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// Site names one fault-injection target in the security substrate.
+type Site string
+
+// The five fault families of the campaign's fault model (the two in-core
+// metadata caches are separate sites of the same cache-drop family).
+const (
+	SiteCapTable   Site = "cap-table"   // shadow capability table bit flips / evictions
+	SiteCapCache   Site = "cap-cache"   // capability-cache line drops
+	SiteAliasCache Site = "alias-cache" // alias-cache line drops
+	SitePredictor  Site = "predictor"   // pointer-reload predictor entry corruption
+	SiteDIFT       Site = "dift-tag"    // DIFT taint-tag flips
+	SiteCtxSwitch  Site = "ctx-switch"  // forced context-switch state loss
+)
+
+// AllSites returns every injection site in report order.
+func AllSites() []Site {
+	return []Site{SiteCapTable, SiteCapCache, SiteAliasCache, SitePredictor, SiteDIFT, SiteCtxSwitch}
+}
+
+// Class is the fail-closed outcome classification of one campaign run.
+type Class string
+
+const (
+	// ClassDetected: at least one injected fault surfaced as a Violation.
+	ClassDetected Class = "detected"
+	// ClassDegraded: every fault was absorbed with explicit accounting
+	// (quarantine/eviction counters, injected-tag-fault counters) but no
+	// violation fired.
+	ClassDegraded Class = "degraded"
+	// ClassPerfOnly: the faults hit advisory/perf-only state; execution
+	// finished with unchanged enforcement behavior.
+	ClassPerfOnly Class = "perf-only"
+	// ClassSilent: a fault was neither detected nor accounted — the
+	// fail-closed contract is broken and the campaign fails.
+	ClassSilent Class = "silent"
+	// ClassPanic: the run panicked. Always a campaign failure.
+	ClassPanic Class = "panic"
+)
+
+// VariantByName resolves the CLI protection-variant names shared by
+// chexsim/chexbench/chexfault.
+func VariantByName(name string) (decode.Variant, bool) {
+	switch strings.ToLower(name) {
+	case "baseline", "insecure":
+		return decode.VariantInsecure, true
+	case "hardware":
+		return decode.VariantHardwareOnly, true
+	case "bintrans":
+		return decode.VariantBinaryTranslation, true
+	case "always-on":
+		return decode.VariantMicrocodeAlwaysOn, true
+	case "prediction":
+		return decode.VariantMicrocodePrediction, true
+	case "asan":
+		return decode.VariantASan, true
+	case "watchdog":
+		return decode.VariantWatchdog, true
+	}
+	return 0, false
+}
+
+// Config parameterizes a campaign. Zero values take the defaults noted on
+// each field.
+type Config struct {
+	Seed      uint64   // campaign seed (default 1)
+	Workloads []string // benchmark names (default mcf, xalancbmk)
+	Variants  []string // protection variants (default always-on, prediction)
+	Sites     []Site   // injection sites (default AllSites)
+
+	FaultsPerRun int     // injection quota per run (default 15)
+	Scale        float64 // workload scale factor (default 1.0)
+	MaxInsts     uint64  // post-warmup instruction budget per run (default 40000)
+	MaxCycles    uint64  // watchdog cycle budget per run (default 5000000)
+}
+
+func (c *Config) setDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"mcf", "xalancbmk"}
+	}
+	if len(c.Variants) == 0 {
+		c.Variants = []string{"always-on", "prediction"}
+	}
+	if len(c.Sites) == 0 {
+		c.Sites = AllSites()
+	}
+	if c.FaultsPerRun <= 0 {
+		c.FaultsPerRun = 15
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 40000
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 5000000
+	}
+}
+
+// RunReport records one workload × variant × site run.
+type RunReport struct {
+	Workload string `json:"workload"`
+	Variant  string `json:"variant"`
+	Site     Site   `json:"site"`
+	Seed     uint64 `json:"seed"` // the derived per-run RNG seed
+
+	FaultsInjected int    `json:"faults_injected"`
+	Violations     int    `json:"violations"` // violations surfaced during the run
+	Accounted      uint64 `json:"accounted"`  // explicit degradation accounting (quarantines, evictions, tag faults)
+	Cycles         uint64 `json:"cycles"`
+	Insts          uint64 `json:"insts"`
+
+	Class Class  `json:"class"`
+	Error string `json:"error,omitempty"` // structured simulator error, if the run ended in one
+}
+
+// Totals aggregates a campaign.
+type Totals struct {
+	Runs     int `json:"runs"`
+	Faults   int `json:"faults"`
+	Detected int `json:"detected"`
+	Degraded int `json:"degraded"`
+	PerfOnly int `json:"perf_only"`
+	Silent   int `json:"silent"`
+	Panics   int `json:"panics"`
+	Errors   int `json:"errors"`
+}
+
+// Report is the campaign's resilience report. It contains no timestamps
+// and only deterministically ordered data, so equal seeds marshal to
+// byte-identical JSON.
+type Report struct {
+	Schema    string   `json:"schema"`
+	Seed      uint64   `json:"seed"`
+	Workloads []string `json:"workloads"`
+	Variants  []string `json:"variants"`
+	Sites     []Site   `json:"sites"`
+
+	Runs   []RunReport `json:"runs"`
+	Totals Totals      `json:"totals"`
+	Pass   bool        `json:"pass"`
+}
+
+// JSON marshals the report with stable indentation and a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// deriveSeed mixes the campaign seed with the run coordinates so every run
+// gets an independent but reproducible RNG stream.
+func deriveSeed(seed uint64, parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return seed ^ h.Sum64()
+}
+
+// Run executes the campaign and returns its report. Configuration errors
+// (unknown workload/variant) are returned as errors; faults, panics, and
+// simulator errors inside runs are captured in the report instead.
+func Run(cfg Config) (*Report, error) {
+	cfg.setDefaults()
+
+	for _, w := range cfg.Workloads {
+		if workload.ByName(w) == nil {
+			return nil, fmt.Errorf("faultinject: unknown workload %q", w)
+		}
+	}
+	for _, v := range cfg.Variants {
+		if _, ok := VariantByName(v); !ok {
+			return nil, fmt.Errorf("faultinject: unknown variant %q", v)
+		}
+	}
+	known := make(map[Site]bool)
+	for _, s := range AllSites() {
+		known[s] = true
+	}
+	for _, s := range cfg.Sites {
+		if !known[s] {
+			return nil, fmt.Errorf("faultinject: unknown site %q", s)
+		}
+	}
+
+	rep := &Report{
+		Schema:    "chexfault-report/v1",
+		Seed:      cfg.Seed,
+		Workloads: cfg.Workloads,
+		Variants:  cfg.Variants,
+		Sites:     cfg.Sites,
+	}
+	for _, w := range cfg.Workloads {
+		for _, v := range cfg.Variants {
+			for _, site := range cfg.Sites {
+				rr := runOne(&cfg, w, v, site)
+				rep.Runs = append(rep.Runs, rr)
+				rep.Totals.Runs++
+				rep.Totals.Faults += rr.FaultsInjected
+				switch rr.Class {
+				case ClassDetected:
+					rep.Totals.Detected++
+				case ClassDegraded:
+					rep.Totals.Degraded++
+				case ClassPerfOnly:
+					rep.Totals.PerfOnly++
+				case ClassSilent:
+					rep.Totals.Silent++
+				case ClassPanic:
+					rep.Totals.Panics++
+				}
+				if rr.Error != "" {
+					rep.Totals.Errors++
+				}
+			}
+		}
+	}
+	rep.Pass = rep.Totals.Silent == 0 && rep.Totals.Panics == 0 && rep.Totals.Errors == 0
+	return rep, nil
+}
+
+// runOne executes a single workload × variant × site run with a panic
+// guard: a panic anywhere inside the simulator is itself a fail-closed
+// contract breach and is classified, not propagated.
+func runOne(cfg *Config, w, v string, site Site) (rr RunReport) {
+	rr = RunReport{Workload: w, Variant: v, Site: site,
+		Seed: deriveSeed(cfg.Seed, w, v, string(site))}
+	defer func() {
+		if p := recover(); p != nil {
+			rr.Class = ClassPanic
+			rr.Error = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(int64(rr.Seed)))
+	prof := workload.ByName(w)
+	prog, err := prof.Build(cfg.Scale)
+	if err != nil {
+		rr.Class = ClassSilent
+		rr.Error = err.Error()
+		return rr
+	}
+
+	if site == SiteDIFT {
+		runDIFT(cfg, rng, prog, &rr)
+		return rr
+	}
+
+	variant, _ := VariantByName(v)
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Variant = variant
+	pcfg.WarmupInsts = prof.SetupInsts()
+	pcfg.MaxInsts = cfg.MaxInsts + pcfg.WarmupInsts
+	pcfg.MaxCycles = cfg.MaxCycles
+	harts := 1
+	if prof.Threads > 0 {
+		harts = prof.Threads
+	}
+	sim, err := pipeline.NewSim(prog, pcfg, harts)
+	if err != nil {
+		rr.Class = ClassSilent
+		rr.Error = err.Error()
+		return rr
+	}
+
+	// Injection loop: one fault attempt per batch of scheduling rounds
+	// once the warmup region is past, until the quota is met or the run
+	// drains. All randomness comes from the per-run RNG, so the schedule
+	// is a pure function of the seed.
+	const roundsPerBatch = 200
+	flipped := make(map[core.PID]bool)
+	var simErr error
+	for {
+		done, err := sim.Step(roundsPerBatch)
+		if err != nil {
+			simErr = err
+			break
+		}
+		if rr.FaultsInjected < cfg.FaultsPerRun && sim.M.TotalInsts() >= pcfg.WarmupInsts {
+			rr.FaultsInjected += inject(sim, site, rng, harts, flipped)
+		}
+		if done {
+			break
+		}
+	}
+
+	// End-of-run audit sweep: latent capability corruption that no check
+	// reached is quarantined (and accounted) here rather than lingering.
+	sim.Table.Audit()
+
+	rr.Violations = len(sim.Violations)
+	res := sim.Result()
+	rr.Cycles = res.Cycles
+	rr.Insts = sim.M.TotalInsts()
+	if simErr != nil {
+		rr.Error = simErr.Error()
+	}
+
+	switch site {
+	case SiteCapTable:
+		// Every injected table fault must be accounted as a quarantine or
+		// eviction (flips target distinct PIDs, so counts line up 1:1).
+		rr.Accounted = sim.Table.Stats.Degraded
+		switch {
+		case rr.Accounted < uint64(rr.FaultsInjected):
+			rr.Class = ClassSilent
+		case rr.Violations > 0:
+			rr.Class = ClassDetected
+		case rr.FaultsInjected > 0:
+			rr.Class = ClassDegraded
+		default:
+			rr.Class = ClassPerfOnly
+		}
+	default:
+		// Cache drops, predictor corruption, and context-switch loss hit
+		// performance-only state: the shadow tables stay authoritative and
+		// predictions are advisory. Any violation here would be a spurious
+		// enforcement action — a contract breach.
+		if rr.Violations == 0 {
+			rr.Class = ClassPerfOnly
+		} else {
+			rr.Class = ClassSilent
+		}
+	}
+	return rr
+}
+
+// inject applies one fault of the given site family, returning how many
+// faults were actually placed (0 when the target structure is empty).
+func inject(sim *pipeline.Sim, site Site, rng *rand.Rand, harts int, flipped map[core.PID]bool) int {
+	switch site {
+	case SiteCapTable:
+		// Pick a PID not faulted before: two flips in one entry could
+		// cancel in the parity fold and evade the integrity check, which
+		// would be an artifact of the campaign rather than of the design.
+		var fresh []core.PID
+		for _, pid := range sim.Table.PIDs() {
+			if !flipped[pid] {
+				fresh = append(fresh, pid)
+			}
+		}
+		if len(fresh) == 0 {
+			return 0
+		}
+		pid := fresh[rng.Intn(len(fresh))]
+		flipped[pid] = true
+		if rng.Intn(4) == 0 {
+			if sim.Table.Evict(pid) {
+				return 1
+			}
+			return 0
+		}
+		if sim.Table.FlipBit(pid, uint(rng.Intn(128))) {
+			return 1
+		}
+		return 0
+	case SiteCapCache:
+		if _, ok := sim.InjectCapCacheDrop(rng.Intn(harts), rng.Intn(1<<16)); ok {
+			return 1
+		}
+		return 0
+	case SiteAliasCache:
+		if _, ok := sim.InjectAliasCacheDrop(rng.Intn(harts), rng.Intn(1<<16)); ok {
+			return 1
+		}
+		return 0
+	case SitePredictor:
+		if _, ok := sim.InjectPredictorCorrupt(rng.Intn(harts), rng.Intn(1<<16)); ok {
+			return 1
+		}
+		return 0
+	case SiteCtxSwitch:
+		sim.OnContextSwitchIn(uint64(500 + rng.Intn(1500)))
+		return 1
+	}
+	return 0
+}
+
+// runDIFT exercises the taint-tag fault site: the workload runs under the
+// DIFT engine with no configured untrusted sources, so the only taint in
+// the system is what the campaign injects — register and memory tag flips
+// at a deterministic instruction stride. Flips are always accounted
+// (InjectedTagFaults), so the outcome is degraded-by-construction; if a
+// flipped tag reaches a policy check (tainted pointer or jump target), the
+// engine detects it, which is the fail-closed upgrade path.
+func runDIFT(cfg *Config, rng *rand.Rand, prog *asm.Program, rr *RunReport) {
+	eng := dift.NewEngine(dift.DefaultPolicy())
+	var regions []asm.Global
+	for _, g := range prog.Globals {
+		if !g.ReadOnly && g.Size >= 8 {
+			regions = append(regions, g)
+		}
+	}
+
+	quota := cfg.FaultsPerRun
+	stride := cfg.MaxInsts / uint64(quota+1)
+	if stride == 0 {
+		stride = 1
+	}
+	injected := 0
+	eng.OnInst = func(n uint64) {
+		if injected >= quota || n%stride != 0 {
+			return
+		}
+		if len(regions) > 0 && rng.Intn(2) == 0 {
+			g := regions[rng.Intn(len(regions))]
+			eng.FlipMem(g.Addr + uint64(rng.Intn(int(g.Size/8)))*8)
+			injected++
+			return
+		}
+		// Architectural register tags only; FLAGS and temporaries are
+		// rejected by FlipReg, so retry within this fault slot.
+		for tries := 0; tries < 8; tries++ {
+			if eng.FlipReg(isa.Reg(1 + rng.Intn(int(isa.NumRegs)-1))) {
+				injected++
+				return
+			}
+		}
+	}
+
+	v, err := eng.Run(prog, cfg.MaxInsts)
+	rr.FaultsInjected = int(eng.Stats.InjectedTagFaults)
+	rr.Accounted = eng.Stats.InjectedTagFaults
+	rr.Insts = eng.Insts
+	if err != nil {
+		rr.Class = ClassSilent
+		rr.Error = err.Error()
+		return
+	}
+	switch {
+	case v != nil:
+		rr.Violations = 1
+		rr.Class = ClassDetected
+	case rr.FaultsInjected > 0:
+		rr.Class = ClassDegraded
+	default:
+		rr.Class = ClassPerfOnly
+	}
+}

@@ -79,6 +79,18 @@ type Config struct {
 	// completion).
 	MaxInsts uint64
 
+	// MaxCycles bounds the simulated cycle count (0 = unlimited). A run
+	// that exceeds it — a livelocked guest that never drains — is killed
+	// with an ErrCycleLimit *SimError carrying a pipeline snapshot, instead
+	// of spinning forever.
+	MaxCycles uint64
+
+	// StallCycles is the forward-progress watchdog window: a hart whose
+	// front-end has advanced StallCycles cycles past its last commit
+	// without retiring anything trips an ErrHang *SimError (0 disables
+	// the watchdog).
+	StallCycles uint64
+
 	// WarmupInsts excludes the first N macro-ops from the reported timing
 	// and statistics (the SimPoint-style measurement the paper uses:
 	// representative regions, not program setup). Simulation state —
@@ -152,6 +164,61 @@ func DefaultConfig() Config {
 		Variant: decode.VariantMicrocodePrediction,
 		Context: core.Always(),
 	}
+}
+
+// validate rejects machine configurations that the structure constructors
+// would otherwise panic on (cache geometry constraints) plus degenerate
+// pipeline widths, so NewSim can fail with a structured error instead.
+func (c *Config) validate(harts int) error {
+	fail := func(format string, args ...any) error {
+		return &SimError{Kind: ErrConfig, Msg: fmt.Sprintf(format, args...)}
+	}
+	if harts <= 0 {
+		return fail("hart count %d must be positive", harts)
+	}
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
+		return fail("fetch/issue/commit widths must be positive (%d/%d/%d)",
+			c.FetchWidth, c.IssueWidth, c.CommitWidth)
+	}
+	if c.ROBSize <= 0 || c.IQSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0 {
+		return fail("ROB/IQ/LQ/SQ sizes must be positive (%d/%d/%d/%d)",
+			c.ROBSize, c.IQSize, c.LQSize, c.SQSize)
+	}
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fail("line size %d must be a power of two", c.LineSize)
+	}
+	caches := []struct {
+		name   string
+		sizeKB int
+		ways   int
+	}{
+		{"L1I", c.L1ISizeKB, c.L1IWays},
+		{"L1D", c.L1DSizeKB, c.L1DWays},
+		{"L2", c.L2SizeKB, c.L2Ways},
+		{"LLC", c.LLCSizeKB, c.LLCWays},
+	}
+	for _, cc := range caches {
+		if cc.sizeKB <= 0 || cc.ways <= 0 {
+			return fail("%s geometry must be positive (%dKB, %d ways)", cc.name, cc.sizeKB, cc.ways)
+		}
+		lines := cc.sizeKB * 1024 / int(c.LineSize)
+		if lines == 0 || lines%cc.ways != 0 {
+			return fail("%s: %d lines not divisible by %d ways", cc.name, lines, cc.ways)
+		}
+	}
+	if c.CapCacheEntries <= 0 {
+		return fail("capability cache entries %d must be positive", c.CapCacheEntries)
+	}
+	if c.AliasCacheEntries <= 0 || c.AliasCacheEntries%2 != 0 {
+		return fail("alias cache entries %d must be positive and even (2-way)", c.AliasCacheEntries)
+	}
+	if c.PredictorEntries <= 0 {
+		return fail("predictor entries %d must be positive", c.PredictorEntries)
+	}
+	if c.TLBEntries <= 0 || c.TLBWays <= 0 || c.TLBEntries%c.TLBWays != 0 {
+		return fail("TLB: %d entries not divisible by %d ways", c.TLBEntries, c.TLBWays)
+	}
+	return nil
 }
 
 // FormatTableIII renders the configuration as the paper's Table III.

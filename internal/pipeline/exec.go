@@ -29,6 +29,7 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	in := rec.Inst
 	cfg := &s.Cfg
 	c.recsRun++
+	c.lastRIP = in.Addr
 
 	// --- Branch prediction (fetch stage). ---
 	var brKind branch.Kind

@@ -1,0 +1,41 @@
+package pipeline
+
+// This file is the pipeline's fault-injection surface: deterministic
+// accessors internal/faultinject uses to perturb the per-core security
+// structures mid-run. The shadow capability table and alias table are
+// reachable directly through the exported Sim fields; the per-core
+// capability cache, alias cache, and pointer-reload predictor are private
+// to the core, so campaigns go through these hooks.
+
+// Harts returns the number of simulated harts (cores).
+func (s *Sim) Harts() int { return len(s.cores) }
+
+// InjectCapCacheDrop drops the n-th live line of the given core's
+// capability cache (performance-only: the shadow table remains
+// authoritative). It returns the dropped PID key and whether a live line
+// existed.
+func (s *Sim) InjectCapCacheDrop(core, n int) (uint64, bool) {
+	if core < 0 || core >= len(s.cores) {
+		return 0, false
+	}
+	return s.cores[core].capCache.DropNth(n)
+}
+
+// InjectAliasCacheDrop drops the n-th live line of the given core's alias
+// cache (performance-only: the shadow alias table remains authoritative).
+func (s *Sim) InjectAliasCacheDrop(core, n int) (uint64, bool) {
+	if core < 0 || core >= len(s.cores) {
+		return 0, false
+	}
+	return s.cores[core].aliasCache.DropNth(n)
+}
+
+// InjectPredictorCorrupt corrupts the n-th trained entry of the given
+// core's pointer-reload predictor (performance-only: predictions are
+// advisory; execute-time resolution always propagates the actual PID).
+func (s *Sim) InjectPredictorCorrupt(core, n int) (int, bool) {
+	if core < 0 || core >= len(s.cores) {
+		return 0, false
+	}
+	return s.cores[core].eng.Pred.CorruptNth(n)
+}

@@ -97,6 +97,22 @@ func (r *occupancyRing) release(cycle uint64) {
 	r.count++
 }
 
+// occupied counts entries still held at the given cycle (diagnostic use:
+// pipeline snapshots on hang/cancellation errors).
+func (r *occupancyRing) occupied(now uint64) int {
+	n := r.count
+	if n > uint64(r.capacity) {
+		n = uint64(r.capacity)
+	}
+	held := 0
+	for i := uint64(0); i < n; i++ {
+		if r.releases[i] > now {
+			held++
+		}
+	}
+	return held
+}
+
 // issueWindow models a capacity-limited structure whose entries free
 // out-of-order (the instruction queue: entries release at issue). A new
 // entry can dispatch once fewer than capacity older entries remain
@@ -110,6 +126,18 @@ type issueWindow struct {
 
 func newIssueWindow(capacity int) *issueWindow {
 	return &issueWindow{capacity: capacity}
+}
+
+// occupied counts entries still unissued at the given cycle (diagnostic
+// use: pipeline snapshots on hang/cancellation errors).
+func (w *issueWindow) occupied(now uint64) int {
+	held := 0
+	for _, t := range w.heap {
+		if t > now {
+			held++
+		}
+	}
+	return held
 }
 
 // bound returns the earliest cycle at which a new entry may dispatch.

@@ -1,6 +1,9 @@
 package pipeline
 
 import (
+	"context"
+	"fmt"
+
 	"chex86/internal/asm"
 	"chex86/internal/branch"
 	"chex86/internal/cache"
@@ -153,6 +156,7 @@ type coreCtx struct {
 	fetchRing  *occupancyRing
 	regReady   [isa.NumRegs]uint64
 	lastCommit uint64
+	lastRIP    uint64 // last committed macro-op address (hang diagnostics)
 
 	// Stats.
 	squashCycles  uint64
@@ -207,8 +211,26 @@ type Sim struct {
 }
 
 // New constructs a simulation of prog under cfg with the given number of
-// harts (one core per hart).
+// harts (one core per hart). It is a thin wrapper around NewSim that
+// panics on construction errors; new code should prefer NewSim.
 func New(prog *asm.Program, cfg Config, harts int) *Sim {
+	s, err := NewSim(prog, cfg, harts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSim constructs a simulation of prog under cfg with the given number
+// of harts (one core per hart), returning a structured *SimError for
+// invalid configurations instead of panicking.
+func NewSim(prog *asm.Program, cfg Config, harts int) (*Sim, error) {
+	if prog == nil {
+		return nil, &SimError{Kind: ErrConfig, Msg: "nil program"}
+	}
+	if err := cfg.validate(harts); err != nil {
+		return nil, err
+	}
 	opts := emu.Options{Harts: harts, MaxInsts: cfg.MaxInsts}
 	if cfg.Variant == decode.VariantASan {
 		opts.RedzonePad = 32
@@ -242,7 +264,8 @@ func New(prog *asm.Program, cfg Config, harts int) *Sim {
 	}
 	for _, r := range regs {
 		if err := s.MSRs.Register(r); err != nil {
-			panic(err)
+			return nil, &SimError{Kind: ErrConfig,
+				Msg: fmt.Sprintf("registering heap routine %d: %v", r.Kind, err), Err: err}
 		}
 	}
 
@@ -267,7 +290,7 @@ func New(prog *asm.Program, cfg Config, harts int) *Sim {
 	for i := 0; i < harts; i++ {
 		s.cores = append(s.cores, s.newCore(i))
 	}
-	return s
+	return s, nil
 }
 
 func (s *Sim) newCore(id int) *coreCtx {
@@ -354,7 +377,24 @@ func (s *Sim) nextRec(id int) (*emu.Rec, error) {
 // Run simulates to completion (or the instruction budget, or the first
 // violation in StopOnViolation mode) and returns the aggregated result.
 func (s *Sim) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the context is checked once per
+// scheduling round, so a cancellation or deadline expiry stops the
+// simulation within one round and surfaces as an ErrCanceled/ErrDeadline
+// *SimError carrying a pipeline snapshot. The partial result accumulated
+// so far is returned alongside the error.
+func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			kind := ErrCanceled
+			if err == context.DeadlineExceeded {
+				kind = ErrDeadline
+			}
+			return s.result(), &SimError{Kind: kind,
+				Msg: "simulation stopped: " + err.Error(), Snapshot: s.snapshot(), Err: err}
+		}
 		done, err := s.Step(1)
 		if err != nil {
 			return s.result(), err
@@ -363,6 +403,30 @@ func (s *Sim) Run() (*Result, error) {
 			return s.result(), nil
 		}
 	}
+}
+
+// checkWatchdog enforces the cycle budget and the per-hart forward-
+// progress window, converting livelocks into structured hang errors.
+func (s *Sim) checkWatchdog() error {
+	cfg := &s.Cfg
+	if cfg.MaxCycles > 0 {
+		if cur := s.CurrentCycle(); cur > cfg.MaxCycles {
+			return &SimError{Kind: ErrCycleLimit,
+				Msg:      fmt.Sprintf("simulation exceeded the %d-cycle budget without draining (livelocked guest?)", cfg.MaxCycles),
+				Snapshot: s.snapshot()}
+		}
+	}
+	if cfg.StallCycles > 0 {
+		for _, c := range s.cores {
+			if !c.done && c.fetchAt > c.lastCommit+cfg.StallCycles {
+				return &SimError{Kind: ErrHang,
+					Msg: fmt.Sprintf("hart %d made no commit for %d cycles (front-end at %d, last commit %d)",
+						c.id, c.fetchAt-c.lastCommit, c.fetchAt, c.lastCommit),
+					Snapshot: s.snapshot()}
+			}
+		}
+	}
+	return nil
 }
 
 // Step advances the simulation by up to rounds macro-ops per core,
@@ -397,6 +461,9 @@ func (s *Sim) Step(rounds int) (bool, error) {
 		}
 		if !progress {
 			return true, nil
+		}
+		if err := s.checkWatchdog(); err != nil {
+			return false, err
 		}
 	}
 	return false, nil

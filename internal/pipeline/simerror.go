@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SimErrorKind classifies structured simulation errors.
+type SimErrorKind uint8
+
+const (
+	// ErrConfig marks an invalid machine configuration or program rejected
+	// at construction time.
+	ErrConfig SimErrorKind = iota
+	// ErrHang marks a forward-progress watchdog trip: some hart made no
+	// commit for the configured stall window while its front-end advanced.
+	ErrHang
+	// ErrCycleLimit marks the cycle-budget watchdog: the simulation ran
+	// past Config.MaxCycles without draining (a livelocked guest).
+	ErrCycleLimit
+	// ErrCanceled marks a RunContext cancellation.
+	ErrCanceled
+	// ErrDeadline marks a RunContext deadline expiry.
+	ErrDeadline
+)
+
+var simErrorNames = [...]string{
+	"config", "hang", "cycle-limit", "canceled", "deadline",
+}
+
+// String names the error kind.
+func (k SimErrorKind) String() string {
+	if int(k) < len(simErrorNames) {
+		return simErrorNames[k]
+	}
+	return "sim-error?"
+}
+
+// HartSnapshot is one hart's pipeline state at the moment a structured
+// error was raised.
+type HartSnapshot struct {
+	Hart    int    `json:"hart"`
+	Cycle   uint64 `json:"cycle"`   // last commit cycle on this hart
+	FetchAt uint64 `json:"fetchAt"` // front-end position
+	LastRIP uint64 `json:"lastRip"` // last committed macro-op address
+	Done    bool   `json:"done"`
+	ROB     int    `json:"rob"` // occupancy at the last commit cycle
+	IQ      int    `json:"iq"`
+	LQ      int    `json:"lq"`
+	SQ      int    `json:"sq"`
+}
+
+// Snapshot captures the pipeline state carried by hang/cancellation
+// errors, so a killed run is diagnosable without re-running it.
+type Snapshot struct {
+	Cycle      uint64         `json:"cycle"` // latest commit cycle across harts
+	TotalInsts uint64         `json:"totalInsts"`
+	Harts      []HartSnapshot `json:"harts"`
+}
+
+// String renders a one-line snapshot summary.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d insts=%d", s.Cycle, s.TotalInsts)
+	for _, h := range s.Harts {
+		fmt.Fprintf(&b, " [hart%d rip=%#x cycle=%d rob=%d iq=%d lq=%d sq=%d]",
+			h.Hart, h.LastRIP, h.Cycle, h.ROB, h.IQ, h.LQ, h.SQ)
+	}
+	return b.String()
+}
+
+// SimError is a structured simulation error: every internal failure mode
+// of the simulator (bad configuration, livelock, cancellation) surfaces as
+// one of these instead of a panic or a wall-clock hang.
+type SimError struct {
+	Kind     SimErrorKind
+	Msg      string
+	Snapshot *Snapshot // pipeline state at the fault (nil for config errors)
+	Err      error     // wrapped cause (nil unless wrapping)
+}
+
+// Error implements error.
+func (e *SimError) Error() string {
+	s := fmt.Sprintf("sim error (%s): %s", e.Kind, e.Msg)
+	if e.Snapshot != nil {
+		s += " @ " + e.Snapshot.String()
+	}
+	return s
+}
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *SimError) Unwrap() error { return e.Err }
+
+// snapshot captures the current pipeline state of every hart.
+func (s *Sim) snapshot() *Snapshot {
+	snap := &Snapshot{Cycle: s.CurrentCycle(), TotalInsts: s.M.TotalInsts()}
+	for _, c := range s.cores {
+		now := c.lastCommit
+		snap.Harts = append(snap.Harts, HartSnapshot{
+			Hart:    c.id,
+			Cycle:   c.lastCommit,
+			FetchAt: c.fetchAt,
+			LastRIP: c.lastRIP,
+			Done:    c.done,
+			ROB:     c.rob.occupied(now),
+			IQ:      c.iq.occupied(now),
+			LQ:      c.lq.occupied(now),
+			SQ:      c.sq.occupied(now),
+		})
+	}
+	return snap
+}

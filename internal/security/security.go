@@ -83,7 +83,11 @@ func Run(e *Exploit, variant decode.Variant) *Outcome {
 	cfg.Variant = variant
 	cfg.StopOnViolation = true
 	cfg.MaxInsts = 2_000_000
-	sim := pipeline.New(prog, cfg, 1)
+	sim, err := pipeline.NewSim(prog, cfg, 1)
+	if err != nil {
+		out.Err = err
+		return out
+	}
 	_, rerr := sim.Run()
 	if v, ok := rerr.(*core.Violation); ok {
 		out.Detected = true

@@ -187,6 +187,50 @@ func (p *AliasPredictor) blIndex(pc uint64) (int, uint32) {
 	return int(h % uint64(len(p.blacklist))), uint32(h & 0xFFFFFFFF)
 }
 
+// LiveEntries returns the number of trained (non-zero-PID) predictor
+// entries.
+func (p *AliasPredictor) LiveEntries() int {
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].pid != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CorruptNth corrupts the n-th trained entry (index order, n taken modulo
+// the trained count): its PID and stride are perturbed as if the storage
+// cell flipped — the fault-injection hook for the pointer-reload
+// predictor. Prediction output is advisory (ResolveLoad always propagates
+// the actual PID from the shadow alias table), so a corrupted entry costs
+// mispredictions, never correctness. It returns the corrupted entry's PC
+// tag slot index and whether any trained entry existed.
+func (p *AliasPredictor) CorruptNth(n int) (int, bool) {
+	total := p.LiveEntries()
+	if total == 0 {
+		return 0, false
+	}
+	n %= total
+	for i := range p.entries {
+		if p.entries[i].pid == 0 {
+			continue
+		}
+		if n == 0 {
+			e := &p.entries[i]
+			e.pid ^= 0x2A
+			if e.pid <= 0 {
+				e.pid = 1
+			}
+			e.stride = -e.stride + 1
+			e.bias = 3 // high confidence in garbage: worst case for timing
+			return i, true
+		}
+		n--
+	}
+	return 0, false
+}
+
 // Predict returns the predicted PID for the load at pc (0 = not a pointer
 // reload). Blacklisted loads always predict 0.
 func (p *AliasPredictor) Predict(pc uint64) core.PID {
