@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"chex86/internal/cvedata"
 	"chex86/internal/experiments"
@@ -33,7 +34,16 @@ func main() {
 	contextBench := flag.String("context", "", "run the context-sensitivity sweep for this benchmark")
 	sweepBench := flag.String("sweep", "", "run the structure-sizing sweeps (cap cache / alias cache / predictor) for this benchmark")
 	report := flag.String("report", "", "write a complete markdown report to this file (runs everything)")
+	stamp := flag.String("stamp", "", "run identifier embedded in the report header (default: current time; pass a fixed stamp for byte-reproducible reports)")
+	coverage := flag.Bool("coverage", false, "run the static pointer-flow cross-check and report tracker coverage")
 	flag.Parse()
+
+	// The wall-clock read lives here, in the CLI, not in
+	// internal/experiments: the library's outputs stay byte-stable and
+	// the determinism linter (chexvet) keeps it that way.
+	if *stamp == "" {
+		*stamp = time.Now().Format(time.RFC3339) //determinism:ok — CLI-level stamp, overridable with -stamp
+	}
 
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -46,7 +56,7 @@ func main() {
 		if *benches != "" {
 			ro.Benches = strings.Split(*benches, ",")
 		}
-		if err := experiments.Report(f, ro, experiments.Stamp()); err != nil {
+		if err := experiments.Report(f, ro, *stamp); err != nil {
 			fmt.Fprintln(os.Stderr, "chexbench:", err)
 			os.Exit(1)
 		}
@@ -111,6 +121,21 @@ func main() {
 				fmt.Print(experiments.FormatSweep(*sweepBench, k, rows))
 				fmt.Println()
 			}
+			return nil
+		})
+		if !*all && *fig == 0 && *table == 0 {
+			return
+		}
+	}
+
+	if *coverage {
+		run("Tracker coverage", func() error {
+			rows, err := experiments.RunCoverage(o)
+			if err != nil {
+				return err
+			}
+			dump("coverage", rows)
+			fmt.Print(experiments.FormatCoverage(rows))
 			return nil
 		})
 		if !*all && *fig == 0 && *table == 0 {

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	ruledump                       # print the rule database
+//	ruledump -json                 # machine-readable (byte-stable) form
 //	ruledump -validate             # and validate it over all workloads
 //	ruledump -validate -benches mcf,perlbench
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +25,25 @@ func main() {
 	validate := flag.Bool("validate", false, "validate the rules with the hardware checker over the workloads")
 	benches := flag.String("benches", "", "comma-separated benchmark subset for validation")
 	scale := flag.Float64("scale", 0.5, "workload scale for validation")
+	jsonOut := flag.Bool("json", false, "emit the rule database as JSON (database order, byte-stable)")
 	flag.Parse()
 
-	fmt.Println("Table I: Pointer Tracking Rule Database")
-	fmt.Println()
 	db := tracker.NewRuleDB()
-	fmt.Print(db.Format())
+	if *jsonOut {
+		data, err := json.MarshalIndent(db.Export(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ruledump:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		if !*validate {
+			return
+		}
+	} else {
+		fmt.Println("Table I: Pointer Tracking Rule Database")
+		fmt.Println()
+		fmt.Print(db.Format())
+	}
 
 	if !*validate {
 		return

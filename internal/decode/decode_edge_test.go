@@ -1,0 +1,127 @@
+package decode
+
+import (
+	"testing"
+
+	"chex86/internal/isa"
+)
+
+// Edge-case expansions the static pointer-flow analyzer (internal/ptrflow)
+// leans on: indirect control transfers, return sequences, and the
+// MacroIdx positions that key its site identities.
+
+func TestIndirectCallExpansion(t *testing.T) {
+	in := isa.Inst{Op: isa.CALL, Dst: isa.RegOp(isa.R11), Addr: 0x400100, EncLen: 4}
+	uops := expand(t, in)
+	if len(uops) != 3 {
+		t.Fatalf("indirect call: %d uops, want 3", len(uops))
+	}
+	st := uops[0]
+	if st.Type != isa.UStore || st.Mem.Base != isa.RSP || st.Mem.Disp != -8 {
+		t.Errorf("uop0 must push the return address at -8(%%rsp): %+v", st)
+	}
+	if !st.HasImm || uint64(st.Imm) != in.NextAddr() {
+		t.Errorf("return address must be the next instruction (%#x), got %#x", in.NextAddr(), st.Imm)
+	}
+	if st.Src1 != isa.RNone {
+		t.Errorf("return-address store must not read a source register, got %v", st.Src1)
+	}
+	adj := uops[1]
+	if adj.Type != isa.UAlu || adj.Alu != isa.AluSub || adj.Dst != isa.RSP || !adj.HasImm || adj.Imm != 8 {
+		t.Errorf("uop1 must be sub %%rsp, 8: %+v", adj)
+	}
+	j := uops[2]
+	if j.Type != isa.UJump || j.Src1 != isa.R11 || j.HasImm {
+		t.Errorf("uop2 must jump through %%r11 with no immediate target: %+v", j)
+	}
+}
+
+func TestDirectCallExpansion(t *testing.T) {
+	in := isa.Inst{Op: isa.CALL, Target: 0x400800, Addr: 0x400100, EncLen: 4}
+	uops := expand(t, in)
+	if len(uops) != 3 {
+		t.Fatalf("direct call: %d uops, want 3", len(uops))
+	}
+	j := uops[2]
+	if j.Type != isa.UJump || !j.HasImm || uint64(j.Imm) != 0x400800 || j.Src1.Valid() {
+		t.Errorf("direct call jump must carry the target immediate: %+v", j)
+	}
+}
+
+func TestIndirectJmpExpansion(t *testing.T) {
+	uops := expand(t, isa.Inst{Op: isa.JMP, Dst: isa.RegOp(isa.RAX)})
+	if len(uops) != 1 {
+		t.Fatalf("indirect jmp: %d uops, want 1", len(uops))
+	}
+	j := uops[0]
+	if j.Type != isa.UJump || j.Src1 != isa.RAX || j.HasImm {
+		t.Errorf("indirect jmp must read the target register only: %+v", j)
+	}
+}
+
+func TestRetExpansion(t *testing.T) {
+	uops := expand(t, isa.Inst{Op: isa.RET})
+	if len(uops) != 3 {
+		t.Fatalf("ret: %d uops, want 3", len(uops))
+	}
+	ld := uops[0]
+	if ld.Type != isa.ULoad || ld.Dst != isa.T0 || ld.Mem.Base != isa.RSP || ld.Mem.Disp != 0 {
+		t.Errorf("uop0 must load the return address from (%%rsp) into T0: %+v", ld)
+	}
+	adj := uops[1]
+	if adj.Type != isa.UAlu || adj.Alu != isa.AluAdd || adj.Dst != isa.RSP || !adj.HasImm || adj.Imm != 8 {
+		t.Errorf("uop1 must be add %%rsp, 8: %+v", adj)
+	}
+	j := uops[2]
+	if j.Type != isa.UJump || j.Src1 != isa.T0 || j.HasImm {
+		t.Errorf("uop2 must jump through T0: %+v", j)
+	}
+}
+
+// TestMacroIdxPositions pins the MacroIdx numbering of multi-uop
+// expansions: the pipeline keys capability-check decisions and the
+// ptrflow cross-check keys its site identities on (rip, MacroIdx), so
+// renumbering is a silent diff-breaking change.
+func TestMacroIdxPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		in   isa.Inst
+		n    int
+	}{
+		{"rmw add", isa.Inst{Op: isa.ADD, Dst: isa.MemOp(isa.RBX, 0), Src: isa.RegOp(isa.RAX)}, 3},
+		{"call", isa.Inst{Op: isa.CALL, Target: 0x1000}, 3},
+		{"ret", isa.Inst{Op: isa.RET}, 3},
+		{"push", isa.Inst{Op: isa.PUSH, Dst: isa.RegOp(isa.RAX)}, 2},
+		{"mov m,imm", isa.Inst{Op: isa.MOV, Dst: isa.MemOp(isa.RBX, 0), Src: isa.ImmOp(5)}, 2},
+	}
+	for _, c := range cases {
+		uops := expand(t, c.in)
+		if len(uops) != c.n {
+			t.Errorf("%s: %d uops, want %d", c.name, len(uops), c.n)
+			continue
+		}
+		for i, u := range uops {
+			if int(u.MacroIdx) != i {
+				t.Errorf("%s: uop %d has MacroIdx %d", c.name, i, u.MacroIdx)
+			}
+		}
+	}
+}
+
+// TestBufferReuseKeepsExpansion guards the decode-buffer reuse pattern
+// the analyzer and pipeline share: decoding into a recycled buffer must
+// not corrupt a previously returned slice's contents when the caller
+// hands back buf[:0] of the same backing array.
+func TestBufferReuseKeepsExpansion(t *testing.T) {
+	var d Decoder
+	in1 := isa.Inst{Op: isa.RET}
+	in2 := isa.Inst{Op: isa.PUSH, Dst: isa.RegOp(isa.RAX)}
+	buf := d.Native(&in1, nil)
+	if buf[0].Type != isa.ULoad {
+		t.Fatalf("ret uop0 = %v", buf[0].Type)
+	}
+	buf = d.Native(&in2, buf[:0])
+	if buf[0].Type != isa.UStore || len(buf) != 2 {
+		t.Fatalf("push expansion after reuse: %+v", buf)
+	}
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"time"
 
 	"chex86/internal/cvedata"
 )
@@ -100,6 +99,14 @@ func Report(w io.Writer, o Options, stamp string) error {
 	fmt.Fprint(w, FormatFig9(f9))
 	endSection()
 
+	cov, err := RunCoverage(o)
+	if err != nil {
+		return err
+	}
+	section("Tracker coverage — static pointer-flow cross-check")
+	fmt.Fprint(w, FormatCoverage(cov))
+	endSection()
+
 	s := Summarize(f6)
 	fmt.Fprintf(w, "## Headline summary\n\n")
 	fmt.Fprintf(w, "| Metric | Paper | This run |\n|---|---|---|\n")
@@ -110,6 +117,3 @@ func Report(w io.Writer, o Options, stamp string) error {
 	fmt.Fprintf(w, "| Microcode vs binary translation | +12%% | %+.1f%% |\n", s.BTSpeedupPct)
 	return nil
 }
-
-// Stamp returns a human-readable run identifier.
-func Stamp() string { return time.Now().Format(time.RFC3339) }

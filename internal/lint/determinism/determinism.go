@@ -1,0 +1,271 @@
+// Package determinism lints simulator packages for nondeterminism
+// hazards. The simulator's contract is that equal seeds and equal
+// configurations produce byte-identical outputs (reports, traces, JSON) —
+// fault-injection campaigns, the experiment harness, and the ptrflow
+// cross-check all diff outputs across runs, so a wall-clock read or an
+// unsorted map walk that feeds a writer silently breaks them.
+//
+// Three checks:
+//
+//   - time-now: calls to (or references of) time.Now, time.Since, or
+//     time.Until. Simulated time must come from the cycle counter;
+//     wall-clock values embedded in output change every run.
+//
+//   - global-rand: use of math/rand's package-level functions (rand.Intn,
+//     rand.Shuffle, rand.Seed, ...), whose stream is shared, racy, and —
+//     since Go 1.20 — auto-seeded. Constructing explicit seeded
+//     generators with rand.New(rand.NewSource(seed)) is allowed.
+//
+//   - map-range-output: a `for ... range m` over a map whose body calls
+//     an output or serialization sink (fmt printing, Write*, json
+//     Marshal/Encode). Go randomizes map iteration order, so such loops
+//     emit differently ordered bytes on every run; iterate a sorted key
+//     slice instead.
+//
+// A finding is waived by a `//determinism:ok` comment on the same line
+// (or the line above) — the waiver is for call sites that are provably
+// order-insensitive or deliberately wall-clock-bound.
+//
+// The linter is purely stdlib (go/ast + go/types with a stub importer),
+// so it runs in hermetic build environments with no module cache. Types
+// are resolved best-effort: identifiers whose types come from other
+// packages degrade to "unknown" and are skipped, which keeps the checks
+// conservative (no false positives from partial information).
+package determinism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Check names.
+const (
+	CheckTimeNow        = "time-now"
+	CheckGlobalRand     = "global-rand"
+	CheckMapRangeOutput = "map-range-output"
+)
+
+// Finding is one determinism hazard.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Msg)
+}
+
+// randAllowed lists the math/rand selectors that construct explicit
+// generators instead of using the shared global stream.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// Types and interfaces, not stream draws.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+// sinkNames are method/function selectors treated as output or
+// serialization sinks inside a map-range body.
+var sinkNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Marshal": true, "MarshalIndent": true, "Encode": true,
+}
+
+// LintDir lints the non-test Go files of one package directory.
+func LintDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Best-effort typecheck with stub imports: local types resolve fully,
+	// cross-package types degrade to invalid (and are skipped).
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{
+		Error:            func(error) {}, // partial information is fine
+		Importer:         stubImporter{},
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+	}
+	conf.Check(dir, fset, files, info) //determinism best-effort: errors ignored
+
+	var out []Finding
+	for _, f := range files {
+		out = append(out, lintFile(fset, f, info)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// stubImporter satisfies imports with empty packages so typechecking can
+// proceed without a module cache.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []Finding {
+	waived := waivedLines(fset, f)
+	timeName := importName(f, "time")
+	randName := importName(f, "math/rand")
+
+	var out []Finding
+	report := func(pos token.Pos, check, msg string) {
+		p := fset.Position(pos)
+		if waived[p.Line] {
+			return
+		}
+		out = append(out, Finding{Pos: p, Check: check, Msg: msg})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			x, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if timeName != "" && x.Name == timeName {
+				switch n.Sel.Name {
+				case "Now", "Since", "Until":
+					report(n.Pos(), CheckTimeNow,
+						fmt.Sprintf("wall-clock read time.%s breaks run-to-run reproducibility; derive timing from the cycle counter or inject the stamp from the caller", n.Sel.Name))
+				}
+			}
+			if randName != "" && x.Name == randName && !randAllowed[n.Sel.Name] {
+				report(n.Pos(), CheckGlobalRand,
+					fmt.Sprintf("global math/rand stream rand.%s is auto-seeded and shared; use rand.New(rand.NewSource(seed))", n.Sel.Name))
+			}
+		case *ast.RangeStmt:
+			if !isMapType(info, n.X) {
+				return true
+			}
+			if sink := findSink(n.Body); sink != nil {
+				sel := sink.Fun.(*ast.SelectorExpr)
+				report(n.Pos(), CheckMapRangeOutput,
+					fmt.Sprintf("map iteration order is randomized but this loop feeds %s (line %d); iterate a sorted key slice", sel.Sel.Name, fset.Position(sink.Pos()).Line))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// waivedLines collects the lines covered by //determinism:ok comments:
+// the comment's own line and the line below it (for stand-alone waiver
+// comments above the offending statement).
+func waivedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	waived := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "determinism:ok") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			waived[line] = true
+			waived[line+1] = true
+		}
+	}
+	return waived
+}
+
+// importName returns the file-local name of an imported package path, or
+// "" if the file does not import it.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// isMapType reports whether expr's resolved type is a map. Unresolved
+// (cross-package) types return false — conservative, no false positives.
+func isMapType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// findSink returns the first output/serialization call inside body, not
+// descending into nested function literals (a deferred or stored closure
+// does not emit during the iteration).
+func findSink(body *ast.BlockStmt) *ast.CallExpr {
+	var sink *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sinkNames[sel.Sel.Name] {
+			sink = call
+			return false
+		}
+		return true
+	})
+	return sink
+}

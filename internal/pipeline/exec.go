@@ -179,6 +179,9 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 		case isa.ULoad, isa.UStore:
 			write := u.Type == isa.UStore
 			pid := c.eng.DerefPID(u)
+			if s.TraceDeref != nil {
+				s.TraceDeref(rip, u, pid)
+			}
 
 			inject := false
 			switch cfg.Variant {
@@ -335,6 +338,9 @@ func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, pla
 		case isa.ULoad, isa.UStore:
 			write := u.Type == isa.UStore
 			pid := c.eng.DerefPID(u)
+			if s.TraceDeref != nil {
+				s.TraceDeref(rip, u, pid)
+			}
 			c.checksRun++
 			if pid != 0 {
 				if pid > 0 && !c.capCache.Access(uint64(pid)) {

@@ -199,6 +199,14 @@ type Sim struct {
 	// nil).
 	TraceUop func(t UopTrace)
 
+	// TraceDeref, when set, observes every memory micro-op's dereference
+	// tag as computed by the speculative pointer tracker (the PID of the
+	// addressing-mode base, with index fallback). It fires for the
+	// tracker-based variants only, before any check-injection decision, so
+	// the stream reflects the tracker's raw view — the probe the static
+	// pointer-flow cross-check (internal/ptrflow) diffs against.
+	TraceDeref func(rip uint64, u *isa.Uop, pid core.PID)
+
 	llc  *cache.LineCache
 	dram *mem.DRAM
 

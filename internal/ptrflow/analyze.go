@@ -1,0 +1,761 @@
+package ptrflow
+
+import (
+	"fmt"
+	"sort"
+
+	"chex86/internal/asm"
+	"chex86/internal/decode"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/tracker"
+)
+
+// Options parameterizes an analysis run.
+type Options struct {
+	// Harts is the number of hardware threads the program is run with
+	// (selects the thread<i> entry points). Defaults to 1.
+	Harts int
+
+	// IndirectTargets maps an indirect JMP/CALL address to its possible
+	// target set. Branches absent from the map are recorded as unresolved
+	// (use RecoverIndirectTargets for a label-based over-approximation).
+	IndirectTargets map[uint64][]uint64
+
+	// MaxTransfers bounds block-transfer applications as a divergence
+	// backstop; 0 means an automatic bound derived from program size.
+	MaxTransfers int
+}
+
+// SiteKey identifies one memory micro-op: the macro-op address plus the
+// micro-op's index within the native expansion. The dynamic tracker's
+// deref trace uses the same key (see crosscheck.go).
+type SiteKey struct {
+	Addr     uint64
+	MacroIdx uint8
+}
+
+// Site is the static classification of one memory micro-op.
+type Site struct {
+	Addr     uint64
+	MacroIdx uint8
+	Store    bool
+	Inst     string // macro-op disassembly
+	Verdict  Verdict
+	// Assumed marks verdicts that rest on the init-order assumption
+	// (a value read through a region summary before the analysis can
+	// prove the region's writes precede it, see DESIGN.md §9); such
+	// verdicts cannot prove tracker false negatives.
+	Assumed bool
+	// Deref is the joined abstract tag of the dereference (diagnostics).
+	Deref Value
+	// Reached reports whether the dataflow reached the site at all.
+	Reached bool
+}
+
+// Key returns the site's key.
+func (s *Site) Key() SiteKey { return SiteKey{Addr: s.Addr, MacroIdx: s.MacroIdx} }
+
+// Stats aggregates analysis-wide counters for the report.
+type Stats struct {
+	Blocks              int
+	Insts               int
+	MemSites            int
+	PointerSites        int
+	NotPointerSites     int
+	UnknownSites        int
+	AssumedSites        int
+	UnreachedSites      int
+	UnknownEAStores     int // stores whose effective address could not be bounded
+	UnresolvedIndirects int
+	Transfers           int
+}
+
+// RegionSummary reports one abstract memory region's fixpoint for the
+// JSON report.
+type RegionSummary struct {
+	Name    string `json:"name"`
+	Init    string `json:"init"`    // static-initializer contribution
+	Stores  string `json:"stores"`  // dynamic-store contribution
+	Covered bool   `json:"covered"` // every word has an explicit initializer
+}
+
+// Analysis is the result of a static pointer-flow run.
+type Analysis struct {
+	CFG   *CFG
+	Sites map[SiteKey]*Site
+	Stats Stats
+
+	regions    map[string]*region
+	relocSlot  map[uint64]string // reloc slot -> target global name
+	globals    []asm.Global      // sorted by address
+	poison     Value             // accumulated unknown-EA store contribution
+	unresolved map[uint64]bool   // indirect branches with no target hints
+
+	onRegionChange func() // fixpoint-restart notification
+}
+
+// region is one abstract memory object's summary: what the alias table
+// can hold for addresses inside it.
+type region struct {
+	init    Value // explicit static initializers (Data words, reloc slots)
+	stores  Value // join of everything dynamically stored through it
+	covered bool  // every 8-byte word has an explicit initializer
+}
+
+// unmappedRegion names absolute addresses outside every known global.
+const unmappedRegion = "@unmapped"
+
+// state is the dataflow fact at a program point: per-register abstract
+// tags, the tracked RSP displacement from hart entry, and the per-frame
+// stack-slot lattice (keyed by entry-relative offset, so slots survive
+// across calls and the callee's spills resolve exactly).
+type state struct {
+	regs  [isa.NumRegs]Value
+	rsp   int64
+	rspOK bool
+	frame map[int64]Value
+}
+
+func newEntryState() *state {
+	s := &state{rspOK: true, frame: map[int64]Value{}}
+	for i := range s.regs {
+		s.regs[i] = notPtr // all tags start at 0
+	}
+	return s
+}
+
+func (s *state) clone() *state {
+	c := *s
+	c.frame = make(map[int64]Value, len(s.frame))
+	for k, v := range s.frame {
+		c.frame[k] = v
+	}
+	return &c
+}
+
+// reg reads a register tag, mirroring Tags.Current: invalid registers
+// (RNone) read as tag 0.
+func (s *state) reg(r isa.Reg) Value {
+	if !r.Valid() {
+		return notPtr
+	}
+	return s.regs[r]
+}
+
+// joinInto joins o into s, returning whether s changed. Frames join by
+// key intersection (a slot live on only one path is unknown afterwards);
+// diverging RSP displacements invalidate slot addressing entirely.
+func (s *state) joinInto(o *state) bool {
+	changed := false
+	for i := range s.regs {
+		j := join(s.regs[i], o.regs[i])
+		if !j.eq(s.regs[i]) {
+			s.regs[i] = j
+			changed = true
+		}
+	}
+	if s.rspOK && (!o.rspOK || s.rsp != o.rsp) {
+		s.rspOK = false
+		changed = true
+	}
+	if !s.rspOK && s.frame != nil {
+		s.frame = nil
+		changed = true
+	}
+	if s.frame != nil {
+		for k, v := range s.frame {
+			ov, ok := o.frame[k]
+			if !ok {
+				delete(s.frame, k)
+				changed = true
+				continue
+			}
+			j := join(v, ov)
+			if !j.eq(v) {
+				s.frame[k] = j
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Analyze runs the static pointer-flow analysis over prog.
+func Analyze(prog *asm.Program, opt Options) (*Analysis, error) {
+	g := BuildCFG(prog, opt.Harts, opt.IndirectTargets)
+	a := &Analysis{
+		CFG:        g,
+		Sites:      map[SiteKey]*Site{},
+		regions:    map[string]*region{},
+		relocSlot:  map[uint64]string{},
+		globals:    prog.SortedGlobals(),
+		poison:     bot,
+		unresolved: map[uint64]bool{},
+	}
+	for _, addr := range g.Unresolved {
+		a.unresolved[addr] = true
+	}
+	a.Stats.Blocks = len(g.Blocks)
+	a.Stats.Insts = len(prog.Insts)
+	a.Stats.UnresolvedIndirects = len(g.Unresolved)
+	a.seedRegions(prog)
+	if len(g.Blocks) == 0 {
+		return a, nil
+	}
+
+	db := tracker.NewRuleDB()
+	var dec decode.Decoder
+	uopBuf := make([]isa.Uop, 0, 8)
+
+	maxTransfers := opt.MaxTransfers
+	if maxTransfers == 0 {
+		// Generous: lattice height per fact is small, so fixpoints settle in
+		// a handful of sweeps even with region-summary restarts.
+		maxTransfers = (len(g.Blocks) + 1) * 4096
+	}
+
+	in := make([]*state, len(g.Blocks))
+	dirty := make([]bool, len(g.Blocks))
+	var work []int
+	push := func(id int) {
+		if !dirty[id] {
+			dirty[id] = true
+			work = append(work, id)
+		}
+	}
+	for _, e := range g.Entries {
+		in[e] = newEntryState()
+		push(e)
+	}
+
+	regionsDirty := false
+	a.onRegionChange = func() { regionsDirty = true }
+
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		dirty[id] = false
+
+		a.Stats.Transfers++
+		if a.Stats.Transfers > maxTransfers {
+			return nil, fmt.Errorf("ptrflow: fixpoint exceeded %d block transfers (diverging lattice?)", maxTransfers)
+		}
+
+		st := in[id].clone()
+		a.transferBlock(g, &g.Blocks[id], st, db, &dec, &uopBuf, nil)
+
+		for _, succ := range g.Blocks[id].Succs {
+			if in[succ] == nil {
+				in[succ] = st.clone()
+				push(succ)
+			} else if in[succ].joinInto(st) {
+				push(succ)
+			}
+		}
+		// A region summary grew: facts read through it anywhere may be
+		// stale, so restart the sweep over every reached block.
+		if regionsDirty && len(work) == 0 {
+			regionsDirty = false
+			for id := range in {
+				if in[id] != nil {
+					push(id)
+				}
+			}
+		}
+	}
+
+	// Final pass over the fixpoint: record per-site verdicts.
+	for bi := range g.Blocks {
+		if in[bi] == nil {
+			a.recordUnreached(g, &g.Blocks[bi], &dec, &uopBuf)
+			continue
+		}
+		st := in[bi].clone()
+		a.transferBlock(g, &g.Blocks[bi], st, db, &dec, &uopBuf, a.recordSite)
+	}
+	a.finish()
+	return a, nil
+}
+
+// seedRegions computes each global's static-initializer contribution and
+// coverage from the loader's Data words and relocation entries.
+func (a *Analysis) seedRegions(prog *asm.Program) {
+	for _, r := range prog.Relocs {
+		a.relocSlot[r.Slot] = r.Target
+	}
+	covered := map[string]map[uint64]bool{}
+	slot := func(g *asm.Global, addr uint64, v Value) {
+		r := a.region(g.Name)
+		r.init = join(r.init, v)
+		if covered[g.Name] == nil {
+			covered[g.Name] = map[uint64]bool{}
+		}
+		covered[g.Name][addr&^7] = true
+	}
+	for _, g := range prog.Globals {
+		a.region(g.Name) // materialize, covered computed below
+	}
+	for _, d := range prog.Data {
+		if g := a.globalAt(d.Addr); g != nil {
+			slot(g, d.Addr, notPtr)
+		}
+	}
+	for _, rl := range prog.Relocs {
+		if g := a.globalAt(rl.Slot); g != nil {
+			slot(g, rl.Slot, Value{Tag: TagPtr, Region: rl.Target})
+		}
+	}
+	for i := range a.globals {
+		g := &a.globals[i]
+		words := (g.Size + 7) / 8
+		a.region(g.Name).covered = uint64(len(covered[g.Name])) >= words && words > 0
+	}
+}
+
+func (a *Analysis) region(name string) *region {
+	r, ok := a.regions[name]
+	if !ok {
+		r = &region{init: bot, stores: bot}
+		a.regions[name] = r
+	}
+	return r
+}
+
+// globalAt returns the global containing addr, or nil.
+func (a *Analysis) globalAt(addr uint64) *asm.Global {
+	i := sort.Search(len(a.globals), func(i int) bool {
+		return a.globals[i].Addr+a.globals[i].Size > addr
+	})
+	if i < len(a.globals) && a.globals[i].Addr <= addr {
+		return &a.globals[i]
+	}
+	return nil
+}
+
+func (a *Analysis) regionNameAt(addr uint64) string {
+	if g := a.globalAt(addr); g != nil {
+		return g.Name
+	}
+	return unmappedRegion
+}
+
+// readRegion returns the abstract alias-table content for any address
+// inside the named region: the join of static initializers and dynamic
+// stores. Regions that are not fully covered by explicit initializers
+// exclude the implicit-zero baseline from the join — instead, reads carry
+// the Assumed taint (the init-order assumption).
+func (a *Analysis) readRegion(name string) Value {
+	r := a.region(name)
+	v := join(r.init, r.stores)
+	v = join(v, a.poison)
+	if v.Tag == TagBot {
+		return notPtr // nothing is ever written: implicit zero, sound
+	}
+	if !r.covered && v.Tag != TagNotPtr {
+		v.Assumed = true
+	}
+	return v
+}
+
+// relocRead returns the value loaded from an exact relocation slot: the
+// loader seeded its alias with the target global's PID, so the result is
+// a sound pointer into the target — joined with any dynamic stores that
+// may have overwritten the slot's containing region.
+func (a *Analysis) relocRead(slotAddr uint64) Value {
+	v := Value{Tag: TagPtr, Region: a.relocSlot[slotAddr]}
+	cont := a.region(a.regionNameAt(slotAddr))
+	if cont.stores.Tag != TagBot {
+		v = join(v, cont.stores)
+	}
+	if a.poison.Tag != TagBot {
+		v = join(v, a.poison)
+	}
+	return v
+}
+
+// joinStore accumulates a dynamic store into a region summary, flagging a
+// fixpoint restart when the summary grows.
+func (a *Analysis) joinStore(name string, v Value) {
+	r := a.region(name)
+	j := join(r.stores, v)
+	if !j.eq(r.stores) {
+		r.stores = j
+		if a.onRegionChange != nil {
+			a.onRegionChange()
+		}
+	}
+}
+
+// poisonAll records a store whose effective address the analysis cannot
+// bound: it may hit any region (and any stack slot), so its value joins
+// every summary and the final pass demotes all verdicts to Assumed.
+func (a *Analysis) poisonAll(v Value) {
+	j := join(a.poison, v)
+	if !j.eq(a.poison) {
+		a.poison = j
+		if a.onRegionChange != nil {
+			a.onRegionChange()
+		}
+	}
+	a.Stats.UnknownEAStores++
+}
+
+// derefVal mirrors Engine.DerefPID abstractly: the base register's tag,
+// falling back to the index register when the base tag is zero.
+func derefVal(st *state, m isa.MemRef) Value {
+	b := st.reg(m.Base)
+	ix := st.reg(m.Index)
+	switch b.Tag {
+	case TagNotPtr:
+		return ix
+	case TagPtr, TagWild:
+		return b
+	case TagBot:
+		return bot
+	default: // Top: the base may or may not fall back to the index
+		return join(b, ix)
+	}
+}
+
+// eaPointer selects the pointer through which a memory micro-op's
+// effective address is formed, for region attribution. The bool is false
+// when the EA cannot be bounded (arbitrary integer arithmetic, wild or
+// unbounded operands).
+func eaPointer(st *state, m isa.MemRef) (Value, bool) {
+	b := st.reg(m.Base)
+	ix := st.reg(m.Index)
+	var p Value
+	switch {
+	case b.Tag == TagPtr:
+		p = b
+	case b.Tag == TagNotPtr && ix.Tag == TagPtr:
+		p = ix
+	default:
+		return top, false
+	}
+	if p.Region == "" {
+		return top, false
+	}
+	return p, true
+}
+
+// siteFn observes each memory micro-op's deref value during the final
+// fixpoint pass.
+type siteFn func(in *isa.Inst, u *isa.Uop, deref Value)
+
+// transferBlock interprets one basic block's macro-ops on st, mirroring
+// the engine's per-uop semantics exactly (see internal/tracker/engine.go).
+func (a *Analysis) transferBlock(g *CFG, b *Block, st *state, db *tracker.RuleDB, dec *decode.Decoder, buf *[]isa.Uop, site siteFn) {
+	prog := g.Prog
+	for idx := b.Start; idx < b.End; idx++ {
+		in := &prog.Insts[idx]
+		uops := dec.Native(in, (*buf)[:0])
+		*buf = uops
+
+		for i := range uops {
+			u := &uops[i]
+			if site != nil && u.Type.IsMem() {
+				site(in, u, derefVal(st, u.Mem))
+			}
+			a.transferUop(st, u, db)
+		}
+		if in.Op == isa.CALL {
+			switch {
+			case in.Dst.Kind != isa.OpReg && prog.At(in.Target) == nil:
+				a.applyExternalCall(st, in.Target)
+			case in.Dst.Kind == isa.OpReg && a.unresolved[in.Addr]:
+				// An indirect call with no hint set could reach anything.
+				a.applyExternalCall(st, 0)
+			}
+		}
+	}
+}
+
+// transferUop applies one micro-op's tracker effect to the abstract state.
+func (a *Analysis) transferUop(st *state, u *isa.Uop, db *tracker.RuleDB) {
+	switch u.Type {
+	case isa.ULoad:
+		v := a.loadValue(st, u)
+		// Sub-word loads cannot reload a pointer: the pipeline skips
+		// ResolveLoad entirely, leaving the destination tag unchanged.
+		if u.AccessSize() < 8 {
+			return
+		}
+		// ResolveLoad always propagates the actual alias-table PID to the
+		// destination — including zero.
+		if u.Dst.Valid() {
+			st.regs[u.Dst] = v
+		}
+
+	case isa.UStore:
+		sv := memVal(st.reg(u.Src1))
+		if u.AccessSize() < 8 {
+			sv = notPtr // sub-word stores force the alias-clear path
+		}
+		a.storeEffect(st, u, sv)
+
+	case isa.UJump, isa.UBranch, isa.UNop:
+		// No register-tag effect (no destination register).
+
+	default: // UMov, ULimm, UAlu, ULea
+		a.trackRSP(st, u)
+		a.applyRegRule(st, u, db)
+	}
+}
+
+// trackRSP maintains the concrete RSP displacement: immediate add/sub on
+// RSP adjust it; any other RSP write destroys slot addressing.
+func (a *Analysis) trackRSP(st *state, u *isa.Uop) {
+	if u.Dst != isa.RSP {
+		return
+	}
+	if u.Type == isa.UAlu && u.HasImm && u.Src1 == isa.RSP &&
+		(u.Alu == isa.AluAdd || u.Alu == isa.AluSub) {
+		if st.rspOK {
+			if u.Alu == isa.AluAdd {
+				st.rsp += u.Imm
+			} else {
+				st.rsp -= u.Imm
+			}
+		}
+		return
+	}
+	st.rspOK = false
+	st.frame = nil
+}
+
+// applyRegRule is the abstract mirror of Engine.ApplyRegRule: first
+// matching rule, sampled through absPropagate; no match clears the tag.
+func (a *Analysis) applyRegRule(st *state, u *isa.Uop, db *tracker.RuleDB) {
+	if !u.Dst.Valid() || u.Dst == isa.FLAGS {
+		return
+	}
+	r := db.Match(u)
+	if r == nil || r.Propagate == nil {
+		st.regs[u.Dst] = notPtr
+		return
+	}
+	v1 := st.reg(u.Src1)
+	v2 := notPtr
+	if !u.HasImm && u.Src2.Valid() {
+		v2 = st.reg(u.Src2)
+	}
+	if u.Type == isa.ULea {
+		v1 = st.reg(u.Mem.Base)
+		v2 = st.reg(u.Mem.Index)
+	}
+	st.regs[u.Dst] = absPropagate(r, v1, v2)
+}
+
+// loadValue returns the abstract alias-table content at a load's
+// effective address.
+func (a *Analysis) loadValue(st *state, u *isa.Uop) Value {
+	m := u.Mem
+	if !m.Base.Valid() && !m.Index.Valid() {
+		addr := uint64(m.Disp)
+		if _, ok := a.relocSlot[addr]; ok {
+			return a.relocRead(addr)
+		}
+		return a.readRegion(a.regionNameAt(addr))
+	}
+	if m.Base == isa.RSP && !m.Index.Valid() {
+		if st.rspOK && st.frame != nil {
+			if v, ok := st.frame[st.rsp+m.Disp]; ok {
+				return v
+			}
+		}
+		return top
+	}
+	p, ok := eaPointer(st, m)
+	if !ok {
+		return top
+	}
+	v := a.readRegion(p.Region)
+	if p.Assumed {
+		v.Assumed = true
+	}
+	return v
+}
+
+// storeEffect applies a store's alias-table effect: exact stack slots get
+// strong updates, region-attributed addresses accumulate weakly, and
+// unbounded addresses poison everything.
+func (a *Analysis) storeEffect(st *state, u *isa.Uop, sv Value) {
+	m := u.Mem
+	if !m.Base.Valid() && !m.Index.Valid() {
+		a.joinStore(a.regionNameAt(uint64(m.Disp)), sv)
+		return
+	}
+	if m.Base == isa.RSP && !m.Index.Valid() {
+		if st.rspOK && st.frame != nil {
+			st.frame[st.rsp+m.Disp] = sv
+		} else {
+			st.frame = nil // somewhere on the stack: every slot is suspect
+		}
+		return
+	}
+	if p, ok := eaPointer(st, m); ok {
+		a.joinStore(p.Region, sv)
+		return
+	}
+	a.poisonAll(sv)
+}
+
+// applyExternalCall models a direct call that leaves program text. The
+// allocator routines are intercepted by the OS/microcode (Section IV-C):
+// they return to the call site with %rax carrying the fresh capability
+// (malloc family) or with registers untouched (free). Unknown externals
+// clobber everything.
+func (a *Analysis) applyExternalCall(st *state, target uint64) {
+	// The callee's synthetic RET pops the return address pushed by the
+	// call's own store micro-op (already interpreted by the caller block).
+	retPop := func() {
+		if st.rspOK && st.frame != nil {
+			if v, ok := st.frame[st.rsp]; ok {
+				st.regs[isa.T0] = v
+			} else {
+				st.regs[isa.T0] = top
+			}
+		} else {
+			st.regs[isa.T0] = top
+		}
+		if st.rspOK {
+			st.rsp += 8
+		}
+	}
+	switch target {
+	case heap.MallocEntry, heap.CallocEntry, heap.ReallocEntry:
+		retPop()
+		// Capability transfer at allocator exit: %rax := the new PID.
+		st.regs[isa.RAX] = Value{Tag: TagPtr, Region: HeapRegion}
+	case heap.FreeEntry:
+		retPop()
+	default:
+		// Unknown external code: nothing can be assumed.
+		for i := range st.regs {
+			st.regs[i] = top
+		}
+		st.rspOK = false
+		st.frame = nil
+		a.poisonAll(top)
+	}
+}
+
+// recordSite folds one execution point's deref value into its site.
+func (a *Analysis) recordSite(in *isa.Inst, u *isa.Uop, deref Value) {
+	k := SiteKey{Addr: in.Addr, MacroIdx: u.MacroIdx}
+	s, ok := a.Sites[k]
+	if !ok {
+		s = &Site{Addr: in.Addr, MacroIdx: u.MacroIdx, Store: u.Type == isa.UStore,
+			Inst: in.String(), Deref: bot}
+		a.Sites[k] = s
+	}
+	s.Reached = true
+	s.Deref = join(s.Deref, deref)
+}
+
+// recordUnreached registers sites in blocks the dataflow never reached
+// (code behind unresolved indirect branches) so runtime executions there
+// are classified, not silently dropped.
+func (a *Analysis) recordUnreached(g *CFG, b *Block, dec *decode.Decoder, buf *[]isa.Uop) {
+	for idx := b.Start; idx < b.End; idx++ {
+		in := &g.Prog.Insts[idx]
+		uops := dec.Native(in, (*buf)[:0])
+		*buf = uops
+		for i := range uops {
+			u := &uops[i]
+			if !u.Type.IsMem() {
+				continue
+			}
+			k := SiteKey{Addr: in.Addr, MacroIdx: u.MacroIdx}
+			if _, ok := a.Sites[k]; !ok {
+				a.Sites[k] = &Site{Addr: in.Addr, MacroIdx: u.MacroIdx,
+					Store: u.Type == isa.UStore, Inst: in.String(), Deref: bot}
+			}
+		}
+	}
+}
+
+// finish derives verdicts and aggregate statistics from the folded sites.
+func (a *Analysis) finish() {
+	for _, s := range a.Sites {
+		a.Stats.MemSites++
+		if !s.Reached {
+			s.Verdict = VerdictUnknown
+			a.Stats.UnreachedSites++
+			continue
+		}
+		s.Verdict = verdictOf(s.Deref)
+		s.Assumed = s.Deref.Assumed
+		// Any unbounded store makes every proof conditional.
+		if a.Stats.UnknownEAStores > 0 {
+			s.Assumed = true
+		}
+		switch s.Verdict {
+		case VerdictPointer:
+			a.Stats.PointerSites++
+		case VerdictNotPointer:
+			a.Stats.NotPointerSites++
+		default:
+			a.Stats.UnknownSites++
+		}
+		if s.Assumed {
+			a.Stats.AssumedSites++
+		}
+	}
+}
+
+// SortedSites returns the sites ordered by (address, micro-op index).
+func (a *Analysis) SortedSites() []*Site {
+	out := make([]*Site, 0, len(a.Sites))
+	for _, s := range a.Sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].MacroIdx < out[j].MacroIdx
+	})
+	return out
+}
+
+// RegionSummaries returns the region fixpoints sorted by name.
+func (a *Analysis) RegionSummaries() []RegionSummary {
+	names := make([]string, 0, len(a.regions))
+	for n := range a.regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]RegionSummary, 0, len(names))
+	for _, n := range names {
+		r := a.regions[n]
+		out = append(out, RegionSummary{Name: n, Init: r.init.String(),
+			Stores: r.stores.String(), Covered: r.covered})
+	}
+	return out
+}
+
+// Format renders a human-readable verdict listing.
+func (a *Analysis) Format() string {
+	out := fmt.Sprintf("ptrflow: %d blocks, %d insts, %d mem sites (%d ptr / %d not-ptr / %d unknown, %d assumed)\n",
+		a.Stats.Blocks, a.Stats.Insts, a.Stats.MemSites,
+		a.Stats.PointerSites, a.Stats.NotPointerSites, a.Stats.UnknownSites, a.Stats.AssumedSites)
+	for _, s := range a.SortedSites() {
+		kind := "load "
+		if s.Store {
+			kind = "store"
+		}
+		flag := ""
+		if s.Assumed {
+			flag = " (assumed)"
+		}
+		if !s.Reached {
+			flag = " (unreached)"
+		}
+		out += fmt.Sprintf("  %#08x.%d %s %-11s %-8s%s  ; %s\n",
+			s.Addr, s.MacroIdx, kind, s.Deref, s.Verdict, flag, s.Inst)
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package ptrflow
+
+import (
+	"context"
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/tracker"
+)
+
+func build(t *testing.T, f func(b *asm.Builder)) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	f(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func analyze(t *testing.T, p *asm.Program, opt Options) *Analysis {
+	t.Helper()
+	a, err := Analyze(p, opt)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+// siteAt finds the site of the first memory uop at the labeled instruction.
+func siteAt(t *testing.T, a *Analysis, p *asm.Program, label string) *Site {
+	t.Helper()
+	addr := p.MustLookup(label)
+	for _, s := range a.SortedSites() {
+		if s.Addr == addr {
+			return s
+		}
+	}
+	t.Fatalf("no site at %s (%#x)", label, addr)
+	return nil
+}
+
+// --- CFG -------------------------------------------------------------
+
+func TestCFGFallThroughAtTraceEnd(t *testing.T) {
+	// The decoded trace ends without a terminator: the last block must
+	// have no successors instead of a phantom fall-through edge.
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.RAX, 1)
+		b.Label("skip")
+		b.MovRI(isa.RBX, 2) // leader via label; trace ends here
+	})
+	g := BuildCFG(p, 1, nil)
+	if len(g.Blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	last := g.Blocks[len(g.Blocks)-1]
+	if len(last.Succs) != 0 {
+		t.Fatalf("trace-end block must have no successors, got %v", last.Succs)
+	}
+}
+
+func TestCFGIndirectJumpHints(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.Lea(isa.RAX, isa.MemOp(isa.RNone, 0)) // stand-in target computation
+		b.Label("jump")
+		b.JmpReg(isa.RAX)
+		b.Label("dead")
+		b.Nop()
+		b.Label("target")
+		b.Hlt()
+	})
+	jmpAddr := p.MustLookup("jump")
+	// Without hints the branch is reported unresolved.
+	g := BuildCFG(p, 1, nil)
+	if len(g.Unresolved) != 1 || g.Unresolved[0] != jmpAddr {
+		t.Fatalf("unresolved = %#v, want [%#x]", g.Unresolved, jmpAddr)
+	}
+	// With a hint set the edge resolves.
+	target := p.MustLookup("target")
+	g = BuildCFG(p, 1, map[uint64][]uint64{jmpAddr: {target}})
+	if len(g.Unresolved) != 0 {
+		t.Fatalf("hinted branch still unresolved: %v", g.Unresolved)
+	}
+	jb, tb := g.BlockAt(jmpAddr), g.BlockAt(target)
+	found := false
+	for _, s := range jb.Succs {
+		if s == tb.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hint edge %#x -> %#x missing: succs=%v", jmpAddr, target, jb.Succs)
+	}
+}
+
+func TestCFGCallReturnEdges(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.Call("fn")
+		b.Label("after")
+		b.Hlt()
+		b.Label("fn")
+		b.Ret()
+	})
+	g := BuildCFG(p, 1, nil)
+	callB := g.BlockAt(p.TextBase)
+	fnB := g.BlockAt(p.MustLookup("fn"))
+	afterB := g.BlockAt(p.MustLookup("after"))
+	// Dataflow edge: call -> callee entry (not the return site).
+	if len(callB.Succs) != 1 || callB.Succs[0] != fnB.ID {
+		t.Fatalf("call Succs = %v, want [%d]", callB.Succs, fnB.ID)
+	}
+	// The RET flows to the call's return site.
+	found := false
+	for _, s := range fnB.Succs {
+		if s == afterB.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ret must flow to the return site: succs=%v, want %d", fnB.Succs, afterB.ID)
+	}
+	// Intraprocedural edge: the caller resumes at the return site.
+	found = false
+	for _, s := range callB.IntraSuccs {
+		if s == afterB.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("call IntraSuccs = %v, want %d", callB.IntraSuccs, afterB.ID)
+	}
+}
+
+// --- Dataflow verdicts -----------------------------------------------
+
+func TestAnalyzeHeapPointerVerdicts(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.RDI, 64)
+		b.CallAddr(heap.MallocEntry)
+		b.MovRI(isa.RDX, 42)
+		b.Label("st")
+		b.Store(isa.RAX, 0, isa.RDX)
+		b.Label("ld")
+		b.Load(isa.RCX, isa.RAX, 8)
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{})
+	st := siteAt(t, a, p, "st")
+	if st.Verdict != VerdictPointer || st.Assumed {
+		t.Fatalf("heap store: verdict=%v assumed=%v, want sound pointer", st.Verdict, st.Assumed)
+	}
+	if st.Deref.Region != HeapRegion {
+		t.Fatalf("heap store region = %q", st.Deref.Region)
+	}
+	ld := siteAt(t, a, p, "ld")
+	if ld.Verdict != VerdictPointer || ld.Assumed {
+		t.Fatalf("heap load: verdict=%v assumed=%v, want sound pointer", ld.Verdict, ld.Assumed)
+	}
+}
+
+func TestAnalyzeStackSpillReload(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.RDI, 64)
+		b.CallAddr(heap.MallocEntry)
+		b.Push(isa.RAX)     // spill the pointer
+		b.MovRI(isa.RAX, 0) // clobber it (wild, per the MOVI rule)
+		b.Pop(isa.RBX)      // reload into another register
+		b.Label("deref")
+		b.Load(isa.RCX, isa.RBX, 0)
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{})
+	s := siteAt(t, a, p, "deref")
+	if s.Verdict != VerdictPointer || s.Assumed {
+		t.Fatalf("spill/reload deref: verdict=%v assumed=%v deref=%v, want sound pointer",
+			s.Verdict, s.Assumed, s.Deref)
+	}
+	if s.Deref.Region != HeapRegion {
+		t.Fatalf("reloaded pointer lost its region: %v", s.Deref)
+	}
+}
+
+func TestAnalyzeNotPointerVerdicts(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.Global("tab", 0x600000, 32)
+		for i := uint64(0); i < 4; i++ {
+			b.DataU64(0x600000+8*i, 1)
+		}
+		b.Global("out", 0x700000, 8)
+		b.DataU64(0x700000, 0)
+		// The index comes from memory (a sound not-pointer), not MOVI
+		// (which would tag it wild). The scaled load's EA is unbounded
+		// (no pointer base), so its RESULT is Top — the store therefore
+		// targets a separate region, or the Top value would feed back
+		// into "tab" and conservatively lift the index itself to Top.
+		b.Label("idx")
+		b.Mov(isa.RegOp(isa.R9), isa.MemOp(isa.RNone, 0x600000))
+		b.Label("ld")
+		b.LoadIdx(isa.R8, isa.RNone, isa.R9, 8, 0x600000)
+		b.Label("st")
+		b.Mov(isa.MemOp(isa.RNone, 0x700000), isa.RegOp(isa.R8))
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{})
+	for _, label := range []string{"idx", "ld", "st"} {
+		s := siteAt(t, a, p, label)
+		if s.Verdict != VerdictNotPointer || s.Assumed {
+			t.Errorf("%s: verdict=%v assumed=%v, want sound not-pointer", label, s.Verdict, s.Assumed)
+		}
+	}
+}
+
+func TestAnalyzeWildImmediateIsPointer(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.RBX, 0x7fff_1000) // MOVI rule: wild tag
+		b.Label("deref")
+		b.Load(isa.RAX, isa.RBX, 0)
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{})
+	s := siteAt(t, a, p, "deref")
+	if s.Verdict != VerdictPointer {
+		t.Fatalf("wild deref: verdict=%v, want pointer (wild is tagged)", s.Verdict)
+	}
+	if s.Deref.Tag != TagWild {
+		t.Fatalf("wild deref tag=%v", s.Deref.Tag)
+	}
+}
+
+func TestAnalyzeUnknownEAStoreDemotesToAssumed(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.Global("slot", 0x600000, 8) // uninitialized
+		b.MovRI(isa.RDI, 64)
+		b.CallAddr(heap.MallocEntry)
+		b.Label("sound")
+		b.Store(isa.RAX, 0, isa.RDI) // would be a sound pointer site...
+		b.Mov(isa.RegOp(isa.RBX), isa.MemOp(isa.RNone, 0x600000))
+		b.Store(isa.RBX, 0, isa.RDI) // ...but this store's EA is unknown
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{})
+	if a.Stats.UnknownEAStores == 0 {
+		t.Fatal("store through an unproven base must count as unknown-EA")
+	}
+	s := siteAt(t, a, p, "sound")
+	if s.Verdict != VerdictPointer || !s.Assumed {
+		t.Fatalf("after an unknown-EA store every verdict demotes to assumed: verdict=%v assumed=%v",
+			s.Verdict, s.Assumed)
+	}
+}
+
+func TestAnalyzeRelocGlobalIsSoundPointer(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.Global("buf", 0x601000, 64)
+		for i := uint64(0); i < 8; i++ {
+			b.DataU64(0x601000+8*i, 0)
+		}
+		b.Global("bufp", 0x600000, 8)
+		b.Reloc(0x600000, "buf") // bufp holds &buf, seeded by the loader
+		b.Mov(isa.RegOp(isa.RBX), isa.MemOp(isa.RNone, 0x600000))
+		b.Label("deref")
+		b.Load(isa.RAX, isa.RBX, 0)
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{})
+	s := siteAt(t, a, p, "deref")
+	if s.Verdict != VerdictPointer || s.Assumed {
+		t.Fatalf("reloc-slot deref: verdict=%v assumed=%v deref=%v, want sound pointer",
+			s.Verdict, s.Assumed, s.Deref)
+	}
+	if s.Deref.Region != "buf" {
+		t.Fatalf("reloc deref region=%q, want buf", s.Deref.Region)
+	}
+}
+
+// --- Abstract propagation soundness ----------------------------------
+
+// TestAbsPropagateSoundness checks, for every register rule in the
+// database, that abstract propagation over-approximates the concrete
+// closure: for all abstract operand pairs and all concrete PIDs they
+// concretize to, the concrete result classifies within the abstract
+// result's tag.
+func TestAbsPropagateSoundness(t *testing.T) {
+	conc := map[Tag][]core.PID{
+		TagNotPtr: {0},
+		TagPtr:    {5, 7},
+		TagWild:   {core.WildPID},
+		TagTop:    {0, 5, 7, core.WildPID},
+	}
+	absIn := []Value{notPtr, {Tag: TagPtr, Region: HeapRegion}, {Tag: TagWild}, top}
+	rules := tracker.NewRuleDB().Rules()
+	for i := range rules {
+		r := &rules[i]
+		if r.Propagate == nil {
+			continue
+		}
+		for _, v1 := range absIn {
+			for _, v2 := range absIn {
+				got := absPropagate(r, v1, v2)
+				for _, c1 := range conc[v1.Tag] {
+					for _, c2 := range conc[v2.Tag] {
+						ct := classifyPID(r.Propagate(c1, c2))
+						if joinTag(got.Tag, ct) != got.Tag {
+							t.Errorf("%s %s: abs(%v,%v)=%v does not cover concrete (%d,%d)->%v",
+								r.Name, r.Mode, v1, v2, got, c1, c2, ct)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- Cross-check ------------------------------------------------------
+
+func TestCrosscheckCleanProgram(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.RDI, 64)
+		b.CallAddr(heap.MallocEntry)
+		b.MovRR(isa.RBX, isa.RAX)
+		b.MovRI(isa.RCX, 8)
+		b.Label("loop")
+		b.MovRI(isa.RDX, 42)
+		b.Store(isa.RBX, 0, isa.RDX)
+		b.Load(isa.RDX, isa.RBX, 0)
+		b.AddRI(isa.RBX, 8)
+		b.SubRI(isa.RCX, 1)
+		b.CmpRI(isa.RCX, 0)
+		b.Jcc(isa.CondNE, "loop")
+		b.MovRR(isa.RDI, isa.RAX)
+		b.CallAddr(heap.FreeEntry)
+		b.Hlt()
+	})
+	rep, err := Crosscheck(context.Background(), p, CheckOptions{MaxCycles: 1_000_000})
+	if err != nil {
+		t.Fatalf("crosscheck: %v", err)
+	}
+	if rep.FalseNegatives != 0 {
+		t.Fatalf("clean program reported %d false negatives:\n%s", rep.FalseNegatives, rep.Format())
+	}
+	if rep.OverTaggedSites != 0 {
+		t.Fatalf("clean program reported over-tagging:\n%s", rep.Format())
+	}
+	if rep.Coverage != 1.0 {
+		t.Fatalf("coverage=%v, want 1.0:\n%s", rep.Coverage, rep.Format())
+	}
+	if rep.PointerExecs == 0 {
+		t.Fatal("the loop derefs a heap pointer; pointer-site execs must be non-zero")
+	}
+	if rep.Classes.Uncharted != 0 {
+		t.Fatalf("uncharted sites in a fully resolved program:\n%s", rep.Format())
+	}
+}
+
+func TestCrosscheckRejectsTrackerlessVariant(t *testing.T) {
+	p := build(t, func(b *asm.Builder) { b.Hlt() })
+	// ASan does not use the tracker: the diff would be vacuous.
+	if _, err := Crosscheck(context.Background(), p, CheckOptions{Variant: decode.VariantASan}); err == nil {
+		t.Fatal("want error for a tracker-less variant")
+	}
+}
+
+func TestReportJSONStable(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.RDI, 32)
+		b.CallAddr(heap.MallocEntry)
+		b.Store(isa.RAX, 0, isa.RDI)
+		b.Hlt()
+	})
+	run := func() *Report {
+		rep, err := Crosscheck(context.Background(), p, CheckOptions{MaxCycles: 1_000_000})
+		if err != nil {
+			t.Fatalf("crosscheck: %v", err)
+		}
+		return rep
+	}
+	a, b := run().Format(), run().Format()
+	if a != b {
+		t.Fatalf("reports differ across identical runs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}

@@ -1,0 +1,145 @@
+package tracker
+
+import (
+	"testing"
+
+	"chex86/internal/core"
+	"chex86/internal/isa"
+)
+
+// Back-to-back rule-ambiguous sequences: consecutive micro-ops where more
+// than one Table-I row could plausibly fire, or where the propagation
+// choice of one op feeds the ambiguity of the next. These pin the
+// database's disambiguation order (first match wins) and the
+// capability-beats-wild preference that the static pointer-flow analyzer
+// mirrors abstractly.
+
+// step applies one register rule at the next sequence number.
+func step(e *Engine, seq uint64, u isa.Uop) {
+	e.ApplyRegRule(seq, &u)
+}
+
+func TestWildThenCapabilityChain(t *testing.T) {
+	const p = core.PID(5)
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, p)
+
+	// MOVI tags RCX wild; the following ADD sees wild+capability — the
+	// genuine capability must win; the SUB then keeps the minuend's tag.
+	step(e, 2, isa.Uop{Type: isa.ULimm, Dst: isa.RCX, Imm: 0x7fff_0000, HasImm: true, Src1: isa.RNone, Src2: isa.RNone})
+	if got := e.Tags.Current(isa.RCX); got != core.WildPID {
+		t.Fatalf("after MOVI: PID(rcx)=%d, want wild", got)
+	}
+	step(e, 3, isa.Uop{Type: isa.UAlu, Alu: isa.AluAdd, Dst: isa.RDX, Src1: isa.RCX, Src2: isa.RBX})
+	if got := e.Tags.Current(isa.RDX); got != p {
+		t.Fatalf("wild+capability ADD: PID(rdx)=%d, want %d (capability beats wild)", got, p)
+	}
+	step(e, 4, isa.Uop{Type: isa.UAlu, Alu: isa.AluSub, Dst: isa.RSI, Src1: isa.RDX, Src2: isa.RCX})
+	if got := e.Tags.Current(isa.RSI); got != p {
+		t.Fatalf("SUB after ambiguous ADD: PID(rsi)=%d, want %d (minuend)", got, p)
+	}
+}
+
+func TestTwoCapabilitiesAddSubChain(t *testing.T) {
+	const p, q = core.PID(5), core.PID(7)
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, p)
+	e.Tags.Propagate(1, isa.RAX, q)
+
+	// ptr+ptr is ambiguous (no rule says which survives); the ADD rule
+	// keeps the first source. The back-to-back SUB (ptr-ptr = offset,
+	// stays tagged per Table I) keeps the minuend again.
+	step(e, 2, isa.Uop{Type: isa.UAlu, Alu: isa.AluAdd, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX})
+	if got := e.Tags.Current(isa.RCX); got != p {
+		t.Fatalf("ptr+ptr ADD: PID(rcx)=%d, want %d (first source)", got, p)
+	}
+	step(e, 3, isa.Uop{Type: isa.UAlu, Alu: isa.AluSub, Dst: isa.RDX, Src1: isa.RCX, Src2: isa.RAX})
+	if got := e.Tags.Current(isa.RDX); got != p {
+		t.Fatalf("SUB chain: PID(rdx)=%d, want %d", got, p)
+	}
+}
+
+func TestClearingOpBreaksChain(t *testing.T) {
+	const p, q = core.PID(5), core.PID(7)
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, p)
+	e.Tags.Propagate(1, isa.RAX, q)
+
+	// IMUL matches no rule: the default clears the destination even when
+	// both sources carry capabilities; the next ADD re-tags from the
+	// surviving source.
+	step(e, 2, isa.Uop{Type: isa.UAlu, Alu: isa.AluMul, Dst: isa.RBX, Src1: isa.RBX, Src2: isa.RAX})
+	if got := e.Tags.Current(isa.RBX); got != 0 {
+		t.Fatalf("IMUL must clear: PID(rbx)=%d", got)
+	}
+	step(e, 3, isa.Uop{Type: isa.UAlu, Alu: isa.AluAdd, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX})
+	if got := e.Tags.Current(isa.RCX); got != q {
+		t.Fatalf("ADD after clear: PID(rcx)=%d, want %d", got, q)
+	}
+}
+
+func TestInPlaceUpdateSequence(t *testing.T) {
+	const p = core.PID(9)
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, p)
+
+	// Pointer-bump idiom: addi in place, repeatedly. The tag must
+	// survive arbitrarily many in-place updates (the analyzer's
+	// fixpoint relies on this being monotone).
+	for seq := uint64(2); seq < 10; seq++ {
+		step(e, seq, isa.Uop{Type: isa.UAlu, Alu: isa.AluAdd, Dst: isa.RBX, Src1: isa.RBX, Imm: 8, HasImm: true, Src2: isa.RNone})
+		if got := e.Tags.Current(isa.RBX); got != p {
+			t.Fatalf("bump %d: PID(rbx)=%d, want %d", seq, got, p)
+		}
+	}
+}
+
+func TestBackToBackSpillsSameSlot(t *testing.T) {
+	const p, q = core.PID(5), core.PID(7)
+	e := newEngine()
+	e.Tags.Propagate(1, isa.RBX, p)
+	e.Tags.Propagate(1, isa.RAX, q)
+
+	// Two stores to the same slot before any commit: the store buffer
+	// must forward the newest, and the commit must leave the newest in
+	// the shadow alias table.
+	if _, ok := e.StoreAlias(2, 0x6000, isa.RBX); !ok {
+		t.Fatal("first spill must record")
+	}
+	if _, ok := e.StoreAlias(3, 0x6000, isa.RAX); !ok {
+		t.Fatal("second spill must record")
+	}
+	pred := e.PredictLoad(0x400200)
+	res := e.ResolveLoad(4, 0x400200, 0x6000, isa.RCX, pred)
+	if res.Actual != q {
+		t.Fatalf("load must forward the newest in-flight spill: got %d, want %d", res.Actual, q)
+	}
+	e.CommitThrough(4)
+	if got := e.Aliases.Lookup(0x6000); got != q {
+		t.Fatalf("alias table after commit: %d, want %d", got, q)
+	}
+}
+
+func TestAmbiguousRuleOrderFirstMatchWins(t *testing.T) {
+	// Both AND rows (reg-reg and reg-imm) share the uop type; Matches
+	// must disambiguate on HasImm so exactly one row fires for each form.
+	db := NewRuleDB()
+	regForm := isa.Uop{Type: isa.UAlu, Alu: isa.AluAnd, Dst: isa.RCX, Src1: isa.RBX, Src2: isa.RAX}
+	immForm := isa.Uop{Type: isa.UAlu, Alu: isa.AluAnd, Dst: isa.RCX, Src1: isa.RBX, Imm: 1, HasImm: true, Src2: isa.RNone}
+	r1, r2 := db.Match(&regForm), db.Match(&immForm)
+	if r1 == nil || r2 == nil {
+		t.Fatal("both AND forms must match")
+	}
+	if r1 == r2 {
+		t.Fatal("reg-reg and reg-imm AND must resolve to different rows")
+	}
+	if r1.Mode != ModeRegReg || r2.Mode != ModeRegImm {
+		t.Fatalf("mode mismatch: %v / %v", r1.Mode, r2.Mode)
+	}
+	// The symmetric row must not capture the immediate form: the
+	// propagation differs (either-nonzero vs first-source) exactly when
+	// one operand can be untagged garbage.
+	if got := r2.Propagate(0, core.PID(3)); got != 0 {
+		t.Fatalf("imm AND with untagged src1 must stay untagged, got %d", got)
+	}
+}
