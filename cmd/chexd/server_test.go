@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"chex86/internal/campaign"
+)
+
+// newTestServer spins up a chexd handler over a tiny-workload pool.
+func newTestServer(t *testing.T) (*httptest.Server, *campaign.Pool) {
+	t.Helper()
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := campaign.NewPool(campaign.Options{
+		Workers: 2,
+		Cache:   cache,
+		Clock:   func() int64 { return time.Now().UnixNano() },
+	})
+	t.Cleanup(pool.Close)
+	srv := &server{pool: pool, cache: cache, defScale: 0.1, defMaxInsts: 2000}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, pool
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJob(t *testing.T, resp *http.Response) jobResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	return jr
+}
+
+func TestSubmitWaitAndCacheHit(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", `{"workload":"mcf"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	jr := decodeJob(t, resp)
+	if jr.ID != 1 || jr.Mode != campaign.ModeBench || jr.Workload != "mcf" {
+		t.Fatalf("unexpected job response: %+v", jr)
+	}
+
+	// Block until done, then check the result rode along.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/1?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := decodeJob(t, resp)
+	if done.State != campaign.JobDone {
+		t.Fatalf("state after wait = %s (%s)", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Bench == nil || done.Result.Bench.Cycles == 0 {
+		t.Fatalf("no result attached: %+v", done)
+	}
+	if done.Cached {
+		t.Fatal("cold-cache run reported cached")
+	}
+
+	// Identical resubmission: a cache hit, visible in the job record and
+	// the metrics endpoint.
+	jr2 := decodeJob(t, postJSON(t, ts.URL+"/api/v1/jobs", `{"workload":"mcf"}`))
+	if !jr2.Cached {
+		t.Fatalf("resubmission not served from cache: %+v", jr2)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text() + "\n")
+	}
+	resp.Body.Close()
+	metrics := sb.String()
+	if !strings.Contains(metrics, "campaign_cache_hits 1") {
+		t.Fatalf("metrics missing cache hit:\n%s", metrics)
+	}
+
+	// The cached result is addressable by key.
+	resp, err = http.Get(ts.URL + "/api/v1/results/" + jr2.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results lookup status = %d", resp.StatusCode)
+	}
+}
+
+func TestCampaignBatchSubmit(t *testing.T) {
+	ts, pool := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/api/v1/campaign", `{"workloads":["mcf","lbm"],"maxInsts":2000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("campaign status = %d", resp.StatusCode)
+	}
+	var batch struct {
+		Jobs []jobResponse `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batch.Jobs) != 2 {
+		t.Fatalf("campaign submitted %d jobs, want 2", len(batch.Jobs))
+	}
+	for _, jr := range batch.Jobs {
+		j := pool.Job(jr.ID)
+		if j == nil {
+			t.Fatalf("job %d missing from pool", jr.ID)
+		}
+		if _, err := http.Get(ts.URL + "/api/v1/jobs/" + itoa(jr.ID) + "?wait=1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// List shows both jobs terminal.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []jobResponse `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 2 {
+		t.Fatalf("list = %d jobs, want 2", len(list.Jobs))
+	}
+	for _, jr := range list.Jobs {
+		if jr.State != campaign.JobDone {
+			t.Fatalf("job %d state = %s", jr.ID, jr.State)
+		}
+	}
+}
+
+func TestStreamEmitsTerminalEvent(t *testing.T) {
+	ts, _ := newTestServer(t)
+	jr := decodeJob(t, postJSON(t, ts.URL+"/api/v1/jobs", `{"workload":"mcf"}`))
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + itoa(jr.ID) + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+	var sawTerminal bool
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line, isData := strings.CutPrefix(sc.Text(), "data: ")
+		if !isData {
+			continue
+		}
+		var ev jobResponse
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		if ev.State == campaign.JobDone {
+			sawTerminal = true
+			if ev.Result == nil {
+				t.Fatal("terminal event carried no result")
+			}
+			break
+		}
+		if ev.State == campaign.JobFailed {
+			t.Fatalf("job failed: %s", ev.Error)
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("stream ended without a terminal event")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, tc := range map[string]struct {
+		method, path, body string
+		want               int
+	}{
+		"bad-json":         {"POST", "/api/v1/jobs", "{nope", http.StatusBadRequest},
+		"unknown-workload": {"POST", "/api/v1/jobs", `{"workload":"nonesuch"}`, http.StatusBadRequest},
+		"unknown-variant":  {"POST", "/api/v1/jobs", `{"workload":"mcf","variant":"nope"}`, http.StatusBadRequest},
+		"unknown-mode":     {"POST", "/api/v1/jobs", `{"mode":"mystery"}`, http.StatusBadRequest},
+		"missing-job":      {"GET", "/api/v1/jobs/99", "", http.StatusNotFound},
+		"bad-job-id":       {"GET", "/api/v1/jobs/xyz", "", http.StatusBadRequest},
+		"missing-result":   {"GET", "/api/v1/results/" + strings.Repeat("00", 32), "", http.StatusNotFound},
+	} {
+		var resp *http.Response
+		var err error
+		if tc.method == "POST" {
+			resp = postJSON(t, ts.URL+tc.path, tc.body)
+		} else if resp, err = http.Get(ts.URL + tc.path); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

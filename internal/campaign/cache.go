@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Entry is the on-disk form of one cached result. The file is canonical
+// JSON (struct fields in declaration order, two-space indent, trailing
+// newline): writing the same result twice produces byte-identical files,
+// so sweeps can diff cache directories across runs.
+type Entry struct {
+	Schema string  `json:"schema"` // "chex-campaign-cache/v1"
+	Key    string  `json:"key"`
+	Spec   Spec    `json:"spec"` // provenance: what produced the result
+	Result *Result `json:"result"`
+}
+
+// EntrySchema versions the on-disk cache format. Bump it to orphan (not
+// corrupt) old caches: entries with a different schema are treated as
+// misses.
+const EntrySchema = "chex-campaign-cache/v1"
+
+// Cache is a content-addressed result store: one JSON file per key under a
+// directory, with an in-memory read-through index. Safe for concurrent use
+// by multiple goroutines; concurrent use of one directory by multiple
+// processes is safe too (writes are atomic rename, losers of a racing
+// write overwrite with identical bytes).
+type Cache struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string]*Result
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("campaign: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: open cache: %w", err)
+	}
+	return &Cache{dir: dir, mem: make(map[string]*Result)}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// validKey rejects anything that is not a lowercase hex digest, so a
+// malicious or corrupted key can never escape the cache directory.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached result for key, or (nil, false) on a miss.
+// Unreadable, corrupt, or wrong-schema entries are misses, not errors: the
+// cache is a pure accelerator and the simulation can always be re-run.
+func (c *Cache) Get(key string) (*Result, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	c.mu.Lock()
+	if r, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		return r, true
+	}
+	c.mu.Unlock()
+
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != EntrySchema || e.Key != key || e.Result == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[key] = e.Result
+	c.mu.Unlock()
+	return e.Result, true
+}
+
+// Put stores a result under key, atomically: the entry is written to a
+// temporary file in the same directory and renamed into place, so readers
+// never observe a torn entry.
+func (c *Cache) Put(key string, spec Spec, r *Result) error {
+	if !validKey(key) {
+		return fmt.Errorf("campaign: invalid cache key %q", key)
+	}
+	data, err := MarshalEntry(&Entry{Schema: EntrySchema, Key: key, Spec: spec, Result: r})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	c.mu.Lock()
+	c.mem[key] = r
+	c.mu.Unlock()
+	return nil
+}
+
+// Keys lists every key present on disk, sorted.
+func (c *Cache) Keys() ([]string, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		key, isJSON := strings.CutSuffix(name, ".json")
+		if isJSON && validKey(key) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len counts on-disk entries.
+func (c *Cache) Len() (int, error) {
+	keys, err := c.Keys()
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// MarshalEntry renders a cache entry in its canonical byte form.
+func MarshalEntry(e *Entry) ([]byte, error) {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: marshal entry: %w", err)
+	}
+	return append(data, '\n'), nil
+}

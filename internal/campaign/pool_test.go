@@ -1,0 +1,400 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chex86/internal/pipeline"
+)
+
+// testSpec returns a cheap-but-real bench spec; vary n for distinct keys.
+func testSpec(n uint64) Spec {
+	return BenchSpec("mcf", pipeline.DefaultConfig(), 0.1, 1000+n, 0)
+}
+
+// TestSingleflightDedup is the concurrency contract of the cache: many
+// identical jobs submitted in parallel must collapse to ONE simulation.
+// Run under -race (CI does), this also exercises the pool's locking.
+func TestSingleflightDedup(t *testing.T) {
+	var execs atomic.Int64
+	release := make(chan struct{})
+	pool := NewPool(Options{
+		Workers: 4,
+		Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+			execs.Add(1)
+			<-release // hold the job in flight while the others submit
+			return fakeResult(spec.Workload), nil
+		},
+	})
+	defer pool.Close()
+
+	const submitters = 16
+	var wg sync.WaitGroup
+	jobs := make([]*Job, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := pool.Submit(testSpec(1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("submitter %d got no job", i)
+		}
+		if j != jobs[0] {
+			t.Fatalf("submitter %d got a distinct job: singleflight broken", i)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d identical submissions ran %d simulations, want 1", submitters, got)
+	}
+	m := pool.Metrics().Snapshot()
+	if m.Submitted != submitters || m.Deduped != submitters-1 {
+		t.Fatalf("metrics: submitted=%d deduped=%d, want %d/%d", m.Submitted, m.Deduped, submitters, submitters-1)
+	}
+}
+
+// TestSingleflightWithCache: parallel identical submissions against a real
+// cache still simulate once, and a post-completion resubmission is a pure
+// cache hit (no execution at all).
+func TestSingleflightWithCache(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int64
+	exec := func(ctx context.Context, spec *Spec) (*Result, error) {
+		execs.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the submission race window
+		return fakeResult(spec.Workload), nil
+	}
+	pool := NewPool(Options{Workers: 4, Cache: cache, Exec: exec})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j, err := pool.Submit(testSpec(2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := j.Wait(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("parallel identical jobs ran %d simulations, want 1", got)
+	}
+
+	// Resubmit after completion: must be served from the cache.
+	j, err := pool.Submit(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("cache-hit job not complete at submit return")
+	}
+	if !j.Cached() {
+		t.Fatal("resubmission after completion was not marked cached")
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("cache hit re-ran the simulation (%d executions)", got)
+	}
+	pool.Close()
+
+	// And a brand-new pool over the same directory hits too.
+	pool2 := NewPool(Options{Workers: 2, Cache: cache, Exec: exec})
+	defer pool2.Close()
+	j2, err := pool2.Submit(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Cached() {
+		t.Fatal("fresh pool over a warm cache dir missed")
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fresh pool re-ran the simulation (%d executions)", got)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	pool := NewPool(Options{
+		Workers: 2,
+		Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+			if spec.MaxInsts == 1001 {
+				panic("synthetic simulator bug")
+			}
+			return fakeResult(spec.Workload), nil
+		},
+	})
+	defer pool.Close()
+
+	bad, err := pool.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := pool.Submit(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := bad.Wait(ctx); err == nil {
+		t.Fatal("panicking job reported success")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+	if _, err := good.Wait(ctx); err != nil {
+		t.Fatalf("pool did not survive a sibling job's panic: %v", err)
+	}
+	if pool.Metrics().Panics.Load() != 1 {
+		t.Fatalf("panic not counted")
+	}
+	if bad.Status().State != JobFailed {
+		t.Fatalf("panicked job state = %s, want failed", bad.Status().State)
+	}
+}
+
+func TestRetryTransientErrors(t *testing.T) {
+	var attempts atomic.Int64
+	pool := NewPool(Options{
+		Workers: 1,
+		Retries: 2,
+		Backoff: time.Millisecond,
+		Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+			if attempts.Add(1) < 3 {
+				return nil, &pipeline.SimError{Kind: pipeline.ErrDeadline, Msg: "synthetic deadline"}
+			}
+			return fakeResult(spec.Workload), nil
+		},
+	})
+	defer pool.Close()
+
+	j, err := pool.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatalf("transient failures not retried to success: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("executions = %d, want 3 (1 + 2 retries)", got)
+	}
+	if pool.Metrics().Retried.Load() != 2 {
+		t.Fatalf("retries = %d, want 2", pool.Metrics().Retried.Load())
+	}
+	if st := j.Status(); st.Attempts != 3 {
+		t.Fatalf("job attempts = %d, want 3", st.Attempts)
+	}
+}
+
+func TestPermanentErrorsNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	pool := NewPool(Options{
+		Workers: 1,
+		Retries: 3,
+		Backoff: time.Millisecond,
+		Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+			attempts.Add(1)
+			return nil, &pipeline.SimError{Kind: pipeline.ErrCycleLimit, Msg: "livelock"}
+		},
+	})
+	defer pool.Close()
+
+	j, err := pool.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err == nil {
+		t.Fatal("deterministic failure reported success")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("deterministic failure executed %d times, want 1", got)
+	}
+}
+
+func TestCloseCancelsPendingJobs(t *testing.T) {
+	started := make(chan struct{})
+	block := make(chan struct{})
+	pool := NewPool(Options{
+		Workers: 1,
+		Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+			close(started)
+			select {
+			case <-ctx.Done():
+				return nil, &pipeline.SimError{Kind: pipeline.ErrCanceled, Msg: "ctx", Err: ctx.Err()}
+			case <-block:
+				return fakeResult(spec.Workload), nil
+			}
+		},
+	})
+
+	running, err := pool.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := pool.Submit(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	close(block)
+
+	for _, j := range []*Job{running, queued} {
+		<-j.Done()
+		_, err := j.Result()
+		var se *pipeline.SimError
+		if !errors.As(err, &se) || se.Kind != pipeline.ErrCanceled {
+			t.Fatalf("job %d after Close: err = %v, want canceled SimError", j.ID, err)
+		}
+	}
+	if _, err := pool.Submit(testSpec(3)); err == nil {
+		t.Fatal("Submit accepted work on a closed pool")
+	}
+}
+
+func TestPoolParallelism(t *testing.T) {
+	// With W workers and W long jobs, all W must be in flight at once —
+	// the sharded queues plus work stealing may not serialize them.
+	const workers = 4
+	var inflight, peak atomic.Int64
+	release := make(chan struct{})
+	pool := NewPool(Options{
+		Workers: workers,
+		Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+			cur := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			<-release
+			inflight.Add(-1)
+			return fakeResult(spec.Workload), nil
+		},
+	})
+	defer pool.Close()
+
+	var jobs []*Job
+	for i := 0; i < workers; i++ {
+		j, err := pool.Submit(testSpec(uint64(10 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	deadline := time.After(30 * time.Second)
+	for peak.Load() < workers {
+		select {
+		case <-deadline:
+			t.Fatalf("peak parallelism %d never reached %d workers", peak.Load(), workers)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJobLookup(t *testing.T) {
+	pool := NewPool(Options{Workers: 1, Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+		return fakeResult(spec.Workload), nil
+	}})
+	defer pool.Close()
+	j, err := pool.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Job(j.ID) != j {
+		t.Fatal("Job(id) did not return the submitted job")
+	}
+	if pool.Job(0) != nil || pool.Job(99) != nil {
+		t.Fatal("out-of-range lookup returned a job")
+	}
+	if got := len(pool.Jobs()); got != 1 {
+		t.Fatalf("Jobs() = %d entries, want 1", got)
+	}
+}
+
+func TestFormatReportDistinguishesCacheHits(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now atomic.Int64
+	pool := NewPool(Options{
+		Workers: 2,
+		Cache:   cache,
+		Clock:   func() int64 { return now.Add(1e6) }, // 1ms per probe
+		Exec: func(ctx context.Context, spec *Spec) (*Result, error) {
+			return fakeResult(spec.Workload), nil
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	j1, err := pool.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := pool.Submit(testSpec(1)) // identical: cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep := FormatReport(pool.Jobs())
+	pool.Close()
+	if !contains(rep, "cache") || !contains(rep, "run") {
+		t.Fatalf("report does not distinguish cache hits from runs:\n%s", rep)
+	}
+	if !contains(rep, "1 cache hits") || !contains(rep, "1 simulated") {
+		t.Fatalf("report summary wrong:\n%s", rep)
+	}
+	if !contains(rep, "Kinst/s") || !contains(rep, "wall(s)") {
+		t.Fatalf("report missing wall-time/IPS columns:\n%s", rep)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatReport renders a per-job campaign report. Wall-time and
+// instructions-per-second come from the host clock the pool was given, so
+// cache hits are visibly distinguishable from real simulations: a served
+// hit shows `cache` as its source, ~0 wall time, and no IPS (nothing was
+// simulated), while a real run shows its measured simulation throughput.
+func FormatReport(jobs []*Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s%-14s%-11s%-8s%-7s%12s%12s%8s%10s%12s\n",
+		"id", "workload", "variant", "state", "source", "cycles", "insts", "IPC", "wall(s)", "Kinst/s")
+	var wallNS int64
+	var hits, runs, failed int
+	for _, j := range jobs {
+		st := j.Status()
+		source := "run"
+		if st.Cached {
+			source = "cache"
+			hits++
+		} else if st.State == JobDone {
+			runs++
+		}
+		wallNS += j.WallNS()
+
+		cycles, insts, ipc := "-", "-", "-"
+		if res, _ := j.Result(); res != nil && res.Bench != nil {
+			cycles = fmt.Sprintf("%d", res.Bench.Cycles)
+			insts = fmt.Sprintf("%d", res.Bench.Insts)
+			ipc = fmt.Sprintf("%.3f", res.Bench.IPC)
+		}
+		wall, ips := "-", "-"
+		if ns := j.WallNS(); ns > 0 {
+			wall = fmt.Sprintf("%.3f", float64(ns)/1e9)
+			if res, _ := j.Result(); res != nil && res.Bench != nil && !st.Cached {
+				ips = fmt.Sprintf("%.1f", float64(res.Bench.Insts)/(float64(ns)/1e9)/1e3)
+			}
+		} else if st.Cached {
+			wall = "0.000"
+		}
+		state := string(st.State)
+		if st.State == JobFailed {
+			failed++
+			state = "FAILED"
+		}
+		fmt.Fprintf(&b, "%-4d%-14s%-11s%-8s%-7s%12s%12s%8s%10s%12s\n",
+			st.ID, st.Workload, st.Variant, state, source, cycles, insts, ipc, wall, ips)
+		if st.Error != "" {
+			fmt.Fprintf(&b, "     error: %s\n", st.Error)
+		}
+	}
+	fmt.Fprintf(&b, "\n%d jobs: %d simulated, %d cache hits, %d failed; total simulation wall time %.3fs\n",
+		len(jobs), runs, hits, failed, float64(wallNS)/1e9)
+	return b.String()
+}

@@ -42,9 +42,8 @@ type Options struct {
 }
 
 // runSim executes one configured simulation under the harness's
-// cancellation policy (Options.Timeout).
-func (o *Options) runSim(sim *pipeline.Sim) (*pipeline.Result, error) {
-	ctx := context.Background()
+// cancellation policy: the caller's context layered with Options.Timeout.
+func (o *Options) runSim(ctx context.Context, sim *pipeline.Sim) (*pipeline.Result, error) {
 	if o.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
@@ -79,6 +78,15 @@ func harts(p *workload.Profile) int {
 // run executes one benchmark under one config, excluding the program's
 // setup phase from measurement (SimPoint-style warmup).
 func run(p *workload.Profile, cfg pipeline.Config, o *Options) (*pipeline.Result, error) {
+	return RunOne(context.Background(), p, cfg, o)
+}
+
+// RunOne executes one benchmark under one config with the harness's
+// measurement policy (setup excluded via SimPoint-style warmup, instruction
+// and cycle budgets applied). It is the single-run primitive shared by the
+// figure runners above and the campaign subsystem's bench jobs; ctx cancels
+// the run (campaign workers thread their pool context through here).
+func RunOne(ctx context.Context, p *workload.Profile, cfg pipeline.Config, o *Options) (*pipeline.Result, error) {
 	prog, err := p.Build(o.Scale)
 	if err != nil {
 		return nil, err
@@ -93,7 +101,7 @@ func run(p *workload.Profile, cfg pipeline.Config, o *Options) (*pipeline.Result
 	if err != nil {
 		return nil, err
 	}
-	return o.runSim(sim)
+	return o.runSim(ctx, sim)
 }
 
 // ---------------------------------------------------------------------
@@ -493,7 +501,7 @@ func RunTable2(o Options) ([]Table2Result, error) {
 		}
 		col := patterns.NewCollector(0)
 		sim.SetReloadHook(func(pc uint64, pid core.PID) { col.Observe(pc, pid) })
-		if _, err := o.runSim(sim); err != nil {
+		if _, err := o.runSim(context.Background(), sim); err != nil {
 			return nil, err
 		}
 		out = append(out, Table2Result{Bench: p.Name, Summary: col.Summary()})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -84,7 +85,7 @@ func RunTable1(o Options) ([]Table1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.runSim(sim)
+		res, err := o.runSim(context.Background(), sim)
 		if err != nil {
 			return nil, err
 		}

@@ -139,6 +139,83 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Normalized returns the configuration with every defaulted field made
+// explicit. Two configurations that normalize identically run identical
+// campaigns, so content-addressed caching (internal/campaign) hashes the
+// normalized form: `Scale: 0` and `Scale: 1.0` are the same campaign and
+// must share a cache key.
+func (c Config) Normalized() Config {
+	c.setDefaults()
+	return c
+}
+
+// Cells splits the campaign into its independent workload × variant × site
+// runs, one single-run Config per cell, in the same order Run executes
+// them. Each cell keeps the campaign Seed: per-run RNG streams are derived
+// from (Seed, workload, variant, site) and never from execution order, so
+// running cells concurrently — or out of order, or from a cache — and
+// merging the reports reproduces the sequential campaign byte for byte.
+func (c Config) Cells() []Config {
+	c.setDefaults()
+	var cells []Config
+	for _, w := range c.Workloads {
+		for _, v := range c.Variants {
+			for _, site := range c.Sites {
+				cell := c
+				cell.Workloads = []string{w}
+				cell.Variants = []string{v}
+				cell.Sites = []Site{site}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells
+}
+
+// Merge reassembles per-cell reports (in Cells order) into the campaign
+// report that Run(cfg) would have produced sequentially: header fields
+// come from the campaign configuration, runs are concatenated in cell
+// order, and totals and the pass verdict are recomputed.
+func Merge(cfg Config, cells []*Report) *Report {
+	cfg.setDefaults()
+	rep := &Report{
+		Schema:    "chexfault-report/v1",
+		Seed:      cfg.Seed,
+		Workloads: cfg.Workloads,
+		Variants:  cfg.Variants,
+		Sites:     cfg.Sites,
+	}
+	for _, cell := range cells {
+		for _, rr := range cell.Runs {
+			rep.add(rr)
+		}
+	}
+	rep.Pass = rep.Totals.Silent == 0 && rep.Totals.Panics == 0 && rep.Totals.Errors == 0
+	return rep
+}
+
+// add appends one run and folds it into the totals.
+func (r *Report) add(rr RunReport) {
+	r.Runs = append(r.Runs, rr)
+	r.Totals.Runs++
+	r.Totals.Faults += rr.FaultsInjected
+	switch rr.Class {
+	case ClassDetected:
+		r.Totals.Detected++
+	case ClassDegraded:
+		r.Totals.Degraded++
+	case ClassPerfOnly:
+		r.Totals.PerfOnly++
+	case ClassSilent:
+		r.Totals.Silent++
+	case ClassPanic:
+		r.Totals.Panics++
+	}
+	if rr.Error != "" {
+		r.Totals.Errors++
+	}
+}
+
 // RunReport records one workload × variant × site run.
 type RunReport struct {
 	Workload string `json:"workload"`
@@ -239,25 +316,7 @@ func Run(cfg Config) (*Report, error) {
 	for _, w := range cfg.Workloads {
 		for _, v := range cfg.Variants {
 			for _, site := range cfg.Sites {
-				rr := runOne(&cfg, w, v, site)
-				rep.Runs = append(rep.Runs, rr)
-				rep.Totals.Runs++
-				rep.Totals.Faults += rr.FaultsInjected
-				switch rr.Class {
-				case ClassDetected:
-					rep.Totals.Detected++
-				case ClassDegraded:
-					rep.Totals.Degraded++
-				case ClassPerfOnly:
-					rep.Totals.PerfOnly++
-				case ClassSilent:
-					rep.Totals.Silent++
-				case ClassPanic:
-					rep.Totals.Panics++
-				}
-				if rr.Error != "" {
-					rep.Totals.Errors++
-				}
+				rep.add(runOne(&cfg, w, v, site))
 			}
 		}
 	}

@@ -11,12 +11,9 @@ import (
 	"testing/quick"
 
 	"chex86/internal/asm"
-	"chex86/internal/decode"
 	"chex86/internal/heap"
 	"chex86/internal/isa"
 	"chex86/internal/mem"
-	"chex86/internal/pipeline"
-	"chex86/internal/workload"
 )
 
 // sampleProgram builds a program exercising every section: text with all
@@ -103,25 +100,6 @@ func TestSaveLoad(t *testing.T) {
 	if len(q.Insts) != len(p.Insts) || len(q.Globals) != len(p.Globals) {
 		t.Fatalf("loaded program lost content: %d/%d insts, %d/%d globals",
 			len(q.Insts), len(p.Insts), len(q.Globals), len(p.Globals))
-	}
-}
-
-// TestWorkloadRoundTrip: every cataloged benchmark survives a round trip
-// bit-exactly — the loader path chexsim -obj uses.
-func TestWorkloadRoundTrip(t *testing.T) {
-	for _, prof := range workload.Catalog() {
-		p, err := prof.Build(0.05)
-		if err != nil {
-			t.Fatalf("%s: build: %v", prof.Name, err)
-		}
-		q, err := Decode(Encode(p))
-		if err != nil {
-			t.Fatalf("%s: decode: %v", prof.Name, err)
-		}
-		if !reflect.DeepEqual(q.Insts, p.Insts) || !reflect.DeepEqual(q.Globals, p.Globals) ||
-			!reflect.DeepEqual(q.Relocs, p.Relocs) || !reflect.DeepEqual(q.Data, p.Data) {
-			t.Errorf("%s: round trip not bit-exact", prof.Name)
-		}
 	}
 }
 
@@ -217,36 +195,5 @@ func TestStatsString(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Fatal("empty stats string")
-	}
-}
-
-// TestDecodedProgramSimulatesIdentically: the decoded image must be
-// indistinguishable from the in-memory program to the whole machine —
-// same cycles, same committed instructions, same injected µops.
-func TestDecodedProgramSimulatesIdentically(t *testing.T) {
-	prof := workload.ByName("mcf")
-	p, err := prof.Build(0.05)
-	if err != nil {
-		t.Fatalf("build: %v", err)
-	}
-	q, err := Decode(Encode(p))
-	if err != nil {
-		t.Fatalf("decode: %v", err)
-	}
-	run := func(prog *asm.Program) *pipeline.Result {
-		cfg := pipeline.DefaultConfig()
-		cfg.Variant = decode.VariantMicrocodePrediction
-		cfg.MaxInsts = 150_000
-		sim := pipeline.New(prog, cfg, 1)
-		res, err := sim.Run()
-		if err != nil {
-			t.Fatalf("run: %v", err)
-		}
-		return res
-	}
-	a, b := run(p), run(q)
-	if a.Cycles != b.Cycles || a.MacroInsts != b.MacroInsts || a.InjectedUops != b.InjectedUops {
-		t.Fatalf("decoded image diverges: cycles %d vs %d, insts %d vs %d, injected %d vs %d",
-			a.Cycles, b.Cycles, a.MacroInsts, b.MacroInsts, a.InjectedUops, b.InjectedUops)
 	}
 }

@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -164,6 +165,23 @@ func DefaultConfig() Config {
 		Variant: decode.VariantMicrocodePrediction,
 		Context: core.Always(),
 	}
+}
+
+// CanonicalJSON renders the configuration as deterministic bytes for
+// content addressing: every field of Config is plain data (no maps, no
+// closures), so encoding/json emits struct fields in declaration order and
+// equal configurations always marshal identically. The campaign subsystem
+// hashes this into its cache key, so adding a field changes the keys of
+// every configuration — which is exactly right: a new knob is a new
+// machine.
+func (c Config) CanonicalJSON() []byte {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Config contains only scalars, strings and Region slices; a
+		// marshal failure is a programming error, not an input error.
+		panic(fmt.Sprintf("pipeline: config marshal: %v", err))
+	}
+	return data
 }
 
 // validate rejects machine configurations that the structure constructors

@@ -1,0 +1,18 @@
+package workload
+
+import "chex86/internal/objfile"
+
+// ProgramBytes returns the deterministic object-file encoding of the
+// profile's built program at the given scale. Profile generation is seeded
+// and objfile.Encode emits sections in a fixed order (labels sorted), so
+// equal (profile, scale) pairs always yield identical bytes. The campaign
+// cache uses this as the "workload" component of its content address:
+// editing a profile in the catalog invalidates exactly that workload's
+// cached results and no others.
+func (p *Profile) ProgramBytes(scale float64) ([]byte, error) {
+	prog, err := p.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	return objfile.Encode(prog), nil
+}
