@@ -42,6 +42,7 @@ func main() {
 	report := flag.String("report", "", "write a complete markdown report to this file (runs everything)")
 	stamp := flag.String("stamp", "", "run identifier embedded in the report header (default: current time; pass a fixed stamp for byte-reproducible reports)")
 	coverage := flag.Bool("coverage", false, "run the static pointer-flow cross-check and report tracker coverage")
+	elideMode := flag.Bool("elide", false, "run proof-carrying check elision: analyze, verify proofs, replay with the elision map, report elision rate and speedup")
 	campaignMode := flag.Bool("campaign", false, "run the benchmark catalog through the sharded campaign worker pool with content-addressed result caching")
 	campaignVariants := flag.String("campaign-variants", "prediction", "comma-separated protection variants for -campaign")
 	cacheDir := flag.String("cache-dir", ".chexcampaign", "campaign result cache directory (empty disables caching)")
@@ -164,6 +165,21 @@ func main() {
 			}
 			dump("coverage", rows)
 			fmt.Print(experiments.FormatCoverage(rows))
+			return nil
+		})
+		if !*all && *fig == 0 && *table == 0 {
+			return
+		}
+	}
+
+	if *elideMode {
+		run("Check elision", func() error {
+			rows, err := experiments.RunElision(o)
+			if err != nil {
+				return err
+			}
+			dump("elision", rows)
+			fmt.Print(experiments.FormatElision(rows))
 			return nil
 		})
 		if !*all && *fig == 0 && *table == 0 {

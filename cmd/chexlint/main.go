@@ -13,10 +13,17 @@
 // non-zero, so the tool doubles as a CI gate for tracker-rule
 // regressions.
 //
+// With -elide, the analyzer additionally emits per-dereference safety
+// proofs, the independent checker (internal/elide) verifies them, and
+// the tool prints the resulting proof table: which capability checks are
+// provably elidable, with bounds and justification chains.
+//
 // Usage:
 //
 //	chexlint -workloads all
 //	chexlint -crosscheck -workloads mcf,leela -o report.json
+//	chexlint -elide -workloads freqmine
+//	chexlint -elide -json -o proofs.json
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"chex86/internal/elide"
 	"chex86/internal/faultinject"
 	"chex86/internal/ptrflow"
 	"chex86/internal/workload"
@@ -36,6 +44,8 @@ import (
 func main() {
 	workloads := flag.String("workloads", "all", "comma-separated benchmark names, or \"all\"")
 	crosscheck := flag.Bool("crosscheck", false, "replay workloads dynamically and diff tracker tags against static verdicts")
+	elideMode := flag.Bool("elide", false, "verify capability-check elision proofs and print the proof table")
+	jsonOut := flag.Bool("json", false, "emit the -elide proof reports as byte-stable JSON (crosscheck reports are always JSON)")
 	variantFlag := flag.String("variant", "prediction", "protection variant for the dynamic replay")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	insts := flag.Uint64("insts", 0, "instruction budget for the dynamic replay (0 = run to completion)")
@@ -52,6 +62,13 @@ func main() {
 	variant, ok := faultinject.VariantByName(*variantFlag)
 	if !ok {
 		fail(fmt.Errorf("unknown variant %q", *variantFlag))
+	}
+
+	if *elideMode {
+		if err := runElide(profiles, *scale, *jsonOut, *out, *quiet); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if !*crosscheck {
@@ -106,6 +123,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chexlint: %d proven tracker false negative(s)\n", falseNegatives)
 		os.Exit(1)
 	}
+}
+
+// runElide analyzes each workload, verifies its proof bundle with the
+// independent checker, and renders the proof table (or, with jsonOut,
+// a byte-stable JSON report).
+func runElide(profiles []*workload.Profile, scale float64, jsonOut bool, outPath string, quiet bool) error {
+	type elideReport struct {
+		Workload string `json:"workload"`
+		*elide.Report
+	}
+	var reports []elideReport
+	for _, p := range profiles {
+		prog, err := p.Build(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		rep, err := elide.ForProgram(prog, elide.Options{Harts: harts(p)})
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		reports = append(reports, elideReport{Workload: p.Name, Report: rep})
+		if !jsonOut && !quiet {
+			fmt.Printf("%s:\n%s", p.Name, rep.Format())
+		}
+	}
+	if !jsonOut {
+		return nil
+	}
+	data, err := json.MarshalIndent(struct {
+		Reports []elideReport `json:"reports"`
+	}{reports}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		os.Stdout.Write(data)
+		return nil
+	}
+	return os.WriteFile(outPath, data, 0o644)
 }
 
 // staticOnly analyzes one workload without a dynamic replay and prints a

@@ -56,6 +56,52 @@ func TestKeyStability(t *testing.T) {
 	}))
 }
 
+func TestKeyTracksElisionConfig(t *testing.T) {
+	// Satellite of the proof-carrying elision work (DESIGN.md §11): a
+	// cached result obtained with capability checks elided must never be
+	// served for a run with checks enforced, and vice versa — the knob
+	// and the installed map's digest are both part of the content
+	// address.
+	base := BenchSpec("mcf", pipeline.DefaultConfig(), 0.25, 20000, 0)
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	elided := pipeline.DefaultConfig()
+	elided.ElideChecks = true
+	s1 := BenchSpec("mcf", elided, 0.25, 20000, 0)
+	k1, err := s1.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k0 {
+		t.Fatal("flipping Config.ElideChecks must change the content address")
+	}
+
+	digested := elided
+	digested.ElisionDigest = "deadbeef"
+	s2 := BenchSpec("mcf", digested, 0.25, 20000, 0)
+	k2, err := s2.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 == k1 || k2 == k0 {
+		t.Fatal("changing Config.ElisionDigest must change the content address")
+	}
+
+	other := elided
+	other.ElisionDigest = "cafef00d"
+	s3 := BenchSpec("mcf", other, 0.25, 20000, 0)
+	k3, err := s3.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k2 {
+		t.Fatal("distinct elision maps must have distinct content addresses")
+	}
+}
+
 func TestKeyIgnoresTimeout(t *testing.T) {
 	s1 := BenchSpec("mcf", pipeline.DefaultConfig(), 0.25, 20000, 0)
 	s2 := s1

@@ -1,0 +1,1244 @@
+package elide
+
+import (
+	"fmt"
+	"sort"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/decode"
+	"chex86/internal/heap"
+	"chex86/internal/isa"
+	"chex86/internal/ptrflow"
+	"chex86/internal/tracker"
+)
+
+// The checker verifies a proof bundle without trusting the analyzer that
+// produced it. It re-implements only the *local* pieces — the abstract
+// transfer of one micro-op, conditional-edge refinement, region metadata
+// recovered from the program image — and verifies that the bundle's
+// per-block invariants are inductive under that transfer: entry states
+// are covered, and every block's edge-out state is contained in the
+// successor's invariant. The analyzer's fixpoint engine, widening,
+// worklist and region-restart machinery (where an analysis bug would
+// live) never participate; if the invariants are wrong the induction
+// check fails and every proof is rejected. Shared leaf code is limited
+// to interval arithmetic, CFG carving for direct branches, and µop
+// decoding — and the checker's hardcoded tag semantics are themselves
+// validated against the tracker's live rule database at init.
+
+// fact is the checker's own abstract value: a tag name (the Fact tag
+// constants of internal/ptrflow), the owning region for pointers, and
+// the interval (numeric range, or region-relative offset range). The
+// analyzer's init-order taint is deliberately absent: it qualifies
+// cross-check verdicts, not safety proofs (an untagged value gets no
+// capability check with or without elision).
+type fact struct {
+	tag    string
+	region string
+	rng    ptrflow.Interval
+}
+
+var (
+	cNegInf = ptrflow.FullRange().Lo
+	cPosInf = ptrflow.FullRange().Hi
+
+	botF    = fact{tag: ptrflow.FactBot, rng: ptrflow.EmptyRange()}
+	notPtrF = fact{tag: ptrflow.FactNotPtr, rng: ptrflow.FullRange()}
+	topF    = fact{tag: ptrflow.FactTop, rng: ptrflow.FullRange()}
+	zeroF   = fact{tag: ptrflow.FactNotPtr, rng: ptrflow.Const(0)}
+)
+
+func numF(iv ptrflow.Interval) fact { return fact{tag: ptrflow.FactNotPtr, rng: iv} }
+func ptrF(region string, off ptrflow.Interval) fact {
+	return fact{tag: ptrflow.FactPtr, region: region, rng: off}
+}
+
+func numericTag(t string) bool { return t == ptrflow.FactNotPtr || t == ptrflow.FactWild }
+
+// meaningful reports whether the fact's interval carries a defined
+// meaning (mirrors the ptrflow Value invariant).
+func (f fact) meaningful() bool {
+	return numericTag(f.tag) || (f.tag == ptrflow.FactPtr && f.region != "")
+}
+
+// numRngF is the sound numeric range of a fact: its interval for plain
+// numbers and wild integers, unbounded for everything else.
+func numRngF(f fact) ptrflow.Interval {
+	if numericTag(f.tag) {
+		return f.rng
+	}
+	return ptrflow.FullRange()
+}
+
+func joinFact(a, b fact) fact {
+	if a.tag == ptrflow.FactBot {
+		return b
+	}
+	if b.tag == ptrflow.FactBot {
+		return a
+	}
+	out := fact{tag: ptrflow.FactTop}
+	if a.tag == b.tag {
+		out.tag = a.tag
+	}
+	if out.tag == ptrflow.FactPtr && a.region == b.region {
+		out.region = a.region
+	}
+	switch {
+	case numericTag(a.tag) && numericTag(b.tag):
+		out.rng = a.rng.Join(b.rng)
+	case a.tag == ptrflow.FactPtr && b.tag == ptrflow.FactPtr &&
+		a.region == b.region && a.region != "":
+		out.rng = a.rng.Join(b.rng)
+	default:
+		out.rng = ptrflow.FullRange()
+	}
+	if !out.meaningful() {
+		out.rng = ptrflow.FullRange()
+	}
+	return out
+}
+
+// factLE is the checker's abstraction order: a ⊑ b means every concrete
+// tracker state described by a is also described by b.
+func factLE(a, b fact) bool {
+	if a.tag == ptrflow.FactBot {
+		return true
+	}
+	if b.tag == ptrflow.FactTop {
+		return true
+	}
+	if a.tag != b.tag {
+		return false
+	}
+	if a.tag == ptrflow.FactPtr {
+		if b.region == "" {
+			return true // region-less pointer: offset range is meaningless
+		}
+		if a.region != b.region {
+			return false
+		}
+		return b.rng.Contains(a.rng)
+	}
+	if numericTag(a.tag) {
+		return b.rng.Contains(a.rng)
+	}
+	return true // top ⊑ top handled above; bot handled first
+}
+
+// cstate is the checker's dataflow state (mirror of the analyzer's, with
+// the checker's own fact domain).
+type cstate struct {
+	regs  [isa.NumRegs]fact
+	rsp   int64
+	rspOK bool
+	frame map[int64]fact // nil = slot addressing lost
+	free  bool
+}
+
+func newEntryCState() *cstate {
+	s := &cstate{rspOK: true, frame: map[int64]fact{}}
+	for i := range s.regs {
+		s.regs[i] = notPtrF
+	}
+	return s
+}
+
+func (s *cstate) clone() *cstate {
+	c := *s
+	c.frame = make(map[int64]fact, len(s.frame))
+	for k, v := range s.frame {
+		c.frame[k] = v
+	}
+	return &c
+}
+
+func (s *cstate) reg(r isa.Reg) fact {
+	if !r.Valid() {
+		return notPtrF
+	}
+	return s.regs[r]
+}
+
+// invariant is a decoded block invariant claim.
+type invariant struct {
+	regs    [isa.NumRegs]fact
+	rspOK   bool
+	rsp     int64
+	frameOK bool
+	frame   map[int64]fact
+	free    bool
+}
+
+// stateLE checks containment of a computed state in a claimed invariant.
+func stateLE(s *cstate, inv *invariant) error {
+	for i := range s.regs {
+		if !factLE(s.regs[i], inv.regs[i]) {
+			return fmt.Errorf("reg %s: %v ⋢ %v", isa.Reg(i), s.regs[i], inv.regs[i])
+		}
+	}
+	if inv.rspOK && (!s.rspOK || s.rsp != inv.rsp) {
+		return fmt.Errorf("rsp claim %d not established", inv.rsp)
+	}
+	if inv.frameOK {
+		if s.frame == nil {
+			return fmt.Errorf("frame claimed but slot addressing lost")
+		}
+		for off, fv := range inv.frame {
+			sv, ok := s.frame[off]
+			if !ok || !factLE(sv, fv) {
+				return fmt.Errorf("frame slot %d: claim not established", off)
+			}
+		}
+	}
+	if s.free && !inv.free {
+		return fmt.Errorf("heap-release fact not admitted by invariant")
+	}
+	return nil
+}
+
+// regionMeta is region metadata the checker recovers from the program
+// image itself (never from the bundle).
+type regionMeta struct {
+	size     uint64
+	readOnly bool
+	covered  bool
+	isGlobal bool
+	init     fact
+}
+
+// cmpRec is the checker's block-local compare fact.
+type cmpRec struct {
+	ok     bool
+	r1, r2 isa.Reg
+	imm    int64
+	hasImm bool
+}
+
+func (c *cmpRec) invalidateOnWrite(dst isa.Reg) {
+	if c.ok && dst.Valid() && (dst == c.r1 || dst == c.r2) {
+		c.ok = false
+	}
+}
+
+// checker holds everything a bundle verification run needs.
+type checker struct {
+	prog   *asm.Program
+	cfg    *ptrflow.CFG
+	db     *tracker.RuleDB
+	bundle *ptrflow.Bundle
+	harts  int
+
+	globals   []asm.Global
+	regions   map[string]*regionMeta
+	relocSlot map[uint64]string
+	claims    map[string]fact // claimed region store summaries
+	poison    fact            // claimed unknown-EA store contribution
+	invs      map[int]*invariant
+
+	anyFree      bool   // checker-derived release reachability
+	heapMin      int64  // checker-derived min allocation lower bound (-1 unset)
+	heapUnknown  bool   // an allocation size could not be bounded below
+	storeErr     error  // first store-subsumption failure
+	dec          decode.Decoder
+	uopBuf       []isa.Uop
+}
+
+// newChecker builds the checker's own view of the program and decodes
+// the bundle's claims. It returns an error for global preconditions that
+// reject the whole bundle up front.
+func newChecker(prog *asm.Program, b *ptrflow.Bundle, harts int, hints map[uint64][]uint64) (*checker, error) {
+	ck := &checker{
+		prog:      prog,
+		db:        tracker.NewRuleDB(),
+		bundle:    b,
+		harts:     harts,
+		globals:   prog.SortedGlobals(),
+		regions:   map[string]*regionMeta{},
+		relocSlot: map[uint64]string{},
+		claims:    map[string]fact{},
+		invs:      map[int]*invariant{},
+		heapMin:   -1,
+	}
+	if ck.harts <= 0 {
+		ck.harts = 1
+	}
+
+	// Control flow must be fully resolved: an indirect branch can leave
+	// the CFG the invariants describe, voiding the induction.
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		if (in.Op == isa.JMP || in.Op == isa.CALL) && in.Dst.Kind == isa.OpReg {
+			return nil, fmt.Errorf("indirect branch at %#x", in.Addr)
+		}
+	}
+	ck.cfg = ptrflow.BuildCFG(prog, ck.harts, hints)
+	if len(ck.cfg.Unresolved) > 0 {
+		return nil, fmt.Errorf("%d unresolved indirect branches", len(ck.cfg.Unresolved))
+	}
+
+	if err := ck.validateTrackerAssumptions(); err != nil {
+		return nil, err
+	}
+	ck.recoverRegions()
+	ck.decodeClaims()
+	return ck, nil
+}
+
+// validateTrackerAssumptions tests the class-abstraction assumptions the
+// checker's tag transfer rests on against the live tracker semantics:
+// (1) the dereference-capability selection falls back from an untagged
+// base to the index, and (2) every register rule's propagation depends
+// only on the {zero, wild, positive} class of each operand and selects
+// one of the operands (or a fixed class) — which is what makes sampling
+// with class representatives exhaustive.
+func (ck *checker) validateTrackerAssumptions() error {
+	reps := []core.PID{0, core.WildPID, 11}
+	for _, x := range reps {
+		if tracker.DerefSelect(0, x) != x {
+			return fmt.Errorf("deref selection: untagged base must fall back to index")
+		}
+		if tracker.DerefSelect(11, x) != 11 || tracker.DerefSelect(core.WildPID, x) != core.WildPID {
+			return fmt.Errorf("deref selection: tagged base must win")
+		}
+	}
+	classOf := func(p core.PID) string {
+		switch {
+		case p == 0:
+			return "zero"
+		case p == core.WildPID:
+			return "wild"
+		default:
+			return "pos"
+		}
+	}
+	attrOf := func(p, a, b core.PID) string {
+		switch {
+		case p == a:
+			return "src1"
+		case p == b:
+			return "src2"
+		default:
+			return classOf(p)
+		}
+	}
+	classReps := map[string][]core.PID{"zero": {0}, "wild": {core.WildPID}, "pos": {11, 23}}
+	classes := []string{"zero", "wild", "pos"}
+	for _, r := range ck.db.Rules() {
+		if r.Propagate == nil {
+			continue
+		}
+		for _, ca := range classes {
+			for _, cb := range classes {
+				var want string
+				first := true
+				for _, a := range classReps[ca] {
+					for _, b := range classReps[cb] {
+						if ca == cb && ca == "pos" && a == b {
+							continue // distinct operands exercise selection
+						}
+						got := attrOf(r.Propagate(a, b), a, b)
+						if first {
+							want, first = got, false
+						} else if got != want {
+							return fmt.Errorf("rule %q propagation is not class-deterministic (%s,%s)", r.Name, ca, cb)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recoverRegions rebuilds region metadata — sizes, writability, static
+// initializers, initializer coverage — from the program image.
+func (ck *checker) recoverRegions() {
+	region := func(name string) *regionMeta {
+		m, ok := ck.regions[name]
+		if !ok {
+			m = &regionMeta{init: botF}
+			ck.regions[name] = m
+		}
+		return m
+	}
+	for i := range ck.globals {
+		g := &ck.globals[i]
+		m := region(g.Name)
+		m.size = g.Size
+		m.readOnly = g.ReadOnly
+		m.isGlobal = true
+	}
+	for _, r := range ck.prog.Relocs {
+		ck.relocSlot[r.Slot] = r.Target
+	}
+	covered := map[string]map[uint64]bool{}
+	slot := func(g *asm.Global, addr uint64, v fact) {
+		m := region(g.Name)
+		m.init = joinFact(m.init, v)
+		if covered[g.Name] == nil {
+			covered[g.Name] = map[uint64]bool{}
+		}
+		covered[g.Name][addr&^7] = true
+	}
+	for _, d := range ck.prog.Data {
+		if g := ck.globalAt(d.Addr); g != nil {
+			slot(g, d.Addr, numF(ptrflow.Const(int64(d.Val))))
+		}
+	}
+	for _, rl := range ck.prog.Relocs {
+		if g := ck.globalAt(rl.Slot); g != nil {
+			slot(g, rl.Slot, ptrF(rl.Target, ptrflow.Const(0)))
+		}
+	}
+	for i := range ck.globals {
+		g := &ck.globals[i]
+		words := (g.Size + 7) / 8
+		region(g.Name).covered = uint64(len(covered[g.Name])) >= words && words > 0
+	}
+}
+
+func (ck *checker) globalAt(addr uint64) *asm.Global {
+	i := sort.Search(len(ck.globals), func(i int) bool {
+		return ck.globals[i].Addr+ck.globals[i].Size > addr
+	})
+	if i < len(ck.globals) && ck.globals[i].Addr <= addr {
+		return &ck.globals[i]
+	}
+	return nil
+}
+
+func (ck *checker) regionNameAt(addr uint64) string {
+	if g := ck.globalAt(addr); g != nil {
+		return g.Name
+	}
+	return "@unmapped"
+}
+
+func factFrom(pf ptrflow.Fact) fact {
+	return fact{tag: pf.Tag, region: pf.Region, rng: pf.Rng}
+}
+
+// decodeClaims converts the bundle's serialized claims into checker
+// structures.
+func (ck *checker) decodeClaims() {
+	ck.poison = factFrom(ck.bundle.Poison)
+	for _, rc := range ck.bundle.Regions {
+		ck.claims[rc.Name] = factFrom(rc.Stores)
+	}
+	for i := range ck.bundle.Invariants {
+		bi := &ck.bundle.Invariants[i]
+		if len(bi.Regs) != int(isa.NumRegs) {
+			continue // malformed claim: block treated as invariant-less
+		}
+		inv := &invariant{rspOK: bi.RSPOK, rsp: bi.RSP, frameOK: bi.FrameOK, free: bi.Free}
+		for r := range inv.regs {
+			inv.regs[r] = factFrom(bi.Regs[r])
+		}
+		if bi.FrameOK {
+			inv.frame = make(map[int64]fact, len(bi.Frame))
+			for _, sf := range bi.Frame {
+				inv.frame[sf.Off] = factFrom(sf.Fact)
+			}
+		}
+		ck.invs[bi.Block] = inv
+	}
+}
+
+func (ck *checker) claimedStores(name string) fact {
+	if f, ok := ck.claims[name]; ok {
+		return f
+	}
+	return botF
+}
+
+// verifyStore checks one dynamic store's contribution against the
+// bundle's claimed summaries (region store claim, or the poison claim
+// for unbounded addresses). The first failure rejects the bundle.
+func (ck *checker) checkStoreClaim(target string, sv fact) {
+	if ck.storeErr != nil {
+		return
+	}
+	claim := ck.poison
+	what := "poison"
+	if target != "" {
+		claim = ck.claimedStores(target)
+		what = "region " + target
+	}
+	if !factLE(sv, claim) {
+		ck.storeErr = fmt.Errorf("a store exceeds the claimed %s summary", what)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transfer
+
+// ruleFact abstracts one register rule by sampling its Propagate closure
+// with class representatives — the checker's own implementation of the
+// abstraction the class-determinism validation licenses.
+func (ck *checker) ruleFact(u *isa.Uop, v1, v2 fact) fact {
+	r := ck.db.Match(u)
+	if r == nil || r.Propagate == nil {
+		return notPtrF
+	}
+	reps := func(tag string, pos core.PID) []core.PID {
+		switch tag {
+		case ptrflow.FactBot, ptrflow.FactNotPtr:
+			return []core.PID{0}
+		case ptrflow.FactPtr:
+			return []core.PID{pos}
+		case ptrflow.FactWild:
+			return []core.PID{core.WildPID}
+		default:
+			return []core.PID{0, pos, core.WildPID}
+		}
+	}
+	out := botF
+	for _, a := range reps(v1.tag, 11) {
+		for _, b := range reps(v2.tag, 23) {
+			pid := r.Propagate(a, b)
+			f := fact{rng: ptrflow.FullRange()}
+			switch {
+			case pid == 0:
+				f.tag = ptrflow.FactNotPtr
+			case pid == core.WildPID:
+				f.tag = ptrflow.FactWild
+			default:
+				f.tag = ptrflow.FactPtr
+				switch pid {
+				case a:
+					f.region = v1.region
+				case b:
+					f.region = v2.region
+				}
+			}
+			out = joinFact(out, f)
+		}
+	}
+	return out
+}
+
+// derefFact abstracts the dereference-capability selection (validated
+// against tracker.DerefSelect at init): the base register's fact, with
+// index fallback when the base is untagged.
+func derefFact(st *cstate, m isa.MemRef) fact {
+	b := st.reg(m.Base)
+	ix := st.reg(m.Index)
+	switch b.tag {
+	case ptrflow.FactNotPtr:
+		return ix
+	case ptrflow.FactPtr, ptrflow.FactWild:
+		return b
+	case ptrflow.FactBot:
+		return botF
+	default:
+		return joinFact(b, ix)
+	}
+}
+
+// eaPtrFact selects the pointer an effective address is formed through.
+func eaPtrFact(st *cstate, m isa.MemRef) (fact, bool) {
+	b := st.reg(m.Base)
+	ix := st.reg(m.Index)
+	var p fact
+	switch {
+	case b.tag == ptrflow.FactPtr:
+		p = b
+	case b.tag == ptrflow.FactNotPtr && ix.tag == ptrflow.FactPtr:
+		p = ix
+	default:
+		return topF, false
+	}
+	if p.region == "" {
+		return topF, false
+	}
+	return p, true
+}
+
+// eaBounds attributes a memory micro-op's effective address to a region
+// and offset interval (the checker's own version of the analyzer's
+// eaFact, used to re-derive every proof's bounds from scratch).
+func (ck *checker) eaBounds(st *cstate, u *isa.Uop) (region string, off ptrflow.Interval, ok bool) {
+	m := u.Mem
+	if !m.Base.Valid() && !m.Index.Valid() {
+		g := ck.globalAt(uint64(m.Disp))
+		if g == nil {
+			return "", ptrflow.FullRange(), false
+		}
+		return g.Name, ptrflow.Const(m.Disp - int64(g.Addr)), true
+	}
+	scale := int64(m.Scale)
+	if scale == 0 {
+		scale = 1
+	}
+	b := st.reg(m.Base)
+	ix := st.reg(m.Index)
+	switch {
+	case m.Base.Valid() && b.tag == ptrflow.FactPtr && b.region != "" &&
+		(!m.Index.Valid() || ix.tag != ptrflow.FactPtr):
+		off = b.rng
+		if m.Index.Valid() {
+			off = off.Add(numRngF(ix).Scale(scale))
+		}
+		return b.region, off.AddConst(m.Disp), true
+	case m.Index.Valid() && ix.tag == ptrflow.FactPtr && ix.region != "" && scale == 1 &&
+		(!m.Base.Valid() || b.tag == ptrflow.FactNotPtr):
+		off = ix.rng
+		if m.Base.Valid() {
+			off = off.Add(numRngF(b))
+		}
+		return ix.region, off.AddConst(m.Disp), true
+	}
+	return "", ptrflow.FullRange(), false
+}
+
+// readRegionF is the abstract alias-table content for addresses in a
+// region: the checker's own initializer fact joined with the *claimed*
+// store summary and poison (both verified inductively elsewhere).
+func (ck *checker) readRegionF(name string) fact {
+	m, ok := ck.regions[name]
+	if !ok {
+		m = &regionMeta{init: botF}
+	}
+	v := joinFact(m.init, ck.claimedStores(name))
+	v = joinFact(v, ck.poison)
+	if v.tag == ptrflow.FactBot {
+		return zeroF
+	}
+	if !m.covered && v.meaningful() {
+		v.rng = v.rng.Join(ptrflow.Const(0))
+	}
+	return v
+}
+
+func (ck *checker) relocReadF(slotAddr uint64) fact {
+	v := ptrF(ck.relocSlot[slotAddr], ptrflow.Const(0))
+	if cont := ck.claimedStores(ck.regionNameAt(slotAddr)); cont.tag != ptrflow.FactBot {
+		v = joinFact(v, cont)
+	}
+	if ck.poison.tag != ptrflow.FactBot {
+		v = joinFact(v, ck.poison)
+	}
+	return v
+}
+
+func (ck *checker) loadFact(st *cstate, u *isa.Uop) fact {
+	m := u.Mem
+	if !m.Base.Valid() && !m.Index.Valid() {
+		addr := uint64(m.Disp)
+		if _, ok := ck.relocSlot[addr]; ok {
+			return ck.relocReadF(addr)
+		}
+		return ck.readRegionF(ck.regionNameAt(addr))
+	}
+	if m.Base == isa.RSP && !m.Index.Valid() {
+		if st.rspOK && st.frame != nil {
+			if v, ok := st.frame[st.rsp+m.Disp]; ok {
+				return v
+			}
+		}
+		return topF
+	}
+	p, ok := eaPtrFact(st, m)
+	if !ok {
+		return topF
+	}
+	return ck.readRegionF(p.region)
+}
+
+// memFact abstracts a store's alias-table-visible value: only genuine
+// capabilities survive; wild and untagged stores behave as clears.
+func memFact(v fact) fact {
+	switch v.tag {
+	case ptrflow.FactBot:
+		return botF
+	case ptrflow.FactPtr:
+		return v
+	case ptrflow.FactNotPtr, ptrflow.FactWild:
+		return fact{tag: ptrflow.FactNotPtr, rng: v.rng}
+	default:
+		return topF
+	}
+}
+
+func subWordRangeF(size uint32) ptrflow.Interval {
+	if size >= 8 || size == 0 {
+		return ptrflow.FullRange()
+	}
+	return ptrflow.Interval{Lo: 0, Hi: int64(1)<<(8*uint(size)) - 1}
+}
+
+func orCeilF(a, b int64) int64 {
+	m := a | b
+	for m&(m+1) != 0 {
+		m |= m >> 1
+	}
+	return m
+}
+
+// rngOf is the checker's structural interval transfer for a
+// register-writing micro-op (res carries the already-derived tag).
+func rngOf(u *isa.Uop, res, v1, v2 fact) ptrflow.Interval {
+	full := ptrflow.FullRange()
+	imm := func() ptrflow.Interval { return ptrflow.Const(u.Imm) }
+	rhs := func() ptrflow.Interval {
+		if u.HasImm {
+			return imm()
+		}
+		return numRngF(v2)
+	}
+	switch u.Type {
+	case isa.ULimm:
+		return imm()
+	case isa.UMov:
+		return v1.rng
+	case isa.ULea:
+		return leaRngF(res, v1, v2, u.Mem)
+	case isa.UAlu:
+		switch u.Alu {
+		case isa.AluAdd:
+			return addRngF(res, v1, v2, u.HasImm, imm())
+		case isa.AluSub:
+			if res.tag == ptrflow.FactPtr && res.region != "" &&
+				v1.tag == ptrflow.FactPtr && v1.region == res.region {
+				return v1.rng.Sub(rhs())
+			}
+			return numRngF(v1).Sub(rhs())
+		case isa.AluAnd:
+			if u.HasImm {
+				return numRngF(v1).AndMask(u.Imm)
+			}
+			n1, n2 := numRngF(v1), numRngF(v2)
+			if !n1.Empty() && !n2.Empty() && n1.Lo >= 0 && n2.Lo >= 0 {
+				hi := n1.Hi
+				if n2.Hi < hi {
+					hi = n2.Hi
+				}
+				return ptrflow.Interval{Lo: 0, Hi: hi}
+			}
+			return full
+		case isa.AluShl:
+			if u.HasImm {
+				return numRngF(v1).ShlBy(u.Imm)
+			}
+			return full
+		case isa.AluShr:
+			if u.HasImm {
+				return numRngF(v1).ShrBy(u.Imm)
+			}
+			return full
+		case isa.AluMul:
+			return numRngF(v1).Mul(rhs())
+		case isa.AluXor:
+			if !u.HasImm && u.Src1 == u.Src2 && u.Src1.Valid() {
+				return ptrflow.Const(0)
+			}
+			return full
+		case isa.AluOr:
+			n1, n2 := numRngF(v1), numRngF(v2)
+			if u.HasImm {
+				n2 = imm()
+			}
+			if !n1.Empty() && !n2.Empty() && n1.Lo >= 0 && n2.Lo >= 0 &&
+				n1.Hi != cPosInf && n2.Hi != cPosInf {
+				lo := n1.Lo
+				if n2.Lo > lo {
+					lo = n2.Lo
+				}
+				return ptrflow.Interval{Lo: lo, Hi: orCeilF(n1.Hi, n2.Hi)}
+			}
+			return full
+		}
+		return full
+	}
+	return full
+}
+
+func addRngF(res, v1, v2 fact, hasImm bool, imm ptrflow.Interval) ptrflow.Interval {
+	rhs := imm
+	if !hasImm {
+		rhs = numRngF(v2)
+	}
+	if res.tag == ptrflow.FactPtr && res.region != "" {
+		switch {
+		case v1.tag == ptrflow.FactPtr && v1.region == res.region &&
+			(hasImm || v2.tag != ptrflow.FactPtr):
+			return v1.rng.Add(rhs)
+		case !hasImm && v2.tag == ptrflow.FactPtr && v2.region == res.region &&
+			v1.tag != ptrflow.FactPtr:
+			return v2.rng.Add(numRngF(v1))
+		}
+		return ptrflow.FullRange()
+	}
+	return numRngF(v1).Add(rhs)
+}
+
+func leaRngF(res, base, index fact, m isa.MemRef) ptrflow.Interval {
+	scale := int64(m.Scale)
+	if scale == 0 {
+		scale = 1
+	}
+	ix := ptrflow.Const(0)
+	if m.Index.Valid() {
+		ix = numRngF(index).Scale(scale)
+	}
+	if res.tag == ptrflow.FactPtr && res.region != "" {
+		switch {
+		case m.Base.Valid() && base.tag == ptrflow.FactPtr && base.region == res.region &&
+			(!m.Index.Valid() || index.tag != ptrflow.FactPtr):
+			return base.rng.Add(ix).AddConst(m.Disp)
+		case m.Index.Valid() && index.tag == ptrflow.FactPtr && index.region == res.region &&
+			scale == 1 && (!m.Base.Valid() || base.tag != ptrflow.FactPtr):
+			b := ptrflow.Const(0)
+			if m.Base.Valid() {
+				b = numRngF(base)
+			}
+			return index.rng.Add(b).AddConst(m.Disp)
+		}
+		return ptrflow.FullRange()
+	}
+	b := ptrflow.Const(0)
+	if m.Base.Valid() {
+		b = numRngF(base)
+	}
+	return b.Add(ix).AddConst(m.Disp)
+}
+
+func trackRSPF(st *cstate, u *isa.Uop) {
+	if u.Dst != isa.RSP {
+		return
+	}
+	if u.Type == isa.UAlu && u.HasImm && u.Src1 == isa.RSP &&
+		(u.Alu == isa.AluAdd || u.Alu == isa.AluSub) {
+		if st.rspOK {
+			if u.Alu == isa.AluAdd {
+				st.rsp += u.Imm
+			} else {
+				st.rsp -= u.Imm
+			}
+		}
+		return
+	}
+	st.rspOK = false
+	st.frame = nil
+}
+
+// transferUop applies one micro-op to the checker state.
+func (ck *checker) transferUop(st *cstate, u *isa.Uop, cmp *cmpRec) {
+	switch u.Type {
+	case isa.ULoad:
+		cmp.invalidateOnWrite(u.Dst)
+		v := ck.loadFact(st, u)
+		if u.AccessSize() < 8 {
+			if u.Dst.Valid() && u.Dst != isa.FLAGS {
+				d := st.regs[u.Dst]
+				if numericTag(d.tag) {
+					d.rng = subWordRangeF(u.AccessSize())
+				} else {
+					d.rng = ptrflow.FullRange()
+				}
+				st.regs[u.Dst] = d
+			}
+			return
+		}
+		if u.Dst.Valid() {
+			st.regs[u.Dst] = v
+		}
+
+	case isa.UStore:
+		sv := memFact(st.reg(u.Src1))
+		if u.AccessSize() < 8 {
+			sv = fact{tag: ptrflow.FactNotPtr, rng: ptrflow.FullRange()}
+		}
+		ck.storeEffectF(st, u, sv)
+
+	case isa.UJump, isa.UBranch, isa.UNop:
+		// no register effect
+
+	default: // UMov, ULimm, UAlu, ULea
+		v1 := st.reg(u.Src1)
+		v2 := notPtrF
+		if !u.HasImm && u.Src2.Valid() {
+			v2 = st.reg(u.Src2)
+		}
+		if u.Type == isa.ULea {
+			v1 = st.reg(u.Mem.Base)
+			v2 = st.reg(u.Mem.Index)
+		}
+		if u.Type == isa.UAlu {
+			cmp.ok = false
+			if u.Alu == isa.AluCmp {
+				*cmp = cmpRec{ok: true, r1: u.Src1, r2: isa.RNone, imm: u.Imm, hasImm: u.HasImm}
+				if !u.HasImm {
+					cmp.r2 = u.Src2
+				}
+			}
+		}
+		cmp.invalidateOnWrite(u.Dst)
+		trackRSPF(st, u)
+		if !u.Dst.Valid() || u.Dst == isa.FLAGS {
+			return
+		}
+		res := ck.ruleFact(u, v1, v2)
+		res.rng = rngOf(u, res, v1, v2)
+		if !res.meaningful() {
+			res.rng = ptrflow.FullRange()
+		}
+		st.regs[u.Dst] = res
+	}
+}
+
+func (ck *checker) storeEffectF(st *cstate, u *isa.Uop, sv fact) {
+	m := u.Mem
+	if !m.Base.Valid() && !m.Index.Valid() {
+		ck.checkStoreClaim(ck.regionNameAt(uint64(m.Disp)), sv)
+		return
+	}
+	if m.Base == isa.RSP && !m.Index.Valid() {
+		if st.rspOK && st.frame != nil {
+			st.frame[st.rsp+m.Disp] = sv
+		} else {
+			st.frame = nil
+		}
+		return
+	}
+	if p, ok := eaPtrFact(st, m); ok {
+		ck.checkStoreClaim(p.region, sv)
+		return
+	}
+	ck.checkStoreClaim("", sv)
+}
+
+// externalCallF mirrors the OS/microcode allocator interception and
+// collects the checker's own allocation-size and release facts.
+func (ck *checker) externalCallF(st *cstate, target uint64) {
+	retPop := func() {
+		if st.rspOK && st.frame != nil {
+			if v, ok := st.frame[st.rsp]; ok {
+				st.regs[isa.T0] = v
+			} else {
+				st.regs[isa.T0] = topF
+			}
+		} else {
+			st.regs[isa.T0] = topF
+		}
+		if st.rspOK {
+			st.rsp += 8
+		}
+	}
+	switch target {
+	case heap.MallocEntry, heap.CallocEntry, heap.ReallocEntry:
+		rdi := numRngF(st.reg(isa.RDI))
+		if rdi.Bounded() && rdi.Lo > 0 {
+			if ck.heapMin < 0 || rdi.Lo < ck.heapMin {
+				ck.heapMin = rdi.Lo
+			}
+		} else {
+			ck.heapUnknown = true
+		}
+		if target == heap.ReallocEntry {
+			st.free = true
+		}
+		retPop()
+		st.regs[isa.RAX] = ptrF(ptrflow.HeapRegion, ptrflow.Const(0))
+	case heap.FreeEntry:
+		st.free = true
+		retPop()
+	default:
+		for i := range st.regs {
+			st.regs[i] = topF
+		}
+		st.rspOK = false
+		st.frame = nil
+		st.free = true
+		ck.checkStoreClaim("", topF)
+	}
+	if target != heap.MallocEntry && target != heap.CallocEntry {
+		ck.anyFree = true
+	}
+}
+
+// siteVisit observes a memory micro-op before its effect is applied.
+type siteVisit func(in *isa.Inst, u *isa.Uop, st *cstate)
+
+// transferBlockF interprets one block from st, returning the trailing
+// compare fact for edge refinement.
+func (ck *checker) transferBlockF(b *ptrflow.Block, st *cstate, visit siteVisit) cmpRec {
+	prog := ck.prog
+	var cmp cmpRec
+	for idx := b.Start; idx < b.End; idx++ {
+		in := &prog.Insts[idx]
+		uops := ck.dec.Native(in, ck.uopBuf[:0])
+		ck.uopBuf = uops
+		for i := range uops {
+			u := &uops[i]
+			if visit != nil && u.Type.IsMem() {
+				visit(in, u, st)
+			}
+			ck.transferUop(st, u, &cmp)
+		}
+		if in.Op == isa.CALL && in.Dst.Kind != isa.OpReg && prog.At(in.Target) == nil {
+			ck.externalCallF(st, in.Target)
+		}
+	}
+	return cmp
+}
+
+// refineF narrows numeric ranges along a conditional edge (the checker's
+// own mirror of edge-sensitive refinement).
+func refineF(st *cstate, cmp cmpRec, cond isa.Cond, taken bool) {
+	if !cmp.ok || !cmp.r1.Valid() {
+		return
+	}
+	if !taken {
+		cond = negCondF(cond)
+		if cond == isa.CondNone {
+			return
+		}
+	}
+	lhs := st.reg(cmp.r1)
+	rhs := numF(ptrflow.Const(cmp.imm))
+	if !cmp.hasImm {
+		if !cmp.r2.Valid() {
+			return
+		}
+		rhs = st.reg(cmp.r2)
+	}
+	apply := func(r isa.Reg, v fact, bound ptrflow.Interval) {
+		if !r.Valid() || !numericTag(v.tag) {
+			return
+		}
+		m := v.rng.Meet(bound)
+		if m.Empty() {
+			return
+		}
+		v.rng = m
+		st.regs[r] = v
+	}
+	lb, rb := numRngF(lhs), numRngF(rhs)
+	unsignedOK := !lb.Empty() && !rb.Empty() && lb.Lo >= 0 && rb.Lo >= 0
+	// Saturating ±1 on a single bound, with the sentinel stickiness of the
+	// shared interval library.
+	bump := func(v, d int64) int64 { return ptrflow.Const(v).AddConst(d).Lo }
+	switch cond {
+	case isa.CondE:
+		apply(cmp.r1, lhs, rb)
+		if !cmp.hasImm {
+			apply(cmp.r2, rhs, lb)
+		}
+	case isa.CondB, isa.CondBE, isa.CondA, isa.CondAE:
+		// Unsigned orders coincide with signed ones only when both sides
+		// are known non-negative.
+		if !unsignedOK {
+			return
+		}
+		fallthrough
+	case isa.CondL, isa.CondLE, isa.CondG, isa.CondGE:
+		lt := cond == isa.CondL || cond == isa.CondB
+		le := cond == isa.CondLE || cond == isa.CondBE
+		gt := cond == isa.CondG || cond == isa.CondA
+		ge := cond == isa.CondGE || cond == isa.CondAE
+		switch {
+		case lt: // r1 < rhs
+			apply(cmp.r1, lhs, ptrflow.Interval{Lo: cNegInf, Hi: bump(rb.Hi, -1)})
+			if !cmp.hasImm {
+				apply(cmp.r2, rhs, ptrflow.Interval{Lo: bump(lb.Lo, 1), Hi: cPosInf})
+			}
+		case le:
+			apply(cmp.r1, lhs, ptrflow.Interval{Lo: cNegInf, Hi: rb.Hi})
+			if !cmp.hasImm {
+				apply(cmp.r2, rhs, ptrflow.Interval{Lo: lb.Lo, Hi: cPosInf})
+			}
+		case gt:
+			apply(cmp.r1, lhs, ptrflow.Interval{Lo: bump(rb.Lo, 1), Hi: cPosInf})
+			if !cmp.hasImm {
+				apply(cmp.r2, rhs, ptrflow.Interval{Lo: cNegInf, Hi: bump(lb.Hi, -1)})
+			}
+		case ge:
+			apply(cmp.r1, lhs, ptrflow.Interval{Lo: rb.Lo, Hi: cPosInf})
+			if !cmp.hasImm {
+				apply(cmp.r2, rhs, ptrflow.Interval{Lo: cNegInf, Hi: lb.Hi})
+			}
+		}
+	case isa.CondS:
+		apply(cmp.r1, lhs, ptrflow.Interval{Lo: cNegInf, Hi: -1})
+	case isa.CondNS:
+		apply(cmp.r1, lhs, ptrflow.Interval{Lo: 0, Hi: cPosInf})
+	}
+}
+
+func negCondF(c isa.Cond) isa.Cond {
+	switch c {
+	case isa.CondE:
+		return isa.CondNE
+	case isa.CondNE:
+		return isa.CondE
+	case isa.CondL:
+		return isa.CondGE
+	case isa.CondGE:
+		return isa.CondL
+	case isa.CondLE:
+		return isa.CondG
+	case isa.CondG:
+		return isa.CondLE
+	case isa.CondB:
+		return isa.CondAE
+	case isa.CondAE:
+		return isa.CondB
+	case isa.CondBE:
+		return isa.CondA
+	case isa.CondA:
+		return isa.CondBE
+	case isa.CondS:
+		return isa.CondNS
+	case isa.CondNS:
+		return isa.CondS
+	}
+	return isa.CondNone
+}
+
+// ---------------------------------------------------------------------------
+// Induction and proof verification
+
+// verifyInduction checks that the bundle's invariants are inductive:
+// every entry state is contained in its entry block's invariant, and
+// every invariant block's edge-out states are contained in the successor
+// invariants. Along the way the checker accumulates its own allocation
+// and release facts and verifies every store against the claimed
+// summaries.
+func (ck *checker) verifyInduction() error {
+	g := ck.cfg
+	for _, e := range g.Entries {
+		inv, ok := ck.invs[e]
+		if !ok {
+			return fmt.Errorf("entry block %d has no invariant", e)
+		}
+		es := newEntryCState()
+		if err := stateLE(es, inv); err != nil {
+			return fmt.Errorf("entry block %d: %v", e, err)
+		}
+	}
+	for bi := range g.Blocks {
+		inv, ok := ck.invs[bi]
+		if !ok {
+			continue // unreached per the bundle; nothing flows out of it
+		}
+		b := &g.Blocks[bi]
+		st := stateFromInv(inv)
+		cmp := ck.transferBlockF(b, st, nil)
+		for _, succ := range b.Succs {
+			sinv, ok := ck.invs[succ]
+			if !ok {
+				return fmt.Errorf("block %d flows into block %d which has no invariant", bi, succ)
+			}
+			es := st
+			if cmp.ok && b.TakenSucc >= 0 && b.TakenSucc != b.FallSucc &&
+				(succ == b.TakenSucc || succ == b.FallSucc) {
+				es = st.clone()
+				refineF(es, cmp, b.Cond, succ == b.TakenSucc)
+			}
+			if err := stateLE(es, sinv); err != nil {
+				return fmt.Errorf("block %d -> %d not inductive: %v", bi, succ, err)
+			}
+		}
+	}
+	if ck.storeErr != nil {
+		return ck.storeErr
+	}
+	return nil
+}
+
+func stateFromInv(inv *invariant) *cstate {
+	st := &cstate{rsp: inv.rsp, rspOK: inv.rspOK, free: inv.free}
+	st.regs = inv.regs
+	if inv.frameOK {
+		st.frame = make(map[int64]fact, len(inv.frame))
+		for k, v := range inv.frame {
+			st.frame[k] = v
+		}
+	}
+	return st
+}
+
+// heapChunkMin returns the checker's own lower bound on heap chunk
+// sizes, or 0 when unknown.
+func (ck *checker) heapChunkMin() uint64 {
+	if ck.heapUnknown || ck.heapMin <= 0 {
+		return 0
+	}
+	return uint64(ck.heapMin)
+}
+
+// verifyProof re-derives one proof's site facts from the (already
+// verified) invariant of its block and checks the full safety condition.
+func (ck *checker) verifyProof(p *ptrflow.Proof) error {
+	b := ck.cfg.BlockAt(p.Addr)
+	if b == nil {
+		return fmt.Errorf("site %#x.%d: no containing block", p.Addr, p.MacroIdx)
+	}
+	inv, ok := ck.invs[b.ID]
+	if !ok {
+		return fmt.Errorf("site %#x.%d: block %d has no invariant", p.Addr, p.MacroIdx, b.ID)
+	}
+	var siteErr error
+	found := false
+	st := stateFromInv(inv)
+	ck.transferBlockF(b, st, func(in *isa.Inst, u *isa.Uop, cur *cstate) {
+		if found || in.Addr != p.Addr || u.MacroIdx != p.MacroIdx {
+			return
+		}
+		found = true
+		siteErr = ck.checkSite(p, u, cur)
+	})
+	if !found {
+		return fmt.Errorf("site %#x.%d: no such memory micro-op", p.Addr, p.MacroIdx)
+	}
+	return siteErr
+}
+
+func (ck *checker) checkSite(p *ptrflow.Proof, u *isa.Uop, st *cstate) error {
+	store := u.Type == isa.UStore
+	if store != p.Store {
+		return fmt.Errorf("access kind mismatch")
+	}
+	d := derefFact(st, u.Mem)
+	if d.tag != ptrflow.FactPtr || d.region == "" || d.region != p.Region {
+		return fmt.Errorf("deref tag %q(%s) does not establish ptr(%s)", d.tag, d.region, p.Region)
+	}
+	region, off, ok := ck.eaBounds(st, u)
+	if !ok || region != p.Region {
+		return fmt.Errorf("effective address not attributable to %s", p.Region)
+	}
+	if !off.Bounded() || off.Lo < 0 {
+		return fmt.Errorf("offset %s not provably non-negative and finite", off)
+	}
+	size := u.AccessSize()
+	var span uint64
+	if region == ptrflow.HeapRegion {
+		span = ck.heapChunkMin()
+		if span == 0 {
+			return fmt.Errorf("no heap chunk-size lower bound")
+		}
+		if st.free {
+			return fmt.Errorf("a heap release may precede the site")
+		}
+		if ck.harts > 1 && ck.anyFree {
+			return fmt.Errorf("concurrent harts with reachable release")
+		}
+	} else {
+		m := ck.regions[region]
+		if m == nil || !m.isGlobal || m.size == 0 {
+			return fmt.Errorf("region %s has no recoverable extent", region)
+		}
+		span = m.size
+		if store && m.readOnly {
+			return fmt.Errorf("store into read-only region %s", region)
+		}
+	}
+	end := off.Hi + int64(size)
+	if end < off.Hi || end < 0 || uint64(end) > span {
+		return fmt.Errorf("bounds %s+%d exceed region span %d", off, size, span)
+	}
+	return nil
+}

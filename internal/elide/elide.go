@@ -1,0 +1,180 @@
+// Package elide turns the static analyzer's safety proofs into a
+// capability-check elision map — but only after verifying every proof
+// with a small independent checker. The trust argument is
+// proof-carrying: the analyzer (internal/ptrflow, with its fixpoint
+// engine, widening and region-restart machinery) produces a bundle of
+// claims, and this package re-derives the facts those claims rest on
+// with its own code. A bug in the analyzer yields a non-inductive
+// bundle, which rejects every proof; it can never silently elide an
+// unsafe check. The pipeline consumes the resulting map only behind the
+// Config.ElideChecks knob, so the whole mechanism is fail-closed at
+// every layer.
+package elide
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"chex86/internal/asm"
+	"chex86/internal/pipeline"
+	"chex86/internal/ptrflow"
+	"chex86/internal/tracker"
+)
+
+// Options configures proof generation and checking.
+type Options struct {
+	// Harts is the number of hardware threads the program runs with
+	// (temporal safety conditions are stricter when concurrent frees are
+	// possible). Zero means one.
+	Harts int
+
+	// IndirectTargets optionally maps indirect-branch addresses to their
+	// possible targets. Note that any indirect branch — resolved or not —
+	// rejects all proofs; the hints only serve CFG construction for the
+	// keep-side diagnostics.
+	IndirectTargets map[uint64][]uint64
+}
+
+// SiteDecision is the per-dereference outcome: elide (independently
+// verified proven-safe) or keep (no proof, or proof rejected).
+type SiteDecision struct {
+	Addr          uint64   `json:"addr"`
+	MacroIdx      uint8    `json:"macroIdx"`
+	Store         bool     `json:"store,omitempty"`
+	Status        string   `json:"status"` // "elide" | "keep"
+	Region        string   `json:"region,omitempty"`
+	Lo            int64    `json:"lo,omitempty"`
+	Hi            int64    `json:"hi,omitempty"`
+	Size          uint32   `json:"size,omitempty"`
+	Reason        string   `json:"reason,omitempty"` // why kept
+	Justification []string `json:"justification,omitempty"`
+}
+
+// Stats summarizes a checking run.
+type Stats struct {
+	Sites    int `json:"sites"`    // memory access sites analyzed
+	Proofs   int `json:"proofs"`   // proofs the analyzer emitted
+	Elided   int `json:"elided"`   // proofs the checker verified
+	Rejected int `json:"rejected"` // proofs the checker refused
+}
+
+// Report is the verified elision decision set for one program. Its JSON
+// form is byte-stable: decisions follow the analyzer's sorted site
+// order, and every field is plain data.
+type Report struct {
+	Harts        int            `json:"harts"`
+	Verified     bool           `json:"verified"`
+	Reason       string         `json:"reason,omitempty"` // bundle-level rejection
+	HeapMinChunk uint64         `json:"heapMinChunk,omitempty"`
+	Stats        Stats          `json:"stats"`
+	Decisions    []SiteDecision `json:"decisions"`
+
+	// Digest is the content address of the decision set (plus the
+	// tracker rule semantics the proofs were validated against). The
+	// pipeline configuration carries it (Config.ElisionDigest) so the
+	// campaign result cache keys on the exact map in effect.
+	Digest string `json:"digest"`
+
+	// Map is the pipeline-consumable elision map (true at proven-safe
+	// sites only).
+	Map pipeline.ElisionMap `json:"-"`
+}
+
+// ForProgram analyzes prog, has the analyzer emit a proof bundle, and
+// independently verifies it into an elision report. The error covers
+// analysis failure only; rejected proofs surface as keep decisions.
+func ForProgram(prog *asm.Program, opt Options) (*Report, error) {
+	an, err := ptrflow.Analyze(prog, ptrflow.Options{
+		Harts:           opt.Harts,
+		IndirectTargets: opt.IndirectTargets,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("elide: %w", err)
+	}
+	return FromAnalysis(prog, an, opt), nil
+}
+
+// FromAnalysis verifies an existing analysis' proof bundle.
+func FromAnalysis(prog *asm.Program, an *ptrflow.Analysis, opt Options) *Report {
+	harts := opt.Harts
+	if harts <= 0 {
+		harts = 1
+	}
+	bundle := an.ProofBundle()
+	rep := &Report{Harts: harts, Map: pipeline.ElisionMap{}}
+
+	type key struct {
+		addr uint64
+		idx  uint8
+	}
+	proofs := map[key]*ptrflow.Proof{}
+	for i := range bundle.Proofs {
+		p := &bundle.Proofs[i]
+		proofs[key{p.Addr, p.MacroIdx}] = p
+	}
+	rep.Stats.Proofs = len(bundle.Proofs)
+
+	ck, err := newChecker(prog, bundle, harts, opt.IndirectTargets)
+	if err == nil {
+		err = ck.verifyInduction()
+	}
+	if err != nil {
+		rep.Reason = err.Error()
+	} else {
+		rep.Verified = true
+		rep.HeapMinChunk = ck.heapChunkMin()
+	}
+
+	for _, s := range an.SortedSites() {
+		d := SiteDecision{Addr: s.Addr, MacroIdx: s.MacroIdx, Store: s.Store, Status: "keep"}
+		p, hasProof := proofs[key{s.Addr, s.MacroIdx}]
+		switch {
+		case !hasProof:
+			d.Reason = fmt.Sprintf("no proof (analyzer verdict: %s)", s.Verdict)
+		case err != nil:
+			d.Reason = "bundle rejected: " + err.Error()
+			rep.Stats.Rejected++
+		default:
+			if perr := ck.verifyProof(p); perr != nil {
+				d.Reason = "proof rejected: " + perr.Error()
+				rep.Stats.Rejected++
+			} else {
+				d.Status = "elide"
+				d.Region = p.Region
+				d.Lo, d.Hi, d.Size = p.Lo, p.Hi, p.Size
+				d.Justification = append(append([]string{}, p.Justification...),
+					"checker: block invariants verified inductive, site conditions re-derived independently")
+				rep.Map[pipeline.ElideKey{Addr: p.Addr, MacroIdx: p.MacroIdx}] = true
+				rep.Stats.Elided++
+			}
+		}
+		rep.Decisions = append(rep.Decisions, d)
+	}
+	rep.Stats.Sites = len(rep.Decisions)
+	rep.Digest = digest(rep)
+	return rep
+}
+
+// digest content-addresses the decision set together with the tracker
+// rule semantics it was validated against and the hart count the
+// temporal conditions assumed.
+func digest(rep *Report) string {
+	h := sha256.New()
+	var harts [8]byte
+	binary.LittleEndian.PutUint64(harts[:], uint64(rep.Harts))
+	h.Write(harts[:])
+	dec, err := json.Marshal(rep.Decisions)
+	if err != nil {
+		panic(fmt.Sprintf("elide: decisions marshal: %v", err))
+	}
+	h.Write(dec)
+	rules, err := json.Marshal(tracker.NewRuleDB().Export())
+	if err != nil {
+		panic(fmt.Sprintf("elide: rule export marshal: %v", err))
+	}
+	h.Write(rules)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -67,6 +67,21 @@ type Config struct {
 	Variant decode.Variant
 	Context core.ContextPolicy
 
+	// ElideChecks enables proof-carrying capability-check elision: memory
+	// micro-ops whose site appears in the elision map installed with
+	// Sim.SetElisionMap skip check injection (and the check's functional
+	// validation), keeping every tracker side effect. Off by default, and
+	// inert without an installed map — the fail-closed contract is that
+	// only independently verified proven-safe sites are ever marked.
+	ElideChecks bool
+
+	// ElisionDigest is the content digest of the installed elision map
+	// (internal/elide Report.Digest). It has no simulation effect of its
+	// own; it exists so content-addressed result caching (the campaign
+	// subsystem hashes CanonicalJSON) can never serve a result across
+	// differing elision maps.
+	ElisionDigest string
+
 	// EnableChecker runs the hardware checker co-processor alongside
 	// execution (the offline rule-validation mode of Section V-A).
 	EnableChecker bool

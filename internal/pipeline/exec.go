@@ -59,9 +59,11 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	// --- Decode to native micro-ops and fill effective addresses. ---
 	native := c.dec.Native(in, c.uopBuf[:0])
 	// Field updates re-route matching translations through the MSRAM.
+	c.microRerouted = false
 	if rerouted, hit := s.Microcode.Apply(in, native); hit {
 		native = rerouted
 		c.dec.Stats.MSROMMacros++
+		c.microRerouted = true
 	}
 	for i := range native {
 		if native[i].Type.IsMem() {
@@ -196,6 +198,23 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 			checkLat := uint64(0)
 			hwOnly := cfg.Variant == decode.VariantHardwareOnly && covered
 			doCheck := inject || (hwOnly && pid != 0)
+
+			// Proof-carrying check elision: a site with an independently
+			// verified safety proof skips the check it would otherwise run
+			// — injection, functional validation, and the dereference's
+			// token dependency. Everything else (tag tracking above, alias
+			// prediction and spill handling below) proceeds unchanged, so
+			// elision alters timing and check counts, never the tracker
+			// state later sites depend on. Macro-ops rerouted through the
+			// microcode RAM are never elided: their micro-op numbering may
+			// not match the native expansion the proof was keyed against.
+			if doCheck && pid != 0 && cfg.ElideChecks && !c.microRerouted &&
+				s.elision[ElideKey{Addr: rip, MacroIdx: u.MacroIdx}] {
+				inject = false
+				hwOnly = false
+				doCheck = false
+				c.elidedChecks++
+			}
 			if doCheck && pid != 0 {
 				c.checksRun++
 				if pid > 0 && !c.capCache.Access(uint64(pid)) {

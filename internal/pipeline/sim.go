@@ -33,6 +33,7 @@ type Result struct {
 	CapMissLat    uint64 // aggregate shadow-table latency on capability checks
 	WalkLat       uint64 // aggregate alias-table walk latency
 	ChecksRun     uint64 // functional capability checks performed
+	ChecksElided  uint64 // checks suppressed at proven-safe sites
 	GatedMem      uint64 // memory uops gated on a capability-check token
 
 	// Structures.
@@ -166,7 +167,14 @@ type coreCtx struct {
 	capMissLat    uint64 // total shadow-access latency charged to capChecks
 	walkLat       uint64 // total alias-walk latency charged
 	checksRun     uint64
+	elidedChecks  uint64 // checks suppressed at proven-safe sites
 	gatedMem      uint64 // memory uops gated on a capability-check token
+
+	// microRerouted marks the current macro-op as translated through the
+	// writable microcode RAM: its micro-op numbering may differ from the
+	// native expansion the elision proofs were keyed against, so elision
+	// is suppressed for it (fail-closed).
+	microRerouted bool
 
 	// Capability event state.
 	pendingGen     *core.Capability
@@ -206,6 +214,10 @@ type Sim struct {
 	// the stream reflects the tracker's raw view — the probe the static
 	// pointer-flow cross-check (internal/ptrflow) diffs against.
 	TraceDeref func(rip uint64, u *isa.Uop, pid core.PID)
+
+	// elision marks sites with an independently verified safety proof;
+	// consulted only when Cfg.ElideChecks is set (see elide.go).
+	elision ElisionMap
 
 	llc  *cache.LineCache
 	dram *mem.DRAM
@@ -548,6 +560,7 @@ func (s *Sim) result() *Result {
 		r.CapMissLat += c.capMissLat
 		r.WalkLat += c.walkLat
 		r.ChecksRun += c.checksRun
+		r.ChecksElided += c.elidedChecks
 		r.GatedMem += c.gatedMem
 
 		addStats(&r.CapCache, &c.capCache.Stats)
@@ -607,6 +620,7 @@ func subtractWarm(r, w *Result) {
 	r.CapMissLat -= w.CapMissLat
 	r.WalkLat -= w.WalkLat
 	r.ChecksRun -= w.ChecksRun
+	r.ChecksElided -= w.ChecksElided
 	r.GatedMem -= w.GatedMem
 	r.DRAMBytes -= w.DRAMBytes
 	r.AliasWalks -= w.AliasWalks

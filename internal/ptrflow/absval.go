@@ -77,16 +77,55 @@ type Value struct {
 	Tag     Tag
 	Region  string
 	Assumed bool
+
+	// Rng is the value-range component (see Interval): a numeric range
+	// for not-ptr/wild values, a region-base-relative byte-offset range
+	// for region-attributed pointers, and Full otherwise.
+	Rng Interval
 }
 
 // HeapRegion names the abstract region of allocator-returned pointers.
 const HeapRegion = "heap"
 
 var (
-	bot    = Value{Tag: TagBot}
-	notPtr = Value{Tag: TagNotPtr}
-	top    = Value{Tag: TagTop}
+	bot    = Value{Tag: TagBot, Rng: ivEmpty}
+	notPtr = Value{Tag: TagNotPtr, Rng: ivFull}
+	top    = Value{Tag: TagTop, Rng: ivFull}
+	// zeroVal abstracts never-written memory: tag 0, value 0.
+	zeroVal = Value{Tag: TagNotPtr, Rng: Interval{Lo: 0, Hi: 0}}
 )
+
+// numVal builds a not-ptr value carrying a numeric range.
+func numVal(iv Interval) Value { return Value{Tag: TagNotPtr, Rng: iv} }
+
+// ptrVal builds a region-attributed pointer carrying an offset range.
+func ptrVal(region string, off Interval) Value {
+	return Value{Tag: TagPtr, Region: region, Rng: off}
+}
+
+// rangeMeaningful reports whether the value's interval carries a defined
+// meaning (numeric range, or region-relative offset range).
+func (v Value) rangeMeaningful() bool {
+	switch v.Tag {
+	case TagNotPtr, TagWild:
+		return true
+	case TagPtr:
+		return v.Region != ""
+	default:
+		return false
+	}
+}
+
+// numRng returns a sound numeric range for the value: its interval when
+// the value is a plain number (or wild integer), Full otherwise — a
+// pointer's "numeric value" is an absolute address the analysis never
+// bounds.
+func numRng(v Value) Interval {
+	if v.Tag == TagNotPtr || v.Tag == TagWild {
+		return v.Rng
+	}
+	return ivFull
+}
 
 // String renders the value for diagnostics.
 func (v Value) String() string {
@@ -94,10 +133,30 @@ func (v Value) String() string {
 	if v.Tag == TagPtr && v.Region != "" {
 		s += "(" + v.Region + ")"
 	}
+	if v.rangeMeaningful() && !v.Rng.Full() {
+		s += v.Rng.String()
+	}
 	if v.Assumed {
 		s += "~"
 	}
 	return s
+}
+
+// joinRng combines the interval components of a join: the hull when both
+// sides' intervals share a meaning (both numeric, or offsets into the
+// same region), Full otherwise — mixing an offset with a number would
+// fabricate an unsound range.
+func joinRng(a, b, out Value) Interval {
+	aNum := a.Tag == TagNotPtr || a.Tag == TagWild
+	bNum := b.Tag == TagNotPtr || b.Tag == TagWild
+	switch {
+	case aNum && bNum:
+		return ivJoin(a.Rng, b.Rng)
+	case a.Tag == TagPtr && b.Tag == TagPtr && a.Region == b.Region && a.Region != "":
+		return ivJoin(a.Rng, b.Rng)
+	default:
+		return ivFull
+	}
 }
 
 // join is the least upper bound on Values. Regions survive only when both
@@ -113,12 +172,30 @@ func join(a, b Value) Value {
 	if out.Tag == TagPtr && a.Region == b.Region {
 		out.Region = a.Region
 	}
+	out.Rng = joinRng(a, b, out)
+	if !out.rangeMeaningful() {
+		out.Rng = ivFull
+	}
 	return out
+}
+
+// widenValue joins b into a, widening the interval component so loop
+// iteration counts cannot drive unbounded ascending chains.
+func widenValue(a, b Value) Value {
+	j := join(a, b)
+	if a.Tag == TagBot {
+		return j
+	}
+	j.Rng = ivWiden(a.Rng, j.Rng)
+	if !j.rangeMeaningful() {
+		j.Rng = ivFull
+	}
+	return j
 }
 
 // eq reports lattice equality (used for fixpoint change detection).
 func (v Value) eq(o Value) bool {
-	return v.Tag == o.Tag && v.Region == o.Region && v.Assumed == o.Assumed
+	return v.Tag == o.Tag && v.Region == o.Region && v.Assumed == o.Assumed && v.Rng == o.Rng
 }
 
 // classifyPID maps a concrete PID to its lattice element, mirroring the
@@ -164,7 +241,9 @@ func absPropagate(r *tracker.Rule, v1, v2 Value) Value {
 	for _, a := range src1Reps[v1.Tag] {
 		for _, b := range src2Reps[v2.Tag] {
 			pid := r.Propagate(a, b)
-			rv := Value{Tag: classifyPID(pid)}
+			// The interval component is computed structurally by the
+			// caller (see transferArith); Full is the sound placeholder.
+			rv := Value{Tag: classifyPID(pid), Rng: ivFull}
 			if rv.Tag == TagPtr {
 				// Attribute the surviving pointer to the source whose
 				// representative it is, recovering its region.
@@ -194,9 +273,9 @@ func memVal(v Value) Value {
 	case TagPtr:
 		return v
 	case TagNotPtr, TagWild:
-		return Value{Tag: TagNotPtr, Assumed: v.Assumed}
+		return Value{Tag: TagNotPtr, Assumed: v.Assumed, Rng: v.Rng}
 	default:
-		return Value{Tag: TagTop, Assumed: v.Assumed}
+		return Value{Tag: TagTop, Assumed: v.Assumed, Rng: ivFull}
 	}
 }
 

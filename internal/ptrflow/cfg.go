@@ -25,6 +25,16 @@ type Block struct {
 	// membership discovery: internal calls continue at their return site
 	// and RETs terminate the walk.
 	IntraSuccs []int
+
+	// Cond, TakenSucc and FallSucc describe a terminating conditional
+	// branch for edge-sensitive refinement: TakenSucc/FallSucc are the
+	// successor block IDs of the taken and fall-through edges (-1 when
+	// the block does not end in a JCC, and possibly equal when the
+	// branch targets its own fall-through). Succs deduplicates, so these
+	// carry the edge identity Succs cannot.
+	Cond      isa.Cond
+	TakenSucc int
+	FallSucc  int
 }
 
 // CFG is the control-flow graph of a guest program at macro-op
@@ -187,7 +197,8 @@ func BuildCFG(prog *asm.Program, harts int, hints map[uint64][]uint64) *CFG {
 			continue
 		}
 		id := len(g.Blocks)
-		g.Blocks = append(g.Blocks, Block{ID: id, Start: start, End: i + 1})
+		g.Blocks = append(g.Blocks, Block{ID: id, Start: start, End: i + 1,
+			TakenSucc: -1, FallSucc: -1})
 		for j := start; j <= i; j++ {
 			g.blockOf[j] = id
 		}
@@ -233,6 +244,9 @@ func BuildCFG(prog *asm.Program, harts int, hints map[uint64][]uint64) *CFG {
 			t := blockAtIdx(instIndex(prog, last.Target))
 			b.Succs = addSucc(addSucc(b.Succs, t), fall)
 			b.IntraSuccs = addSucc(addSucc(b.IntraSuccs, t), fall)
+			b.Cond = last.Cond
+			b.TakenSucc = t
+			b.FallSucc = fall
 
 		case last.Op == isa.JMP: // indirect
 			for _, t := range hints[last.Addr] {

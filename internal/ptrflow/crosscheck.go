@@ -291,6 +291,7 @@ func Crosscheck(ctx context.Context, prog *asm.Program, opt CheckOptions) (*Repo
 			ExternalReport{Addr: fmt.Sprintf("%#x", a), Execs: r.execs, Tagged: r.tagged})
 	}
 
+	deriveTotals(rep)
 	if rep.PointerExecs > 0 {
 		rep.Coverage = float64(rep.PointerTagged) / float64(rep.PointerExecs)
 	} else {
@@ -300,13 +301,19 @@ func Crosscheck(ctx context.Context, prog *asm.Program, opt CheckOptions) (*Repo
 }
 
 // classify buckets one site's static verdict against its tag stream.
+// Every site lands in exactly one class: a pointer site whose executions
+// carry the wild tag is simultaneously over-tagged (the wild check
+// fires) and uncovered (the owning capability's check never does), and
+// it counts once — as uncovered — rather than once in each bucket.
 func classify(s *Site, r *siteRun) (class, triage string) {
 	if r.execs == 0 {
 		return ClassUnexecuted, ""
 	}
 	switch s.Verdict {
 	case VerdictPointer:
-		if r.tagged == r.execs {
+		// Only properly attributed tags are coverage; a wild tag runs a
+		// check against no real capability, so it protects nothing.
+		if r.tagged-r.wild == r.execs {
 			return ClassCovered, ""
 		}
 		if s.Assumed {
@@ -326,20 +333,20 @@ func classify(s *Site, r *siteRun) (class, triage string) {
 	}
 }
 
-// countClass folds one site report into the aggregate counters.
+// countClass folds one site report into the aggregate counters. It only
+// touches the per-class histogram and the coverage accumulators; the
+// headline mismatch counters are derived from the histogram afterwards
+// (deriveTotals), so one site can never be counted in two buckets.
 func countClass(rep *Report, sr *SiteReport) {
 	switch sr.Class {
 	case ClassCovered:
 		rep.Classes.Covered++
 	case ClassFalseNegative:
 		rep.Classes.FalseNegative++
-		rep.FalseNegatives++
 	case ClassFalseNegativeAssumed:
 		rep.Classes.FalseNegativeAssumed++
-		rep.TriagedFalseNegatives++
 	case ClassOverTagged:
 		rep.Classes.OverTagged++
-		rep.OverTaggedSites++
 	case ClassConsistentUntagged:
 		rep.Classes.ConsistentUntagged++
 	case ClassUnknown:
@@ -350,9 +357,21 @@ func countClass(rep *Report, sr *SiteReport) {
 		rep.Classes.Uncharted++
 	}
 	if sr.Verdict == VerdictPointer.String() {
+		// Wild-tagged executions ran a check against no real capability;
+		// they count once, as uncovered — never as coverage.
 		rep.PointerExecs += sr.Execs
-		rep.PointerTagged += sr.Tagged
+		rep.PointerTagged += sr.Tagged - sr.Wild
 	}
+}
+
+// deriveTotals computes the headline mismatch counters from the class
+// histogram. Each site sits in exactly one histogram bucket, so the
+// totals cannot double-count a site that is both over-tagged and
+// uncovered.
+func deriveTotals(rep *Report) {
+	rep.FalseNegatives = rep.Classes.FalseNegative
+	rep.TriagedFalseNegatives = rep.Classes.FalseNegativeAssumed
+	rep.OverTaggedSites = rep.Classes.OverTagged
 }
 
 // Format renders the report's headline for terminals.

@@ -1,0 +1,313 @@
+package ptrflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a signed value-range abstraction [Lo, Hi] with the int64
+// extremes acting as -inf/+inf sentinels. An Interval attached to a Value
+// means:
+//
+//   - tag not-ptr or wild: a sound range of the 64-bit value itself,
+//     interpreted as a signed integer;
+//   - tag ptr with a known region: a sound range of the value's byte
+//     offset from the base of the owning allocation region;
+//   - anything else (top, region-less ptr, bot): no numeric meaning — the
+//     interval must be Full (or Empty for bot) so a meaningless range can
+//     never leak into a safety proof.
+//
+// All arithmetic saturates at the sentinels, which keeps every operation
+// sound: saturation only ever widens the range.
+type Interval struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+const (
+	negInf = math.MinInt64
+	posInf = math.MaxInt64
+)
+
+var (
+	ivFull  = Interval{Lo: negInf, Hi: posInf}
+	ivEmpty = Interval{Lo: posInf, Hi: negInf}
+)
+
+// ivConst is the singleton interval {c}.
+func ivConst(c int64) Interval { return Interval{Lo: c, Hi: c} }
+
+// Empty reports whether the interval contains no value.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Full reports whether the interval is unbounded on both sides.
+func (iv Interval) Full() bool { return iv.Lo == negInf && iv.Hi == posInf }
+
+// Bounded reports whether both ends are finite.
+func (iv Interval) Bounded() bool {
+	return !iv.Empty() && iv.Lo != negInf && iv.Hi != posInf
+}
+
+// String renders the interval with inf sentinels spelled out.
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[]"
+	}
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != negInf {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.Hi != posInf {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+// ivJoin is the least upper bound (interval hull).
+func ivJoin(a, b Interval) Interval {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	return Interval{Lo: min64(a.Lo, b.Lo), Hi: max64(a.Hi, b.Hi)}
+}
+
+// ivMeet is the greatest lower bound (intersection).
+func ivMeet(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return ivEmpty
+	}
+	return Interval{Lo: max64(a.Lo, b.Lo), Hi: min64(a.Hi, b.Hi)}
+}
+
+// ivWiden is the classic interval widening: any bound that moved since
+// the previous iterate jumps straight to its sentinel, so ascending
+// chains terminate regardless of loop trip counts. Narrowing sweeps
+// (plain re-application of the transfer from the post-fixpoint) recover
+// the precision afterwards.
+func ivWiden(old, next Interval) Interval {
+	if old.Empty() {
+		return next
+	}
+	if next.Empty() {
+		return old
+	}
+	out := old
+	if next.Lo < old.Lo {
+		out.Lo = negInf
+	}
+	if next.Hi > old.Hi {
+		out.Hi = posInf
+	}
+	return out
+}
+
+// ivContains reports a ⊇ b (every value of b lies in a). The empty
+// interval is contained in everything.
+func ivContains(a, b Interval) bool {
+	if b.Empty() {
+		return true
+	}
+	if a.Empty() {
+		return false
+	}
+	return a.Lo <= b.Lo && a.Hi >= b.Hi
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds with saturation at the sentinels; any operand at a
+// sentinel absorbs the addition.
+func satAdd(a, b int64) int64 {
+	if a == negInf || b == negInf {
+		return negInf
+	}
+	if a == posInf || b == posInf {
+		return posInf
+	}
+	s := a + b
+	// Overflow check: operands of the same sign whose sum flips sign.
+	if a > 0 && b > 0 && s < 0 {
+		return posInf
+	}
+	if a < 0 && b < 0 && s >= 0 {
+		return negInf
+	}
+	return s
+}
+
+// satNeg negates with sentinel swap.
+func satNeg(a int64) int64 {
+	switch a {
+	case negInf:
+		return posInf
+	case posInf:
+		return negInf
+	default:
+		return -a
+	}
+}
+
+// satMul multiplies with saturation; sentinel operands saturate by the
+// sign of the other side.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a == negInf || a == posInf || b == negInf || b == posInf {
+		if neg {
+			return negInf
+		}
+		return posInf
+	}
+	p := a * b
+	if p/b != a {
+		if neg {
+			return negInf
+		}
+		return posInf
+	}
+	return p
+}
+
+// ivAdd is elementwise interval addition.
+func ivAdd(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return ivEmpty
+	}
+	return Interval{Lo: satAdd(a.Lo, b.Lo), Hi: satAdd(a.Hi, b.Hi)}
+}
+
+// ivAddConst shifts an interval by a constant.
+func ivAddConst(a Interval, c int64) Interval { return ivAdd(a, ivConst(c)) }
+
+// ivSub is interval subtraction a - b.
+func ivSub(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return ivEmpty
+	}
+	return Interval{Lo: satAdd(a.Lo, satNeg(b.Hi)), Hi: satAdd(a.Hi, satNeg(b.Lo))}
+}
+
+// ivMul is interval multiplication (hull of the four corner products).
+func ivMul(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return ivEmpty
+	}
+	p := [4]int64{
+		satMul(a.Lo, b.Lo), satMul(a.Lo, b.Hi),
+		satMul(a.Hi, b.Lo), satMul(a.Hi, b.Hi),
+	}
+	out := Interval{Lo: p[0], Hi: p[0]}
+	for _, v := range p[1:] {
+		out.Lo = min64(out.Lo, v)
+		out.Hi = max64(out.Hi, v)
+	}
+	return out
+}
+
+// ivScale multiplies by a non-negative constant scale factor.
+func ivScale(a Interval, s int64) Interval { return ivMul(a, ivConst(s)) }
+
+// ivAndMask abstracts AND with a non-negative immediate mask: the result
+// is within [0, mask] regardless of the operand, and cannot exceed a
+// known non-negative operand. Negative masks (sign-preserving ANDs) are
+// not modeled.
+func ivAndMask(a Interval, mask int64) Interval {
+	if mask < 0 {
+		return ivFull
+	}
+	out := Interval{Lo: 0, Hi: mask}
+	if !a.Empty() && a.Lo >= 0 && a.Hi < mask {
+		out.Hi = a.Hi
+	}
+	return out
+}
+
+// ivShl abstracts a left shift by a constant amount (multiplication by a
+// power of two).
+func ivShl(a Interval, k int64) Interval {
+	if k < 0 || k > 62 {
+		return ivFull
+	}
+	return ivScale(a, int64(1)<<uint(k))
+}
+
+// ivShr abstracts a logical right shift by a constant amount: only sound
+// for provably non-negative operands (a logical shift of a negative
+// value yields a huge positive one).
+func ivShr(a Interval, k int64) Interval {
+	if k < 0 || k > 63 || a.Empty() || a.Lo < 0 {
+		return ivFull
+	}
+	hi := a.Hi
+	if hi != posInf {
+		hi >>= uint(k)
+	}
+	return Interval{Lo: a.Lo >> uint(k), Hi: hi}
+}
+
+// --- Exported interval API -------------------------------------------------
+//
+// The proof checker (internal/elide) re-derives offset ranges with its own
+// transfer function but shares this leaf arithmetic library: interval
+// arithmetic is context-free, while the analyzer's transfer, fixpoint and
+// widening — the machinery a proof-carrying design must not trust — stay
+// behind the Bundle boundary.
+
+// Const returns the singleton interval {c}.
+func Const(c int64) Interval { return ivConst(c) }
+
+// FullRange returns the unbounded interval.
+func FullRange() Interval { return ivFull }
+
+// EmptyRange returns the empty interval.
+func EmptyRange() Interval { return ivEmpty }
+
+// Add returns the interval sum iv + o.
+func (iv Interval) Add(o Interval) Interval { return ivAdd(iv, o) }
+
+// AddConst returns iv shifted by c.
+func (iv Interval) AddConst(c int64) Interval { return ivAddConst(iv, c) }
+
+// Sub returns the interval difference iv - o.
+func (iv Interval) Sub(o Interval) Interval { return ivSub(iv, o) }
+
+// Mul returns the interval product.
+func (iv Interval) Mul(o Interval) Interval { return ivMul(iv, o) }
+
+// Scale multiplies by a constant.
+func (iv Interval) Scale(s int64) Interval { return ivScale(iv, s) }
+
+// AndMask abstracts AND with an immediate mask.
+func (iv Interval) AndMask(m int64) Interval { return ivAndMask(iv, m) }
+
+// ShlBy abstracts a left shift by a constant amount.
+func (iv Interval) ShlBy(k int64) Interval { return ivShl(iv, k) }
+
+// ShrBy abstracts a logical right shift by a constant amount.
+func (iv Interval) ShrBy(k int64) Interval { return ivShr(iv, k) }
+
+// Join returns the interval hull of iv and o.
+func (iv Interval) Join(o Interval) Interval { return ivJoin(iv, o) }
+
+// Meet returns the intersection of iv and o.
+func (iv Interval) Meet(o Interval) Interval { return ivMeet(iv, o) }
+
+// Contains reports whether iv contains every value of o.
+func (iv Interval) Contains(o Interval) bool { return ivContains(iv, o) }

@@ -279,6 +279,115 @@ func TestAnalyzeRelocGlobalIsSoundPointer(t *testing.T) {
 	}
 }
 
+// --- Loop widening and proof soundness --------------------------------
+
+// proofAt returns the bundle's proof for the labeled instruction's first
+// memory uop, or nil.
+func proofAt(b *Bundle, p *asm.Program, label string) *Proof {
+	addr := p.MustLookup(label)
+	for i := range b.Proofs {
+		if b.Proofs[i].Addr == addr {
+			return &b.Proofs[i]
+		}
+	}
+	return nil
+}
+
+// TestProofMonotoneInductionLoop pins widening + narrowing on the
+// canonical monotone induction loop: `for i = 0; i < 4; i++ { tab[i] }`.
+// The counter's interval climbs each iteration, widening lifts it to
+// [0, +inf) so the fixpoint terminates, and the loop-guard refinement
+// narrows it back to [0, 3] on the back edge — tight enough to prove
+// every access lands inside the 32-byte table, so the site carries a
+// safety proof with exact bounds.
+func TestProofMonotoneInductionLoop(t *testing.T) {
+	p := build(t, inductionLoop(4))
+	a := analyze(t, p, Options{})
+	pr := proofAt(a.ProofBundle(), p, "loop")
+	if pr == nil {
+		t.Fatalf("induction loop access has no safety proof:\n%s", a.Format())
+	}
+	if pr.Region != "tab" || pr.Lo != 0 || pr.Hi != 24 || pr.Size != 8 {
+		t.Fatalf("proof bounds %s+[%d,%d] width %d, want tab+[0,24] width 8",
+			pr.Region, pr.Lo, pr.Hi, pr.Size)
+	}
+}
+
+// inductionLoop builds `for i = 0; i < trip; i++ { tab[i] }` over a
+// 32-byte table: a relocation-seeded pointer base (sound ptr), an index
+// loaded from a zeroed global (sound not-ptr [0,0]), and the loop guard
+// as the only bound on the index.
+func inductionLoop(trip int64) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.Global("tab", 0x601000, 32)
+		for i := uint64(0); i < 4; i++ {
+			b.DataU64(0x601000+8*i, 1)
+		}
+		b.Global("tabp", 0x600000, 8)
+		b.Reloc(0x600000, "tab")
+		b.Global("zero", 0x600008, 8)
+		b.DataU64(0x600008, 0)
+		b.Mov(isa.RegOp(isa.RBX), isa.MemOp(isa.RNone, 0x600000)) // RBX = &tab
+		b.Mov(isa.RegOp(isa.R9), isa.MemOp(isa.RNone, 0x600008))  // R9 = 0
+		b.Label("loop")
+		b.LoadIdx(isa.R8, isa.RBX, isa.R9, 8, 0)
+		b.AddRI(isa.R9, 1)
+		b.CmpRI(isa.R9, trip)
+		b.Jcc(isa.CondL, "loop")
+		b.Hlt()
+	}
+}
+
+// TestProofRejectsOOBTripCount is the regression test for the elision
+// soundness hazard: the same induction loop as above, but a trip count
+// whose last iterations run past the region's end, must never yield a
+// proven-safe site — even though the counter's narrowed interval is
+// bounded. Eight iterations at stride 8 touch [0, 63] of the 32-byte
+// table.
+func TestProofRejectsOOBTripCount(t *testing.T) {
+	p := build(t, inductionLoop(8))
+	a := analyze(t, p, Options{})
+	s := siteAt(t, a, p, "loop")
+	if s.Verdict != VerdictPointer {
+		t.Fatalf("loop access verdict=%v, want pointer (only the bounds differ from the safe loop)", s.Verdict)
+	}
+	if pr := proofAt(a.ProofBundle(), p, "loop"); pr != nil {
+		t.Fatalf("OOB trip-count loop got a safety proof %s+[%d,%d] width %d",
+			pr.Region, pr.Lo, pr.Hi, pr.Size)
+	}
+}
+
+// TestProofRejectsRetaggedLoopPointer pins the other widening hazard: a
+// pointer re-derived (advanced) inside the loop body. Its region-
+// relative offset climbs without a guard on the offset itself, so
+// widening lifts it to [0, +inf) and the walking dereference must stay
+// unproven — the trip count (16 × stride 8 across a 64-byte chunk) runs
+// out of bounds.
+func TestProofRejectsRetaggedLoopPointer(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.RDI, 64)
+		b.CallAddr(heap.MallocEntry)
+		b.MovRR(isa.RBX, isa.RAX)
+		b.MovRI(isa.RCX, 16)
+		b.Label("walk")
+		b.Store(isa.RBX, 0, isa.RCX)
+		b.AddRI(isa.RBX, 8) // re-tagged: pointer advances every iteration
+		b.SubRI(isa.RCX, 1)
+		b.CmpRI(isa.RCX, 0)
+		b.Jcc(isa.CondNE, "walk")
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{})
+	s := siteAt(t, a, p, "walk")
+	if s.Verdict != VerdictPointer {
+		t.Fatalf("walking store verdict=%v, want pointer (tag is known, bounds are not)", s.Verdict)
+	}
+	if pr := proofAt(a.ProofBundle(), p, "walk"); pr != nil {
+		t.Fatalf("walking heap store got a safety proof %s+[%d,%d] width %d — widened offset must stay unproven",
+			pr.Region, pr.Lo, pr.Hi, pr.Size)
+	}
+}
+
 // --- Abstract propagation soundness ----------------------------------
 
 // TestAbsPropagateSoundness checks, for every register rule in the
@@ -355,6 +464,56 @@ func TestCrosscheckCleanProgram(t *testing.T) {
 	}
 	if rep.Classes.Uncharted != 0 {
 		t.Fatalf("uncharted sites in a fully resolved program:\n%s", rep.Format())
+	}
+}
+
+func TestClassifyCountsMixedSiteOnce(t *testing.T) {
+	// A pointer-verdict site whose tag stream mixes wild tags (a check
+	// runs, but against no real capability — over-tagging) with untagged
+	// executions (no check at all — uncovered) must land in exactly one
+	// classification bucket and be debited from the coverage metric
+	// exactly once.
+	s := &Site{Verdict: VerdictPointer}
+	r := &siteRun{execs: 10, tagged: 4, wild: 3}
+	class, _ := classify(s, r)
+	if class != ClassFalseNegative {
+		t.Fatalf("mixed wild/untagged pointer site classified %q, want %q", class, ClassFalseNegative)
+	}
+
+	rep := &Report{}
+	sr := &SiteReport{Verdict: VerdictPointer.String(), Execs: r.execs,
+		Tagged: r.tagged, Wild: r.wild, Class: class}
+	countClass(rep, sr)
+	deriveTotals(rep)
+	if rep.FalseNegatives != 1 || rep.OverTaggedSites != 0 {
+		t.Fatalf("site counted fn=%d over-tagged=%d, want exactly one false negative",
+			rep.FalseNegatives, rep.OverTaggedSites)
+	}
+	// Coverage credit: only the 1 properly attributed tag out of 10.
+	if rep.PointerExecs != 10 || rep.PointerTagged != 1 {
+		t.Fatalf("coverage accumulators execs=%d tagged=%d, want 10/1",
+			rep.PointerExecs, rep.PointerTagged)
+	}
+
+	// A fully wild-tagged pointer site is not coverage either: the
+	// pre-fix classifier called this covered because tagged == execs.
+	allWild := &siteRun{execs: 5, tagged: 5, wild: 5}
+	if class, _ := classify(s, allWild); class != ClassFalseNegative {
+		t.Fatalf("fully wild-tagged pointer site classified %q, want %q", class, ClassFalseNegative)
+	}
+
+	// Headline counters are derived from the histogram, never
+	// incremented independently: they must agree by construction.
+	rep2 := &Report{}
+	for _, c := range []string{ClassFalseNegative, ClassFalseNegativeAssumed,
+		ClassOverTagged, ClassOverTagged, ClassCovered} {
+		countClass(rep2, &SiteReport{Class: c})
+	}
+	deriveTotals(rep2)
+	if rep2.FalseNegatives != rep2.Classes.FalseNegative ||
+		rep2.TriagedFalseNegatives != rep2.Classes.FalseNegativeAssumed ||
+		rep2.OverTaggedSites != rep2.Classes.OverTagged {
+		t.Fatalf("headline counters diverge from class histogram: %+v", rep2)
 	}
 }
 

@@ -1,0 +1,17 @@
+package security
+
+import "testing"
+
+// TestElideDiffIdentical is the fail-closed contract of proof-carrying
+// elision: across every exploit suite and the benign probes, the
+// violation report with verified elision enabled must be byte-identical
+// to the report without it.
+func TestElideDiffIdentical(t *testing.T) {
+	rep := RunElideDiff()
+	if !rep.Identical() {
+		t.Fatalf("elision changed security behavior:\n%s", FormatElideDiff(rep))
+	}
+	if rep.Elided == 0 {
+		t.Log("note: no proofs verified on any security program (gate vacuous)")
+	}
+}

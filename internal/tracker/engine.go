@@ -69,15 +69,23 @@ func (e *Engine) ApplyRegRule(seq uint64, u *isa.Uop) core.PID {
 	return pid
 }
 
+// DerefSelect is the dereference-capability selection rule: the base
+// register's PID, falling back to the index register when the base is
+// untagged. It is exported separately from the engine so the static
+// proof checker (internal/elide) can validate its own abstraction of
+// the selection against the exact semantics the pipeline runs.
+func DerefSelect(base, index core.PID) core.PID {
+	if base == 0 {
+		return index
+	}
+	return base
+}
+
 // DerefPID returns the PID associated with the base register of a memory
 // micro-op's addressing mode — the capability the dereference must be
 // checked against.
 func (e *Engine) DerefPID(u *isa.Uop) core.PID {
-	pid := e.Tags.Current(u.Mem.Base)
-	if pid == 0 {
-		pid = e.Tags.Current(u.Mem.Index)
-	}
-	return pid
+	return DerefSelect(e.Tags.Current(u.Mem.Base), e.Tags.Current(u.Mem.Index))
 }
 
 // PredictLoad returns the pointer-reload predictor's PID prediction for
