@@ -10,6 +10,9 @@
 //	chexbench -benches mcf,lbm     # restrict the benchmark set
 //	chexbench -campaign            # run the catalog through the sharded
 //	                               # campaign pool with result caching
+//	chexbench -kinst               # measure host throughput (Kinst/s and
+//	                               # allocs/instruction) per workload
+//	chexbench -fig 6 -cpuprofile cpu.pprof   # profile the host hot loop
 package main
 
 import (
@@ -17,15 +20,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"chex86/internal/campaign"
 	"chex86/internal/cvedata"
+	"chex86/internal/decode"
 	"chex86/internal/experiments"
+	"chex86/internal/hostperf"
 	"chex86/internal/pipeline"
 	"chex86/internal/workload"
 )
+
+// stopProfiles flushes any active -cpuprofile/-memprofile capture; exit
+// routes every termination path through it so a profiled run that fails
+// still leaves a usable profile behind.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 3, 6, 7, 8, 9)")
@@ -47,7 +64,29 @@ func main() {
 	campaignVariants := flag.String("campaign-variants", "prediction", "comma-separated protection variants for -campaign")
 	cacheDir := flag.String("cache-dir", ".chexcampaign", "campaign result cache directory (empty disables caching)")
 	workers := flag.Int("workers", 0, "campaign pool shards (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
+	kinst := flag.Bool("kinst", false, "measure host throughput: Kinst/s and allocs/instruction per workload")
+	kinstVariants := flag.String("kinst-variants", "baseline,always-on,prediction", "comma-separated protection variants for -kinst")
 	flag.Parse()
+
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, err := startProfiles(*cpuprofile, *memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chexbench:", err)
+			exit(1)
+		}
+		stopProfiles = stop
+		defer stopProfiles()
+	}
+
+	if *kinst {
+		if err := runKinst(*benches, *kinstVariants, *scale, *insts); err != nil {
+			fmt.Fprintln(os.Stderr, "chexbench:", err)
+			exit(1)
+		}
+		return
+	}
 
 	// The wall-clock read lives here, in the CLI, not in
 	// internal/experiments: the library's outputs stay byte-stable and
@@ -69,7 +108,7 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chexbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -78,7 +117,7 @@ func main() {
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chexbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer f.Close()
 		ro := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles, Timeout: *timeout}
@@ -87,7 +126,7 @@ func main() {
 		}
 		if err := experiments.Report(f, ro, *stamp); err != nil {
 			fmt.Fprintln(os.Stderr, "chexbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println("report written to", *report)
 		return
@@ -104,7 +143,7 @@ func main() {
 		}
 		if err := experiments.WriteJSON(*jsonDir, name, v); err != nil {
 			fmt.Fprintf(os.Stderr, "chexbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -112,7 +151,7 @@ func main() {
 		fmt.Printf("==== %s ====\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "chexbench: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println()
 	}
@@ -189,7 +228,7 @@ func main() {
 
 	if !*all && *fig == 0 && *table == 0 {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	if want(1, 0) {
@@ -395,5 +434,85 @@ func runCampaign(f campaignFlags) error {
 	if failed > 0 {
 		return fmt.Errorf("%d of %d campaign jobs failed", failed, len(jobs))
 	}
+	return nil
+}
+
+// startProfiles begins CPU and/or heap profiling. The returned stop
+// function is idempotent and must run before the process exits; exit()
+// guarantees that on error paths.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintln(os.Stderr, "cpu profile written to", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chexbench:", err)
+				return
+			}
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocation sites
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "chexbench:", err)
+			}
+			f.Close()
+			fmt.Fprintln(os.Stderr, "alloc profile written to", memPath)
+		}
+	}, nil
+}
+
+// runKinst measures host-side throughput — Kinst/s and allocs per
+// simulated instruction — for each (workload, variant) pair, normalized
+// by a host-speed calibration score so numbers are comparable across
+// machines. This is the interactive face of the CI benchmark gate
+// (cmd/chexperf); both share internal/hostperf.
+func runKinst(benches, variants string, scale float64, insts uint64) error {
+	clock := func() int64 { return time.Now().UnixNano() } //determinism:ok — CLI wall-time probe
+	names := workload.Names()
+	if benches != "" {
+		names = strings.Split(benches, ",")
+	}
+	var vs []decode.Variant
+	for _, vname := range strings.Split(variants, ",") {
+		v, ok := campaign.VariantByName(strings.TrimSpace(vname))
+		if !ok {
+			return fmt.Errorf("unknown variant %q", vname)
+		}
+		vs = append(vs, v)
+	}
+	rep := &hostperf.Report{HostScore: hostperf.Calibrate(clock)}
+	for _, name := range names {
+		p := workload.ByName(strings.TrimSpace(name))
+		if p == nil {
+			return fmt.Errorf("unknown workload %q", name)
+		}
+		for _, v := range vs {
+			s, err := hostperf.Measure(clock, p, v, hostperf.MeasureOpts{Scale: scale, MaxInsts: insts})
+			if err != nil {
+				return err
+			}
+			rep.Samples = append(rep.Samples, s)
+		}
+	}
+	fmt.Print(hostperf.Format(rep))
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -109,6 +110,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /api/v1/results/{key}", s.handleResult)
+	// Live profiling of a serving daemon: `go tool pprof
+	// http://host/debug/pprof/profile` captures the campaign workers' hot
+	// loop under real job load (README "Host throughput" has a quickstart).
+	// Registered explicitly because this mux is not http.DefaultServeMux.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

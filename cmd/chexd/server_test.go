@@ -239,4 +239,21 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestPprofEndpoints pins the observability surface: the daemon's mux
+// must expose the pprof index and heap profile for live host-side
+// performance debugging.
+func TestPprofEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
 func itoa(n int) string { return strconv.Itoa(n) }

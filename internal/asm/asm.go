@@ -70,8 +70,18 @@ type Reloc struct {
 }
 
 // At returns the instruction at virtual address addr, or nil if addr does
-// not map to an instruction boundary.
+// not map to an instruction boundary. The builder lays text out densely
+// at avgEncLen strides, so the common case is pure arithmetic (this sits
+// on the emulator's per-instruction fetch path); the address tag check
+// keeps other layouts correct via the map fallback.
 func (p *Program) At(addr uint64) *isa.Inst {
+	if addr >= p.TextBase {
+		if i := (addr - p.TextBase) / avgEncLen; i < uint64(len(p.Insts)) {
+			if in := &p.Insts[i]; in.Addr == addr {
+				return in
+			}
+		}
+	}
 	if i, ok := p.byAddr[addr]; ok {
 		return &p.Insts[i]
 	}

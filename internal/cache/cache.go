@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"chex86/internal/mem"
 )
@@ -53,6 +54,13 @@ type LineCache struct {
 	clock uint64
 	hitPF bool // last Access hit a prefetched line
 	Stats Stats
+
+	// lineShift/setMask are the fast-path index parameters, valid when
+	// LineSize and sets are powers of two (every stock configuration):
+	// index() is then a shift and a mask instead of two hardware
+	// divisions — it runs several times per simulated memory access.
+	lineShift int // log2(LineSize), or -1 when not a power of two
+	setMask   int // sets-1, or -1 when not a power of two
 }
 
 // NewLineCache constructs a cache of sizeBytes capacity with the given
@@ -68,11 +76,26 @@ func NewLineCache(name string, sizeBytes, ways int, lineSize, latency uint64) *L
 	for i := range c.lines {
 		c.lines[i] = make([]line, ways)
 	}
+	c.lineShift, c.setMask = -1, -1
+	if lineSize > 0 && lineSize&(lineSize-1) == 0 {
+		c.lineShift = bits.TrailingZeros64(lineSize)
+	}
+	if sets > 0 && sets&(sets-1) == 0 {
+		c.setMask = sets - 1
+	}
 	return c
 }
 
 func (c *LineCache) index(addr uint64) (set int, tag uint64) {
-	lineAddr := addr / c.LineSize
+	var lineAddr uint64
+	if c.lineShift >= 0 {
+		lineAddr = addr >> uint(c.lineShift)
+	} else {
+		lineAddr = addr / c.LineSize
+	}
+	if c.setMask >= 0 {
+		return int(lineAddr) & c.setMask, lineAddr
+	}
 	return int(lineAddr % uint64(c.sets)), lineAddr
 }
 

@@ -34,6 +34,7 @@ type MicrocodeStats struct {
 // zero value is an empty MSRAM.
 type Microcode struct {
 	updates []Update
+	gen     uint64
 	Stats   MicrocodeStats
 }
 
@@ -41,6 +42,7 @@ type Microcode struct {
 // order; the first matching update's expansion is used.
 func (m *Microcode) Install(u Update) {
 	m.updates = append(m.updates, u)
+	m.gen++
 }
 
 // Remove unloads the named update.
@@ -52,6 +54,18 @@ func (m *Microcode) Remove(name string) {
 		}
 	}
 	m.updates = out
+	m.gen++
+}
+
+// Gen returns the MSRAM content generation: it advances on every Install
+// or Remove, so any memoization of translations that consulted the MSRAM
+// (the pipeline's μop translation cache) can be invalidated exactly when
+// the writable microcode RAM changes.
+func (m *Microcode) Gen() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.gen
 }
 
 // Len returns the number of installed updates.

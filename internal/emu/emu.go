@@ -248,6 +248,12 @@ type Machine struct {
 
 	quarantine []uint64
 
+	// freeRecs is the trace-record free list: consumers that are done with
+	// a record hand it back through Recycle, and Step reuses it instead of
+	// allocating. Callers that never recycle (tests, one-shot probes) simply
+	// get a fresh record per step, as before.
+	freeRecs []*Rec
+
 	// GlobalPIDs maps global symbol names to their ground-truth PIDs.
 	GlobalPIDs map[string]int64
 
@@ -314,6 +320,29 @@ func (m *Machine) Done() bool {
 
 // TotalInsts returns the number of macro-ops executed so far.
 func (m *Machine) TotalInsts() uint64 { return m.totalInsts }
+
+// newRec returns a zeroed trace record, reusing one from the free list
+// when available.
+func (m *Machine) newRec() *Rec {
+	if n := len(m.freeRecs); n > 0 {
+		rec := m.freeRecs[n-1]
+		m.freeRecs = m.freeRecs[:n-1]
+		*rec = Rec{}
+		return rec
+	}
+	return &Rec{}
+}
+
+// Recycle returns a record obtained from Step to the machine's free list.
+// The caller must not retain any pointer to rec afterwards: the next Step
+// may reuse and overwrite it. Recycling is optional — a caller that keeps
+// records simply leaves the free list empty.
+func (m *Machine) Recycle(rec *Rec) {
+	if rec == nil {
+		return
+	}
+	m.freeRecs = append(m.freeRecs, rec)
+}
 
 // Step executes one macro-op on the next runnable hart (round-robin) and
 // returns its trace record. It returns (nil, nil) when all harts have
@@ -432,7 +461,8 @@ func (m *Machine) stepHart(h *Hart) (*Rec, error) {
 	}
 	m.seq++
 	m.totalInsts++
-	rec := &Rec{Seq: m.seq, Core: h.ID, Inst: in, Target: in.NextAddr()}
+	rec := m.newRec()
+	rec.Seq, rec.Core, rec.Inst, rec.Target = m.seq, h.ID, in, in.NextAddr()
 
 	adv := func() { h.RIP = in.NextAddr(); rec.Target = h.RIP }
 
@@ -756,13 +786,13 @@ func (m *Machine) interceptAlloc(h *Hart, rec *Rec, target uint64) {
 		}
 		rec.AllocPID = pid
 		h.Regs[isa.RAX] = ptr
-		h.pendingExit = &Rec{
-			Core: h.ID, Inst: m.exitInsts[exitAddr],
-			Event: EvAllocExit, AllocPID: pid, AllocBase: ptr, AllocSize: size,
-			Val: ptr, HasVal: true,
-			EA: h.Regs[isa.RSP], HasEA: true,
-			Taken: true,
-		}
+		exit := m.newRec()
+		exit.Core, exit.Inst = h.ID, m.exitInsts[exitAddr]
+		exit.Event, exit.AllocPID, exit.AllocBase, exit.AllocSize = EvAllocExit, pid, ptr, size
+		exit.Val, exit.HasVal = ptr, true
+		exit.EA, exit.HasEA = h.Regs[isa.RSP], true
+		exit.Taken = true
+		h.pendingExit = exit
 		// The synthetic exit RET pops the return address pushed by CALL.
 		ra := m.Mem.ReadU64(h.Regs[isa.RSP])
 		h.pendingExit.Target = ra
@@ -776,12 +806,12 @@ func (m *Machine) interceptAlloc(h *Hart, rec *Rec, target uint64) {
 		pid := m.Truth.Free(ptr)
 		rec.AllocPID = pid
 		m.freePolicy(ptr)
-		h.pendingExit = &Rec{
-			Core: h.ID, Inst: m.exitInsts[heap.FreeExit],
-			Event: EvFreeExit, AllocPID: pid, AllocBase: ptr,
-			EA: h.Regs[isa.RSP], HasEA: true,
-			Taken: true,
-		}
+		exit := m.newRec()
+		exit.Core, exit.Inst = h.ID, m.exitInsts[heap.FreeExit]
+		exit.Event, exit.AllocPID, exit.AllocBase = EvFreeExit, pid, ptr
+		exit.EA, exit.HasEA = h.Regs[isa.RSP], true
+		exit.Taken = true
+		h.pendingExit = exit
 		ra := m.Mem.ReadU64(h.Regs[isa.RSP])
 		h.pendingExit.Target = ra
 		h.Regs[isa.RSP] += 8

@@ -1,0 +1,151 @@
+package hostperf
+
+import (
+	"strings"
+	"testing"
+
+	"chex86/internal/decode"
+	"chex86/internal/workload"
+)
+
+// fakeClock advances a fixed amount per read, making Measure and
+// Calibrate fully deterministic in tests.
+func fakeClock(stepNS int64) Clock {
+	var t int64
+	return func() int64 {
+		t += stepNS
+		return t
+	}
+}
+
+func TestSampleMath(t *testing.T) {
+	s := Sample{Insts: 100_000, WallNS: 50_000_000, Allocs: 200}
+	if got := s.KinstPerSec(); got != 2000 {
+		t.Errorf("KinstPerSec = %v, want 2000", got)
+	}
+	if got := s.AllocsPerInst(); got != 0.002 {
+		t.Errorf("AllocsPerInst = %v, want 0.002", got)
+	}
+	var zero Sample
+	if zero.KinstPerSec() != 0 || zero.AllocsPerInst() != 0 {
+		t.Error("zero sample must not divide by zero")
+	}
+}
+
+func TestMeasureRuns(t *testing.T) {
+	p := workload.ByName("mcf")
+	if p == nil {
+		t.Fatal("mcf missing from catalog")
+	}
+	s, err := Measure(fakeClock(1000), p, decode.VariantMicrocodePrediction, MeasureOpts{Scale: 0.1, MaxInsts: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workload != "mcf" || s.Insts == 0 || s.WallNS <= 0 {
+		t.Fatalf("implausible sample: %+v", s)
+	}
+	if s.HitRate <= 0.5 {
+		t.Errorf("μop cache hit rate %.3f — expected a hot cache on a loop workload", s.HitRate)
+	}
+}
+
+func TestCalibrateDeterministicUnderFakeClock(t *testing.T) {
+	a := Calibrate(fakeClock(1_000_000))
+	b := Calibrate(fakeClock(1_000_000))
+	if a != b || a <= 0 {
+		t.Fatalf("Calibrate not deterministic under fake clock: %v vs %v", a, b)
+	}
+}
+
+func mkReport(score float64, samples ...Sample) *Report {
+	return &Report{HostScore: score, Samples: samples}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := mkReport(100,
+		Sample{Workload: "mcf", Variant: "prediction", Insts: 1_000_000, WallNS: 1e9, Allocs: 1000})
+
+	t.Run("identical passes", func(t *testing.T) {
+		if p := Compare(base, base, 0.20); len(p) != 0 {
+			t.Fatalf("identical reports must pass, got %v", p)
+		}
+	})
+
+	t.Run("25% slowdown fails at 20% tolerance", func(t *testing.T) {
+		cur := mkReport(100,
+			Sample{Workload: "mcf", Variant: "prediction", Insts: 750_000, WallNS: 1e9, Allocs: 750})
+		p := Compare(base, cur, 0.20)
+		if len(p) != 1 || !strings.Contains(p[0].Msg, "below baseline") {
+			t.Fatalf("want one throughput problem, got %v", p)
+		}
+	})
+
+	t.Run("15% slowdown passes at 20% tolerance", func(t *testing.T) {
+		cur := mkReport(100,
+			Sample{Workload: "mcf", Variant: "prediction", Insts: 850_000, WallNS: 1e9, Allocs: 850})
+		if p := Compare(base, cur, 0.20); len(p) != 0 {
+			t.Fatalf("15%% drop within tolerance must pass, got %v", p)
+		}
+	})
+
+	t.Run("slower host normalizes away", func(t *testing.T) {
+		// Host half as fast, throughput half as high: normalized equal.
+		cur := mkReport(50,
+			Sample{Workload: "mcf", Variant: "prediction", Insts: 500_000, WallNS: 1e9, Allocs: 500})
+		if p := Compare(base, cur, 0.20); len(p) != 0 {
+			t.Fatalf("host-speed difference must normalize away, got %v", p)
+		}
+	})
+
+	t.Run("alloc increase fails", func(t *testing.T) {
+		cur := mkReport(100,
+			Sample{Workload: "mcf", Variant: "prediction", Insts: 1_000_000, WallNS: 1e9, Allocs: 200_000})
+		p := Compare(base, cur, 0.20)
+		if len(p) != 1 || !strings.Contains(p[0].Msg, "allocs/instruction rose") {
+			t.Fatalf("want one alloc problem, got %v", p)
+		}
+	})
+
+	t.Run("missing sample fails", func(t *testing.T) {
+		cur := mkReport(100)
+		p := Compare(base, cur, 0.20)
+		if len(p) != 1 || !strings.Contains(p[0].Msg, "not measured") {
+			t.Fatalf("want one missing-sample problem, got %v", p)
+		}
+	})
+
+	t.Run("unknown sample fails", func(t *testing.T) {
+		cur := mkReport(100,
+			base.Samples[0],
+			Sample{Workload: "new", Variant: "prediction", Insts: 1, WallNS: 1, Allocs: 0})
+		p := Compare(base, cur, 0.20)
+		if len(p) != 1 || !strings.Contains(p[0].Msg, "not in baseline") {
+			t.Fatalf("want one unknown-sample problem, got %v", p)
+		}
+	})
+
+	t.Run("missing host score fails closed", func(t *testing.T) {
+		if p := Compare(mkReport(0), base, 0.20); len(p) == 0 {
+			t.Fatal("zero host score must fail the gate, not skip it")
+		}
+	})
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := mkReport(123.4,
+		Sample{Workload: "mcf", Variant: "insecure", Insts: 5, WallNS: 6, Allocs: 7, HitRate: 0.99})
+	data, err := MarshalReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HostScore != r.HostScore || len(got.Samples) != 1 || got.Samples[0] != r.Samples[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !strings.Contains(Format(got), "mcf") {
+		t.Error("Format must mention the workload")
+	}
+}

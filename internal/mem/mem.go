@@ -10,7 +10,10 @@
 // only accessible to dynamically generated micro-ops).
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageSize is the virtual memory page size.
 const PageSize = 4096
@@ -48,6 +51,13 @@ type page struct {
 type Memory struct {
 	pages map[uint64]*page
 
+	// lastBase/lastPage cache the most recently resolved page: guest
+	// access streams have strong page locality, and this lookup is on the
+	// emulator's per-instruction path. Pages are never unmapped, so the
+	// cached pointer cannot go stale.
+	lastBase uint64
+	lastPage *page
+
 	// userPages and shadowPages count resident pages in each half, for the
 	// Figure 9 storage-overhead accounting.
 	userPages   uint64
@@ -61,6 +71,9 @@ func New() *Memory {
 
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	base := PageBase(addr)
+	if p := m.lastPage; p != nil && base == m.lastBase {
+		return p
+	}
 	p := m.pages[base]
 	if p == nil && create {
 		p = &page{}
@@ -71,11 +84,22 @@ func (m *Memory) pageFor(addr uint64, create bool) *page {
 			m.userPages++
 		}
 	}
+	if p != nil {
+		m.lastBase, m.lastPage = base, p
+	}
 	return p
 }
 
 // ReadU64 reads a little-endian 64-bit word. Unmapped memory reads as zero.
 func (m *Memory) ReadU64(addr uint64) uint64 {
+	if off := addr & (PageSize - 1); off <= PageSize-8 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p.data[off:])
+	}
+	// Page-crossing access: assemble byte by byte.
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
 		v |= uint64(m.ReadU8(addr+i)) << (8 * i)
@@ -85,6 +109,11 @@ func (m *Memory) ReadU64(addr uint64) uint64 {
 
 // WriteU64 writes a little-endian 64-bit word.
 func (m *Memory) WriteU64(addr, v uint64) {
+	if off := addr & (PageSize - 1); off <= PageSize-8 {
+		p := m.pageFor(addr, true)
+		binary.LittleEndian.PutUint64(p.data[off:], v)
+		return
+	}
 	for i := uint64(0); i < 8; i++ {
 		m.WriteU8(addr+i, byte(v>>(8*i)))
 	}

@@ -128,6 +128,15 @@ type Config struct {
 	// NoPrefetch disables the streaming prefetcher in the memory
 	// hierarchy.
 	NoPrefetch bool
+
+	// NoUopCache disables the decoded-μop translation cache, forcing a
+	// full Decoder.Native + Microcode.Apply per committed instruction.
+	// It is a host-performance knob, not a simulated-machine parameter:
+	// the cache is required to produce byte-identical results either way
+	// (the differential gate asserts this), so the knob is excluded from
+	// CanonicalJSON — and therefore from campaign cache keys — via the
+	// json:"-" tag.
+	NoUopCache bool `json:"-"`
 }
 
 // DefaultConfig returns the Table III machine with the default CHEx86

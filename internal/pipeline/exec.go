@@ -57,13 +57,46 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	}
 
 	// --- Decode to native micro-ops and fill effective addresses. ---
-	native := c.dec.Native(in, c.uopBuf[:0])
-	// Field updates re-route matching translations through the MSRAM.
+	// The μop translation cache memoizes the static translation
+	// (Decoder.Native + Microcode.Apply); only per-dynamic state — the
+	// effective addresses below and the instrumentation that follows —
+	// is derived fresh, on a scratch copy of the cached expansion. The
+	// statistics the memoized stages would have bumped are replayed on a
+	// hit so results are byte-identical with the cache on and off.
 	c.microRerouted = false
-	if rerouted, hit := s.Microcode.Apply(in, native); hit {
-		native = rerouted
-		c.dec.Stats.MSROMMacros++
-		c.microRerouted = true
+	gen := s.Microcode.Gen()
+	var native []isa.Uop
+	cached := false
+	if !cfg.NoUopCache {
+		if e := c.uc.lookup(in.Addr, gen); e != nil {
+			c.dec.Stats.MacroOps++
+			c.dec.Stats.NativeUops += e.nativeUops
+			if e.rerouted {
+				c.dec.Stats.MSROMMacros++
+				s.Microcode.Stats.Rerouted++
+				c.microRerouted = true
+			}
+			native = append(c.uopBuf[:0], e.uops...)
+			c.uopBuf = native[:0]
+			cached = true
+		}
+	}
+	if !cached {
+		buf := c.dec.Native(in, c.uopBuf[:0])
+		c.uopBuf = buf[:0]
+		nativeCount := uint64(len(buf))
+		native = buf
+		// Field updates re-route matching translations through the MSRAM.
+		if rerouted, hit := s.Microcode.Apply(in, native); hit {
+			native = rerouted
+			c.dec.Stats.MSROMMacros++
+			c.microRerouted = true
+		}
+		if !cfg.NoUopCache {
+			// Insert before the EA fill: the cached translation must stay
+			// free of dynamic-instance state.
+			c.uc.insert(in.Addr, gen, native, nativeCount, c.microRerouted)
+		}
 	}
 	for i := range native {
 		if native[i].Type.IsMem() {
@@ -72,18 +105,12 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	}
 
 	// --- Tracking and instrumentation. ---
-	var firstViolation *core.Violation
-	record := func(v *core.Violation) {
-		if v != nil && firstViolation == nil {
-			v.RIP = in.Addr
-			firstViolation = v
-		}
-	}
+	c.firstViolation = nil
 
 	plans := c.planBuf[:0]
 	switch {
 	case cfg.Variant == decode.VariantWatchdog:
-		plans = s.instrumentWatchdog(c, rec, native, plans, record)
+		plans = s.instrumentWatchdog(c, rec, native, plans)
 
 	case cfg.Variant == decode.VariantASan:
 		instrumented := c.dec.ASanInstrument(native)
@@ -91,11 +118,11 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 			plans = append(plans, uopPlan{u: instrumented[i]})
 		}
 		if rec.HasEA {
-			record(s.checkASan(rec))
+			c.record(in.Addr, s.checkASan(rec))
 		}
 
 	case cfg.Variant.UsesTracker():
-		plans = s.instrumentTracked(c, rec, native, plans, record)
+		plans = s.instrumentTracked(c, rec, native, plans)
 
 	default: // insecure baseline
 		for i := range native {
@@ -105,7 +132,7 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 
 	// --- Allocator entry/exit interception (Section IV-C). ---
 	if rec.Event != emu.EvNone && cfg.Variant.UsesTracker() {
-		plans = s.capEventUops(c, rec, plans, record)
+		plans = s.capEventUops(c, rec, plans)
 	} else if rec.Event == emu.EvAllocExit || rec.Event == emu.EvFreeExit {
 		extra := 0
 		if cfg.Variant == decode.VariantASan {
@@ -163,13 +190,25 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	if cfg.Variant.UsesTracker() {
 		c.eng.CommitThrough(rec.Seq)
 	}
-	return firstViolation
+	return c.firstViolation
+}
+
+// record notes the first capability violation detected for the current
+// macro-op, stamping it with the committing instruction's address. It is
+// a method on the core context rather than a per-instruction closure:
+// closures handed to the (non-inlined) instrumentation helpers escape to
+// the heap, which would put an allocation on every committed instruction.
+func (c *coreCtx) record(rip uint64, v *core.Violation) {
+	if v != nil && c.firstViolation == nil {
+		v.RIP = rip
+		c.firstViolation = v
+	}
 }
 
 // instrumentTracked runs the speculative pointer tracker over the native
 // micro-ops and applies the microcode customization unit's check-injection
 // decisions for the CHEx86 variants.
-func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plans []uopPlan, record func(*core.Violation)) []uopPlan {
+func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plans []uopPlan) []uopPlan {
 	cfg := &s.Cfg
 	seq := rec.Seq
 	rip := rec.Inst.Addr
@@ -225,7 +264,7 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 					checkLat += lat
 					c.capMissLat += lat
 				}
-				record(s.Table.Check(pid, u.EA, u.AccessSize(), write, rip))
+				c.record(rip, s.Table.Check(pid, u.EA, u.AccessSize(), write, rip))
 			}
 
 			gated := false
@@ -286,7 +325,10 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 				var walkLat uint64
 				if s.PT.AliasHosting(u.EA) {
 					if !c.aliasCache.Access(u.EA&^7) && !cfg.NoAliasWalks {
-						_, touches := s.Ali.Walk(u.EA)
+						// Scratch-buffer walk: touches reuses the core's
+						// walk buffer, so steady-state walks don't allocate.
+						_, touches := s.Ali.WalkInto(u.EA, c.walkBuf[:0])
+						c.walkBuf = touches[:0]
 						if !cfg.IdealShadowLatency {
 							for _, t := range touches {
 								walkLat += c.hier.AccessShadowAt(t, false, true, c.lastCommit)
@@ -348,7 +390,7 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 // also loads its pointer-identifier metadata from the 1:1 shadow region —
 // alias detection deferred to execute, with no prediction and no alias
 // cache, roughly doubling memory references.
-func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, plans []uopPlan, record func(*core.Violation)) []uopPlan {
+func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, plans []uopPlan) []uopPlan {
 	seq := rec.Seq
 	rip := rec.Inst.Addr
 	for i := range native {
@@ -366,7 +408,7 @@ func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, pla
 					lat := c.hier.AccessShadowAt(core.ShadowAddr(pid), false, false, c.lastCommit)
 					c.capMissLat += lat
 				}
-				record(s.Table.Check(pid, u.EA, u.AccessSize(), write, rip))
+				c.record(rip, s.Table.Check(pid, u.EA, u.AccessSize(), write, rip))
 			}
 			// The metadata companion access: a real load into the D-cache
 			// hierarchy at the word's 1:1 shadow address.
@@ -412,7 +454,7 @@ func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, pla
 
 // capEventUops injects the capability generation/free micro-ops for an
 // intercepted allocator event and performs their shadow-table semantics.
-func (s *Sim) capEventUops(c *coreCtx, rec *emu.Rec, plans []uopPlan, record func(*core.Violation)) []uopPlan {
+func (s *Sim) capEventUops(c *coreCtx, rec *emu.Rec, plans []uopPlan) []uopPlan {
 	rip := rec.Inst.Addr
 	seq := rec.Seq
 	switch rec.Event {
@@ -420,7 +462,7 @@ func (s *Sim) capEventUops(c *coreCtx, rec *emu.Rec, plans []uopPlan, record fun
 		// A realloc releases its old capability first.
 		if fn := s.MSRs.AtEntry(rec.Target); fn != nil && fn.Kind == core.FnRealloc && rec.AllocBase != 0 {
 			oldPID := c.eng.Tags.Current(isa.RDI)
-			record(s.Table.FreeBegin(oldPID, rec.AllocBase, rip))
+			c.record(rip, s.Table.FreeBegin(oldPID, rec.AllocBase, rip))
 			s.Table.FreeEnd(oldPID)
 			s.invalidateCap(c, oldPID)
 			plans = append(plans,
@@ -429,7 +471,7 @@ func (s *Sim) capEventUops(c *coreCtx, rec *emu.Rec, plans []uopPlan, record fun
 			c.dec.Stats.InjectedUops += 2
 		}
 		cap, v := s.Table.GenBegin(rec.AllocPID, rec.AllocSize, rip)
-		record(v)
+		c.record(rip, v)
 		c.pendingGen = cap
 		if rec.AllocPID > 0 {
 			// The capGen micro-ops write the new table entry, leaving its
@@ -458,7 +500,7 @@ func (s *Sim) capEventUops(c *coreCtx, rec *emu.Rec, plans []uopPlan, record fun
 			break // free(NULL) is a no-op
 		}
 		pid := c.eng.Tags.Current(isa.RDI)
-		record(s.Table.FreeBegin(pid, rec.AllocBase, rip))
+		c.record(rip, s.Table.FreeBegin(pid, rec.AllocBase, rip))
 		c.pendingFreePID = pid
 		plans = append(plans, uopPlan{u: isa.Uop{Type: isa.UCapFreeBegin, Dst: isa.RNone, PID: pid, Injected: true}})
 		c.dec.Stats.InjectedUops++

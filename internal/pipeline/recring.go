@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"chex86/internal/emu"
+)
+
+// recRing is a growable circular FIFO of committed trace records, used to
+// buffer records destined for other cores in Sim.nextRec. Unlike the
+// reslicing queue it replaces (q = q[1:] on every pop), a ring reuses its
+// backing array forever: memory is bounded by the high-water mark of
+// simultaneously buffered records, not by the total number ever queued,
+// and steady-state push/pop performs no allocation.
+type recRing struct {
+	buf  []*emu.Rec
+	head int
+	n    int
+}
+
+// push appends rec at the tail, growing the backing array only when full.
+func (r *recRing) push(rec *emu.Rec) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = rec
+	r.n++
+}
+
+// pop removes and returns the head record, or nil when empty. The vacated
+// slot is cleared so the ring never pins a recycled record against GC.
+func (r *recRing) pop() *emu.Rec {
+	if r.n == 0 {
+		return nil
+	}
+	rec := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return rec
+}
+
+// size returns the number of buffered records.
+func (r *recRing) size() int { return r.n }
+
+func (r *recRing) grow() {
+	newCap := len(r.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]*emu.Rec, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}

@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"testing"
+
+	"chex86/internal/emu"
+)
+
+// TestRecRingFIFO exercises order, wraparound, and growth.
+func TestRecRingFIFO(t *testing.T) {
+	var r recRing
+	recs := make([]*emu.Rec, 40)
+	for i := range recs {
+		recs[i] = &emu.Rec{Seq: uint64(i)}
+	}
+	// Interleave pushes and pops so head wraps repeatedly while the ring
+	// grows past its initial capacity.
+	next := 0
+	for i, rec := range recs {
+		r.push(rec)
+		if i%3 == 2 {
+			got := r.pop()
+			if got != recs[next] {
+				t.Fatalf("pop %d: got seq %d, want %d", next, got.Seq, next)
+			}
+			next++
+		}
+	}
+	for r.size() > 0 {
+		got := r.pop()
+		if got != recs[next] {
+			t.Fatalf("drain pop %d: got seq %d, want %d", next, got.Seq, next)
+		}
+		next++
+	}
+	if next != len(recs) {
+		t.Fatalf("drained %d records, want %d", next, len(recs))
+	}
+	if r.pop() != nil {
+		t.Fatal("pop on empty ring must return nil")
+	}
+}
+
+// TestRecRingBoundedMemory is the regression test for the Sim.nextRec
+// queue leak: the reslicing queue it replaces (q = q[1:]) grew its
+// backing array with the total number of records ever queued. The ring's
+// backing array must instead be bounded by the high-water occupancy — a
+// million push/pop cycles with occupancy ≤ 4 must leave capacity at the
+// minimal power-of-two ring size, and popped slots must be nil so the
+// ring never pins recycled records against the garbage collector.
+func TestRecRingBoundedMemory(t *testing.T) {
+	var r recRing
+	recs := [4]*emu.Rec{{}, {}, {}, {}}
+	for i := 0; i < 1_000_000; i++ {
+		r.push(recs[i%4])
+		if i%2 == 1 { // drain two for every two pushed, lagging by two
+			r.pop()
+			r.pop()
+		}
+	}
+	for r.size() > 0 {
+		r.pop()
+	}
+	if cap(r.buf) > 8 {
+		t.Fatalf("ring capacity grew to %d under occupancy ≤ 4 — memory is not bounded by occupancy", cap(r.buf))
+	}
+	for i, slot := range r.buf {
+		if slot != nil {
+			t.Fatalf("slot %d still pins a popped record", i)
+		}
+	}
+}

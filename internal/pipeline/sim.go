@@ -180,9 +180,18 @@ type coreCtx struct {
 	pendingGen     *core.Capability
 	pendingFreePID core.PID
 
+	// firstViolation accumulates the first capability violation detected
+	// while processing the current macro-op (see coreCtx.record); reset
+	// at the top of processRec.
+	firstViolation *core.Violation
+
+	// uc is the decoded-μop translation cache (uopcache.go).
+	uc uopCache
+
 	done    bool
 	uopBuf  []isa.Uop
 	planBuf []uopPlan
+	walkBuf []uint64 // scratch for AliasTable.WalkInto touch lists
 	recsRun uint64
 }
 
@@ -223,7 +232,7 @@ type Sim struct {
 	dram *mem.DRAM
 
 	cores []*coreCtx
-	recQ  [][]*emu.Rec
+	recQ  []recRing
 
 	Violations  []*core.Violation
 	invalidates uint64
@@ -306,7 +315,7 @@ func NewSim(prog *asm.Program, cfg Config, harts int) (*Sim, error) {
 		}
 	}
 
-	s.recQ = make([][]*emu.Rec, harts)
+	s.recQ = make([]recRing, harts)
 	for i := 0; i < harts; i++ {
 		s.cores = append(s.cores, s.newCore(i))
 	}
@@ -373,11 +382,13 @@ func (s *Sim) SetReloadHook(fn func(pc uint64, pid core.PID)) {
 
 // nextRec returns the next committed record for the given core, buffering
 // records belonging to other cores, or nil when the core's hart is done.
+// The per-core buffers are rings: the old reslicing queue (q = q[1:])
+// kept the backing array's consumed head reachable, so a long run with
+// multi-hart buffering grew memory with the number of records ever
+// queued rather than the number simultaneously in flight.
 func (s *Sim) nextRec(id int) (*emu.Rec, error) {
 	for {
-		if q := s.recQ[id]; len(q) > 0 {
-			rec := q[0]
-			s.recQ[id] = q[1:]
+		if rec := s.recQ[id].pop(); rec != nil {
 			return rec, nil
 		}
 		rec, err := s.M.Step()
@@ -390,7 +401,7 @@ func (s *Sim) nextRec(id int) (*emu.Rec, error) {
 		if rec.Core == id {
 			return rec, nil
 		}
-		s.recQ[rec.Core] = append(s.recQ[rec.Core], rec)
+		s.recQ[rec.Core].push(rec)
 	}
 }
 
@@ -472,7 +483,12 @@ func (s *Sim) Step(rounds int) (bool, error) {
 			if s.warm == nil && s.Cfg.WarmupInsts > 0 && s.M.TotalInsts() >= s.Cfg.WarmupInsts {
 				s.warm = s.result()
 			}
-			if v := s.processRec(c, rec); v != nil {
+			v := s.processRec(c, rec)
+			// processRec fully consumes the record (violations and checker
+			// findings copy what they need), so it can go back on the
+			// machine's free list for the next Step to reuse.
+			s.M.Recycle(rec)
+			if v != nil {
 				s.Violations = append(s.Violations, v)
 				if s.Cfg.StopOnViolation {
 					return false, v
@@ -567,21 +583,16 @@ func (s *Sim) result() *Result {
 		addStats(&r.AliasCache, &c.aliasCache.Stats)
 		addPred(&r.Predictor, &c.eng.Pred.Stats)
 		addEng(&r.Engine, &c.eng.Stats)
-		r.Branch.Lookups += c.bu.Dir.Stats.Lookups
-		r.Branch.DirMispred += c.bu.Dir.Stats.DirMispred
-		r.Branch.TargMispred += c.bu.Dir.Stats.TargMispred
+		addBranch(&r.Branch, &c.bu.Dir.Stats)
 		addStats(&r.L1D, &c.hier.L1D.Stats)
 		addStats(&r.L1I, &c.hier.L1I.Stats)
 		addStats(&r.L2, &c.hier.L2.Stats)
 		if c.hier.Shadow != nil {
 			addStats(&r.ShadowC, &c.hier.Shadow.Stats)
 		}
-		r.TLB.Hits += c.tlb.Stats.Hits
-		r.TLB.Misses += c.tlb.Stats.Misses
+		addTLB(&r.TLB, &c.tlb.Stats)
 		if c.checker != nil {
-			r.Checker.Validations += c.checker.Stats.Validations
-			r.Checker.Matches += c.checker.Stats.Matches
-			r.Checker.Mismatches += c.checker.Stats.Mismatches
+			addChecker(&r.Checker, &c.checker.Stats)
 			r.Mismatches = append(r.Mismatches, c.checker.Log...)
 		}
 	}
@@ -607,6 +618,11 @@ func (s *Sim) result() *Result {
 
 // subtractWarm removes the warmup prefix's counters from the totals.
 // End-of-run state metrics (RSS, table sizes, violations) stay absolute.
+//
+// Checker counters intentionally stay absolute too: the hardware checker
+// co-processor validates the whole run offline against ground truth, and
+// its mismatch log is a correctness artifact — windowing it to the
+// post-warmup suffix would hide mismatches that occurred during warmup.
 func subtractWarm(r, w *Result) {
 	r.Cycles -= minU64(w.Cycles, r.Cycles)
 	r.MacroInsts -= w.MacroInsts
@@ -631,23 +647,10 @@ func subtractWarm(r, w *Result) {
 	subStats(&r.L2, &w.L2)
 	subStats(&r.LLC, &w.LLC)
 	subStats(&r.ShadowC, &w.ShadowC)
-	r.TLB.Hits -= w.TLB.Hits
-	r.TLB.Misses -= w.TLB.Misses
-	r.Predictor.Lookups -= w.Predictor.Lookups
-	r.Predictor.Predictions -= w.Predictor.Predictions
-	r.Predictor.Correct -= w.Predictor.Correct
-	r.Predictor.PNA0 -= w.Predictor.PNA0
-	r.Predictor.P0AN -= w.Predictor.P0AN
-	r.Predictor.PMAN -= w.Predictor.PMAN
-	r.Predictor.Blacklisted -= w.Predictor.Blacklisted
-	r.Branch.Lookups -= w.Branch.Lookups
-	r.Branch.DirMispred -= w.Branch.DirMispred
-	r.Branch.TargMispred -= w.Branch.TargMispred
-	r.Engine.UopsSeen -= w.Engine.UopsSeen
-	r.Engine.RulesApplied -= w.Engine.RulesApplied
-	r.Engine.SpilledAliases -= w.Engine.SpilledAliases
-	r.Engine.AliasClears -= w.Engine.AliasClears
-	r.Engine.PointerReloads -= w.Engine.PointerReloads
+	subTLB(&r.TLB, &w.TLB)
+	subPred(&r.Predictor, &w.Predictor)
+	subBranch(&r.Branch, &w.Branch)
+	subEng(&r.Engine, &w.Engine)
 }
 
 func subStats(dst, w *cache.Stats) {
@@ -683,10 +686,60 @@ func addPred(dst *tracker.PredictorStats, src *tracker.PredictorStats) {
 	dst.Blacklisted += src.Blacklisted
 }
 
+func subPred(dst *tracker.PredictorStats, w *tracker.PredictorStats) {
+	dst.Lookups -= w.Lookups
+	dst.Predictions -= w.Predictions
+	dst.Correct -= w.Correct
+	dst.PNA0 -= w.PNA0
+	dst.P0AN -= w.P0AN
+	dst.PMAN -= w.PMAN
+	dst.Blacklisted -= w.Blacklisted
+}
+
 func addEng(dst *tracker.EngineStats, src *tracker.EngineStats) {
 	dst.UopsSeen += src.UopsSeen
 	dst.RulesApplied += src.RulesApplied
 	dst.SpilledAliases += src.SpilledAliases
 	dst.AliasClears += src.AliasClears
 	dst.PointerReloads += src.PointerReloads
+}
+
+func subEng(dst *tracker.EngineStats, w *tracker.EngineStats) {
+	dst.UopsSeen -= w.UopsSeen
+	dst.RulesApplied -= w.RulesApplied
+	dst.SpilledAliases -= w.SpilledAliases
+	dst.AliasClears -= w.AliasClears
+	dst.PointerReloads -= w.PointerReloads
+}
+
+// addBranch/subBranch and addTLB/subTLB keep result() and subtractWarm
+// structurally symmetric: both sides go through the same helper pair, so
+// adding a counter to branch.Stats or mem.TLBStats forces the change in
+// exactly one aggregation and one subtraction site instead of drifting.
+func addBranch(dst *branch.Stats, src *branch.Stats) {
+	dst.Lookups += src.Lookups
+	dst.DirMispred += src.DirMispred
+	dst.TargMispred += src.TargMispred
+}
+
+func subBranch(dst *branch.Stats, w *branch.Stats) {
+	dst.Lookups -= w.Lookups
+	dst.DirMispred -= w.DirMispred
+	dst.TargMispred -= w.TargMispred
+}
+
+func addTLB(dst *mem.TLBStats, src *mem.TLBStats) {
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+}
+
+func subTLB(dst *mem.TLBStats, w *mem.TLBStats) {
+	dst.Hits -= w.Hits
+	dst.Misses -= w.Misses
+}
+
+func addChecker(dst *tracker.CheckerStats, src *tracker.CheckerStats) {
+	dst.Validations += src.Validations
+	dst.Matches += src.Matches
+	dst.Mismatches += src.Mismatches
 }

@@ -1,0 +1,14 @@
+package security
+
+import "testing"
+
+// TestUopCacheDiffIdentical is the security half of the μop-translation-
+// cache differential gate: detection behavior must be byte-identical with
+// the cache enabled and disabled across the full exploit and
+// false-positive evaluation.
+func TestUopCacheDiffIdentical(t *testing.T) {
+	rep := RunUopCacheDiff()
+	if !rep.Identical() {
+		t.Fatalf("μop cache changed security behavior:\n%s", FormatUopCacheDiff(rep))
+	}
+}

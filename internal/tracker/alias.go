@@ -91,18 +91,26 @@ func (t *AliasTable) Lookup(addr uint64) core.PID {
 // Walk performs a hardware table walk for addr, returning the PID and the
 // shadow addresses the walker touches (for hierarchy-latency charging).
 func (t *AliasTable) Walk(addr uint64) (core.PID, []uint64) {
+	return t.WalkInto(addr, nil)
+}
+
+// WalkInto is Walk with a caller-provided scratch buffer for the touched
+// shadow addresses: the result is appended to buf (pass buf[:0] to reuse
+// its backing array), so steady-state callers perform no allocation. The
+// returned slice is only valid until the caller's next WalkInto with the
+// same buffer.
+func (t *AliasTable) WalkInto(addr uint64, buf []uint64) (core.PID, []uint64) {
 	t.Walks++
 	addr = alignDown8(addr)
 	userPage := mem.PageBase(addr)
-	touches := make([]uint64, 0, t.WalkLevels)
 	leaf, ok := t.shadowPageOf[userPage]
 	if !ok {
 		leaf = mem.AliasBase // a walk that terminates early at a non-present level
 	}
 	for l := 0; l < t.WalkLevels; l++ {
-		touches = append(touches, leaf+uint64(l)*8)
+		buf = append(buf, leaf+uint64(l)*8)
 	}
-	return t.entries[addr], touches
+	return t.entries[addr], buf
 }
 
 // Entries returns the number of live alias entries.

@@ -1,0 +1,69 @@
+package tracker
+
+import (
+	"testing"
+
+	"chex86/internal/core"
+	"chex86/internal/mem"
+)
+
+// TestWalkIntoZeroAllocs asserts the scratch-reuse contract of WalkInto:
+// with a warmed buffer passed back as buf[:0], a hardware table walk must
+// not allocate. Walk (the nil-buffer convenience form) allocates once per
+// call; the pipeline's hot loop therefore uses WalkInto exclusively.
+func TestWalkIntoZeroAllocs(t *testing.T) {
+	m := mem.New()
+	tab := NewAliasTable(m, mem.NewPageTable())
+	tab.Set(0x7000_0000, core.PID(3))
+
+	var buf []uint64
+	_, buf = tab.WalkInto(0x7000_0000, buf[:0]) // prime the backing array
+
+	n := testing.AllocsPerRun(1000, func() {
+		var pid core.PID
+		pid, buf = tab.WalkInto(0x7000_0000, buf[:0])
+		if pid != 3 {
+			t.Fatalf("walk returned pid %d, want 3", pid)
+		}
+		if len(buf) != tab.WalkLevels {
+			t.Fatalf("walk touched %d levels, want %d", len(buf), tab.WalkLevels)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("WalkInto allocates %.3f objects/walk with a reused buffer, want 0", n)
+	}
+}
+
+// TestWalkIntoMatchesWalk pins that the two forms are behaviorally
+// identical.
+func TestWalkIntoMatchesWalk(t *testing.T) {
+	m := mem.New()
+	tab := NewAliasTable(m, mem.NewPageTable())
+	tab.Set(0x7000_1000, core.PID(9))
+	for _, addr := range []uint64{0x7000_1000, 0x7000_1004, 0x9000_0000} {
+		wantPID, wantTouches := tab.Walk(addr)
+		gotPID, gotTouches := tab.WalkInto(addr, nil)
+		if gotPID != wantPID || len(gotTouches) != len(wantTouches) {
+			t.Fatalf("addr %#x: WalkInto (%d, %v) != Walk (%d, %v)",
+				addr, gotPID, gotTouches, wantPID, wantTouches)
+		}
+		for i := range wantTouches {
+			if gotTouches[i] != wantTouches[i] {
+				t.Fatalf("addr %#x: touch %d: %#x != %#x", addr, i, gotTouches[i], wantTouches[i])
+			}
+		}
+	}
+}
+
+// BenchmarkWalkInto measures the walker with scratch reuse (the pipeline's
+// calling convention).
+func BenchmarkWalkInto(b *testing.B) {
+	m := mem.New()
+	tab := NewAliasTable(m, mem.NewPageTable())
+	tab.Set(0x7000_0000, core.PID(3))
+	var buf []uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, buf = tab.WalkInto(0x7000_0000, buf[:0])
+	}
+}
