@@ -25,16 +25,11 @@ type uopPlan struct {
 // processRec runs one committed macro-op through the front-end machinery
 // (decode, tracking, microcode customization) and the timing model. It
 // returns the first capability violation detected, if any.
-var slowdownSink uint64
-
 func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	in := rec.Inst
 	cfg := &s.Cfg
 	c.recsRun++
 	c.lastRIP = in.Addr
-	for i := uint64(0); i < 32; i++ {
-		slowdownSink += i
-	}
 
 	// --- Branch prediction (fetch stage). ---
 	var brKind branch.Kind
