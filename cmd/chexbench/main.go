@@ -375,14 +375,19 @@ func runCampaign(f campaignFlags) error {
 			return err
 		}
 	}
-	pool := campaign.NewPool(campaign.Options{
+	poolOpts := campaign.Options{
 		Workers: f.workers,
-		Cache:   cache,
 		// Wall-clock reads stay in the CLI: the pool measures per-job wall
 		// time through this injected probe, and internal/campaign passes
 		// the chexvet determinism gate with zero waivers.
 		Clock: func() int64 { return time.Now().UnixNano() }, //determinism:ok — CLI wall-time probe
-	})
+	}
+	if cache != nil {
+		// Assign only when present: a typed-nil *Cache in the interface
+		// field would read as "cache configured".
+		poolOpts.Cache = cache
+	}
+	pool := campaign.NewPool(poolOpts)
 	defer pool.Close()
 
 	names := workload.Names()

@@ -10,15 +10,18 @@ import (
 	"time"
 
 	"chex86/internal/campaign"
+	"chex86/internal/fabric"
 	"chex86/internal/faultinject"
 	"chex86/internal/pipeline"
 	"chex86/internal/workload"
 )
 
-// server wires the campaign pool and cache into the HTTP API.
+// server wires the campaign pool, cache, and (optionally) the fabric
+// coordinator into the HTTP API.
 type server struct {
 	pool  *campaign.Pool
 	cache *campaign.Cache
+	coord *fabric.Coordinator // nil = fabric disabled
 
 	// Request defaults (flag-configurable).
 	defScale     float64
@@ -110,6 +113,17 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /api/v1/results/{key}", s.handleResult)
+	if s.coord != nil {
+		// Distributed campaign fabric: the operator-facing campaign API
+		// plus the worker wire protocol (register/heartbeat/lease/
+		// complete/cache) under /fabric/v1/.
+		mux.HandleFunc("POST /api/v1/fabric/campaign", s.handleFabricSubmit)
+		mux.HandleFunc("GET /api/v1/fabric/campaigns", s.handleFabricList)
+		mux.HandleFunc("GET /api/v1/fabric/campaigns/{id}", s.handleFabricCampaign)
+		mux.HandleFunc("GET /api/v1/fabric/campaigns/{id}/report", s.handleFabricReport)
+		mux.HandleFunc("GET /api/v1/fabric/workers", s.handleFabricWorkers)
+		mux.Handle("/fabric/v1/", s.coord.Handler())
+	}
 	// Live profiling of a serving daemon: `go tool pprof
 	// http://host/debug/pprof/profile` captures the campaign workers' hot
 	// loop under real job load (README "Host throughput" has a quickstart).
@@ -145,6 +159,9 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.pool.Metrics().Snapshot().Render())
+	if s.coord != nil {
+		fmt.Fprint(w, s.coord.Metrics().Snapshot().Render())
+	}
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -299,6 +316,163 @@ func (s *server) jobResponse(j *campaign.Job) jobResponse {
 	resp := jobResponse{JobStatus: j.Status()}
 	if resp.State == campaign.JobDone {
 		resp.Result, _ = j.Result()
+	}
+	return resp
+}
+
+// fabricCampaignRequest submits a distributed campaign. Fault mode shards
+// a fault-injection configuration into its workload × variant × site
+// cells; bench mode shards a workload list into one bench cell per
+// workload.
+type fabricCampaignRequest struct {
+	Mode     string              `json:"mode,omitempty"` // "fault" (default when fault set) or "bench"
+	Fault    *faultinject.Config `json:"fault,omitempty"`
+	Priority int                 `json:"priority,omitempty"`
+
+	// Bench mode.
+	Workloads []string `json:"workloads,omitempty"`
+	Variant   string   `json:"variant,omitempty"`
+	Scale     float64  `json:"scale,omitempty"`
+	MaxInsts  uint64   `json:"maxInsts,omitempty"`
+	MaxCycles uint64   `json:"maxCycles,omitempty"`
+}
+
+// fabricCampaignResponse is a campaign's status, plus results and (for
+// fault mode) the merged report once terminal.
+type fabricCampaignResponse struct {
+	fabric.CampaignStatus
+	Results []*campaign.Result  `json:"results,omitempty"`
+	Report  *faultinject.Report `json:"report,omitempty"`
+}
+
+func (s *server) handleFabricSubmit(w http.ResponseWriter, r *http.Request) {
+	var req fabricCampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var camp *fabric.Campaign
+	var err error
+	switch {
+	case req.Fault != nil:
+		camp, err = s.coord.SubmitFault(*req.Fault, req.Priority)
+	default:
+		names := req.Workloads
+		if len(names) == 0 {
+			names = workload.Names()
+		}
+		var cells []campaign.Spec
+		for _, name := range names {
+			jr := jobRequest{
+				Workload:  name,
+				Variant:   req.Variant,
+				Scale:     req.Scale,
+				MaxInsts:  req.MaxInsts,
+				MaxCycles: req.MaxCycles,
+			}
+			spec, serr := s.spec(&jr)
+			if serr != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("%s: %w", name, serr))
+				return
+			}
+			cells = append(cells, spec)
+		}
+		camp, err = s.coord.Submit(cells, req.Priority)
+	}
+	if err != nil {
+		if errors.Is(err, fabric.ErrQueueFull) {
+			// Backpressure: admission control refused the campaign. The
+			// client should retry after a short backoff.
+			w.Header().Set("Retry-After", "2")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.fabricResponse(camp, false))
+}
+
+// fabricCampaignByID resolves the {id} path value.
+func (s *server) fabricCampaignByID(w http.ResponseWriter, r *http.Request) *fabric.Campaign {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad campaign id %q", r.PathValue("id")))
+		return nil
+	}
+	camp := s.coord.Campaign(id)
+	if camp == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %d", id))
+		return nil
+	}
+	return camp
+}
+
+func (s *server) handleFabricCampaign(w http.ResponseWriter, r *http.Request) {
+	camp := s.fabricCampaignByID(w, r)
+	if camp == nil {
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		if err := camp.Wait(r.Context()); err != nil {
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.fabricResponse(camp, r.URL.Query().Get("detail") != ""))
+}
+
+// handleFabricReport serves the merged fault report's canonical bytes —
+// exactly what a single-node sequential `chexfault` run writes, so a
+// distributed campaign can be diffed against a sequential one with cmp.
+func (s *server) handleFabricReport(w http.ResponseWriter, r *http.Request) {
+	camp := s.fabricCampaignByID(w, r)
+	if camp == nil {
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		if err := camp.Wait(r.Context()); err != nil {
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
+	}
+	rep := camp.Report()
+	if rep == nil {
+		writeError(w, http.StatusNotFound, errors.New("no merged report (campaign unfinished, failed, or not fault mode)"))
+		return
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *server) handleFabricList(w http.ResponseWriter, r *http.Request) {
+	var out []fabricCampaignResponse
+	for _, camp := range s.coord.Campaigns() {
+		out = append(out, fabricCampaignResponse{CampaignStatus: camp.Status(false)})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Campaigns []fabricCampaignResponse `json:"campaigns"`
+	}{out})
+}
+
+func (s *server) handleFabricWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Workers []fabric.WorkerStatus `json:"workers"`
+	}{s.coord.Workers()})
+}
+
+// fabricResponse renders a campaign's status, attaching results and the
+// merged report when terminal.
+func (s *server) fabricResponse(camp *fabric.Campaign, detail bool) fabricCampaignResponse {
+	resp := fabricCampaignResponse{CampaignStatus: camp.Status(detail)}
+	if resp.State == fabric.CampaignDone {
+		resp.Results = camp.Results()
+		resp.Report = camp.Report()
 	}
 	return resp
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"chex86/internal/campaign"
+	"chex86/internal/fabric"
 )
 
 // newTestServer spins up a chexd handler over a tiny-workload pool.
@@ -257,3 +260,162 @@ func TestPprofEndpoints(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+// newFabricTestServer is newTestServer plus a coordinator in local-
+// fallback mode (no workers registered → cells run on the chexd pool).
+func newFabricTestServer(t *testing.T, maxQueue int) (*httptest.Server, *server) {
+	t.Helper()
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := campaign.NewPool(campaign.Options{
+		Workers: 2,
+		Cache:   cache,
+		Clock:   func() int64 { return time.Now().UnixNano() },
+	})
+	t.Cleanup(pool.Close)
+	srv := &server{pool: pool, cache: cache, defScale: 0.1, defMaxInsts: 2000}
+	srv.coord = fabric.NewCoordinator(fabric.CoordinatorOptions{
+		Clock:    wallClock{},
+		MaxQueue: maxQueue,
+		Cache:    cache,
+		Local:    pool,
+	})
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestFabricCampaignLocalFallback: with zero workers registered, a fabric
+// campaign degrades to coordinator-local execution and still completes,
+// with the merged fault report served byte-for-byte.
+func TestFabricCampaignLocalFallback(t *testing.T) {
+	ts, _ := newFabricTestServer(t, 0)
+
+	body := `{"fault":{"seed":5,"workloads":["mcf"],"variants":["prediction"],` +
+		`"faultsPerRun":5,"maxInsts":4000,"sites":["cap-table","dift-tag"]}}`
+	resp := postJSON(t, ts.URL+"/api/v1/fabric/campaign", body)
+	var fr fabricCampaignResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if fr.Cells != 2 {
+		t.Fatalf("cells = %d, want workloads × variants × sites = 2", fr.Cells)
+	}
+
+	get, err := http.Get(ts.URL + "/api/v1/fabric/campaigns/" + strconv.Itoa(fr.ID) + "?wait=1&detail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done fabricCampaignResponse
+	if err := json.NewDecoder(get.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if done.State != fabric.CampaignDone || !done.Local {
+		t.Fatalf("campaign = %+v, want done via local degradation", done.CampaignStatus)
+	}
+	if done.Report == nil {
+		t.Fatal("completed fault campaign has no merged report")
+	}
+	for _, cell := range done.Detail {
+		if cell.By != "local" {
+			t.Fatalf("cell %d executed by %q, want local", cell.Index, cell.By)
+		}
+	}
+
+	// The report endpoint serves the merged report's canonical bytes.
+	rget, err := http.Get(ts.URL + "/api/v1/fabric/campaigns/" + strconv.Itoa(fr.ID) + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rget.Body.Close()
+	if rget.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d", rget.StatusCode)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.NewDecoder(rget.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema == "" {
+		t.Fatal("report body has no schema field")
+	}
+
+	// Fabric metrics joined the exposition endpoint without displacing the
+	// pool's (the CI smoke greps campaign_cache_hits).
+	mget, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mget.Body.Close()
+	var metrics strings.Builder
+	if _, err := io.Copy(&metrics, mget.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"campaign_cache_hits ", "fabric_campaigns_done 1", "fabric_cells_local 2"} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics.String())
+		}
+	}
+}
+
+// TestFabricBackpressure: admission control surfaces ErrQueueFull as
+// HTTP 429 with a Retry-After hint.
+func TestFabricBackpressure(t *testing.T) {
+	ts, srv := newFabricTestServer(t, 1)
+	// A registered (fake) worker keeps the local-fallback rung off so the
+	// queue actually fills.
+	if _, err := srv.coord.Register(context.Background(), fabric.WorkerInfo{ID: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ok := postJSON(t, ts.URL+"/api/v1/fabric/campaign", `{"workloads":["mcf"]}`)
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d", ok.StatusCode)
+	}
+	full := postJSON(t, ts.URL+"/api/v1/fabric/campaign", `{"workloads":["xalancbmk"]}`)
+	defer full.Body.Close()
+	if full.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit status = %d, want 429", full.StatusCode)
+	}
+	if full.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After hint")
+	}
+	var he errorResponse
+	if err := json.NewDecoder(full.Body).Decode(&he); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(he.Error, "queue full") {
+		t.Fatalf("429 body = %q", he.Error)
+	}
+}
+
+// TestFabricWorkersEndpoint lists registered workers.
+func TestFabricWorkersEndpoint(t *testing.T) {
+	ts, srv := newFabricTestServer(t, 0)
+	if _, err := srv.coord.Register(context.Background(), fabric.WorkerInfo{ID: "node-a", Addr: "10.0.0.2"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/fabric/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Workers []fabric.WorkerStatus `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Workers) != 1 || out.Workers[0].ID != "node-a" {
+		t.Fatalf("workers = %+v", out.Workers)
+	}
+}

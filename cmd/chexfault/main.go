@@ -107,7 +107,13 @@ func runPooled(cfg faultinject.Config, cacheDir string, workers int) (*faultinje
 			return nil, err
 		}
 	}
-	p := campaign.NewPool(campaign.Options{Workers: workers, Cache: cache})
+	opts := campaign.Options{Workers: workers}
+	if cache != nil {
+		// Assign only when present: a typed-nil *Cache in the interface
+		// field would read as "cache configured".
+		opts.Cache = cache
+	}
+	p := campaign.NewPool(opts)
 	defer p.Close()
 
 	var jobs []*campaign.Job

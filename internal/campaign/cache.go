@@ -103,9 +103,13 @@ func (c *Cache) Get(key string) (*Result, bool) {
 	return e.Result, true
 }
 
-// Put stores a result under key, atomically: the entry is written to a
-// temporary file in the same directory and renamed into place, so readers
-// never observe a torn entry.
+// Put stores a result under key, atomically and crash-safely: the entry
+// is written to a temporary file in the same directory, fsynced, renamed
+// into place, and the parent directory is fsynced — so readers never
+// observe a torn entry and a host crash right after Put returns cannot
+// lose or truncate it. (A crash *during* Put can at worst leave a stale
+// tmp file or a truncated entry, and truncated/corrupt entries are read
+// as misses, never as errors.)
 func (c *Cache) Put(key string, spec Spec, r *Result) error {
 	if !validKey(key) {
 		return fmt.Errorf("campaign: invalid cache key %q", key)
@@ -124,6 +128,11 @@ func (c *Cache) Put(key string, spec Spec, r *Result) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("campaign: cache put: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("campaign: cache put: %w", err)
@@ -132,11 +141,34 @@ func (c *Cache) Put(key string, spec Spec, r *Result) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("campaign: cache put: %w", err)
 	}
+	if err := c.syncDir(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	c.mem[key] = r
 	c.mu.Unlock()
 	return nil
 }
+
+// syncDir fsyncs the cache directory so a completed rename is durable.
+func (c *Cache) syncDir() error {
+	d, err := os.Open(c.dir)
+	if err != nil {
+		return fmt.Errorf("campaign: cache sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("campaign: cache sync dir: %w", err)
+	}
+	return nil
+}
+
+// Lookup implements ResultCache over the on-disk store (the spec is not
+// needed for lookups; the key is the content address).
+func (c *Cache) Lookup(_ Spec, key string) (*Result, bool) { return c.Get(key) }
+
+// Store implements ResultCache over the on-disk store.
+func (c *Cache) Store(spec Spec, key string, r *Result) error { return c.Put(key, spec, r) }
 
 // Keys lists every key present on disk, sorted.
 func (c *Cache) Keys() ([]string, error) {

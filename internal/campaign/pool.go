@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
@@ -15,9 +16,19 @@ import (
 // embedders substitute their own.
 type ExecFunc func(ctx context.Context, spec *Spec) (*Result, error)
 
+// ResultCache memoizes completed results by content address. *Cache is
+// the on-disk implementation; the distributed fabric plugs in a two-tier
+// cache (local disk, then peer fetch) through the same interface.
+// Implementations must be safe for concurrent use; Lookup failures are
+// misses, and Store failures only degrade future lookups.
+type ResultCache interface {
+	Lookup(spec Spec, key string) (*Result, bool)
+	Store(spec Spec, key string, r *Result) error
+}
+
 // Options configures a Pool. The zero value is usable: GOMAXPROCS
 // workers, no cache, the default executor, two retries with 50 ms initial
-// backoff, and no wall-clock probe.
+// backoff capped at 5 s, and no wall-clock probe.
 type Options struct {
 	// Workers is the shard count (one worker goroutine per shard).
 	// Defaults to GOMAXPROCS — the pool runs compute-bound simulations, so
@@ -25,7 +36,7 @@ type Options struct {
 	Workers int
 
 	// Cache memoizes completed results by content address (nil = off).
-	Cache *Cache
+	Cache ResultCache
 
 	// Exec runs one spec (nil = Execute).
 	Exec ExecFunc
@@ -37,8 +48,20 @@ type Options struct {
 	// — are never retried: they would fail identically again.
 	Retries int
 
-	// Backoff is the sleep before the first retry; it doubles per attempt.
+	// Backoff is the sleep before the first retry; it doubles per attempt
+	// up to MaxBackoff.
 	Backoff time.Duration
+
+	// MaxBackoff caps the exponential growth so a long retry chain never
+	// sleeps unboundedly (default 5s).
+	MaxBackoff time.Duration
+
+	// JitterSeed derives the deterministic retry jitter (default 1). Each
+	// (job key, attempt) gets an independent point in [backoff/2, backoff]
+	// from an xorshift stream seeded by (JitterSeed, key, attempt), so
+	// synchronized transient failures fan out instead of stampeding in
+	// lockstep — with no global PRNG state and full reproducibility.
+	JitterSeed uint64
 
 	// Clock is the host wall-clock probe in nanoseconds, injected by CLIs
 	// (the campaign package itself never reads the wall clock — the chexvet
@@ -62,9 +85,49 @@ func (o *Options) setDefaults() {
 	if o.Backoff <= 0 {
 		o.Backoff = 50 * time.Millisecond
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.MaxBackoff < o.Backoff {
+		o.MaxBackoff = o.Backoff
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
 	if o.Clock == nil {
 		o.Clock = func() int64 { return 0 }
 	}
+}
+
+// retryDelay computes the sleep before retry `attempt` (0-based): the base
+// backoff doubled per attempt, capped at MaxBackoff, then decorrelated
+// into [d/2, d] by a deterministic xorshift draw keyed on (JitterSeed, job
+// key, attempt). Identical inputs always produce identical delays; jobs
+// with different keys desynchronize.
+func (o *Options) retryDelay(key string, attempt int) time.Duration {
+	d := o.Backoff
+	for i := 0; i < attempt && d < o.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > o.MaxBackoff {
+		d = o.MaxBackoff
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	fmt.Fprintf(h, "|%d", attempt)
+	x := h.Sum64() ^ o.JitterSeed
+	// xorshift64 mix so adjacent attempts land far apart.
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return half + time.Duration(x%uint64(half)+1)
 }
 
 // JobState is a job's lifecycle position.
@@ -271,7 +334,7 @@ func (p *Pool) Submit(spec Spec) (*Job, error) {
 	p.mu.Unlock()
 
 	if p.opts.Cache != nil {
-		if res, ok := p.opts.Cache.Get(key); ok {
+		if res, ok := p.opts.Cache.Lookup(spec, key); ok {
 			p.metrics.CacheHits.Add(1)
 			j.mu.Lock()
 			j.cached = true
@@ -378,7 +441,6 @@ func (p *Pool) runJob(j *Job) {
 	j.state = JobRunning
 	j.mu.Unlock()
 
-	backoff := p.opts.Backoff
 	var res *Result
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -401,8 +463,7 @@ func (p *Pool) runJob(j *Job) {
 		select {
 		case <-p.ctx.Done():
 			err = &pipeline.SimError{Kind: pipeline.ErrCanceled, Msg: "campaign pool closed", Err: err}
-		case <-time.After(backoff):
-			backoff *= 2
+		case <-time.After(p.opts.retryDelay(j.Key, attempt)):
 			continue
 		}
 		break
@@ -416,7 +477,7 @@ func (p *Pool) runJob(j *Job) {
 		// A cache-write failure degrades future runs, not this one: the
 		// result is still correct, so the job succeeds and the miss is
 		// simply paid again next sweep.
-		_ = p.opts.Cache.Put(j.Key, j.Spec, res)
+		_ = p.opts.Cache.Store(j.Spec, j.Key, res)
 	}
 	p.finish(j, res, nil)
 }

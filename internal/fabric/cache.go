@@ -1,0 +1,125 @@
+package fabric
+
+import (
+	"context"
+	"time"
+
+	"chex86/internal/campaign"
+)
+
+// ResultFetcher is the peer tier of the two-tier cache: a lookup by
+// content address on another node. A miss is (nil, nil).
+type ResultFetcher interface {
+	FetchResult(ctx context.Context, key string) (*campaign.Result, error)
+}
+
+// TieredCache is the fabric's two-tier result cache: local disk first,
+// then a peer fetch by SHA-256 content address — safe precisely because
+// keys are content addresses, so a peer can only ever return the same
+// bytes a local run would have produced (anything else fails validation
+// and is treated as a miss). Every peer failure mode — unreachable,
+// timeout, corrupt payload — degrades to the next rung down: local tier,
+// then recompute.
+//
+// TieredCache implements campaign.ResultCache, so it slots directly into
+// a campaign.Pool as its memoization layer.
+type TieredCache struct {
+	local   *campaign.Cache
+	peer    ResultFetcher
+	clock   Clock
+	timeout time.Duration
+	metrics CacheMetrics
+}
+
+var _ campaign.ResultCache = (*TieredCache)(nil)
+
+// NewTieredCache builds a two-tier cache. local may be nil (peer-only),
+// peer may be nil (local-only); timeout bounds each peer fetch (default
+// 2s); clock nil = peer fetches never time out on their own.
+func NewTieredCache(local *campaign.Cache, peer ResultFetcher, clock Clock, timeout time.Duration) *TieredCache {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	if clock == nil {
+		clock = frozenClock{}
+	}
+	return &TieredCache{local: local, peer: peer, clock: clock, timeout: timeout}
+}
+
+// Metrics exposes the cache's counters.
+func (t *TieredCache) Metrics() *CacheMetrics { return &t.metrics }
+
+// Lookup reads through the tiers: local disk, then peer (bounded by the
+// fetch timeout, validated, and written through to the local tier on a
+// hit). Every failure is a miss — the caller recomputes.
+func (t *TieredCache) Lookup(spec campaign.Spec, key string) (*campaign.Result, bool) {
+	if t.local != nil {
+		if res, ok := t.local.Get(key); ok {
+			t.metrics.LocalHits.Add(1)
+			return res, true
+		}
+	}
+	if t.peer == nil {
+		t.metrics.Misses.Add(1)
+		return nil, false
+	}
+	res, ok := t.fetchPeer(key)
+	if !ok {
+		t.metrics.Misses.Add(1)
+		return nil, false
+	}
+	t.metrics.PeerHits.Add(1)
+	if t.local != nil {
+		// Write through so the next lookup stays local even if the peer
+		// vanishes. A write failure only costs a future re-fetch.
+		_ = t.local.Put(key, spec, res)
+	}
+	return res, true
+}
+
+// Store writes to the local tier (the peer tier is populated by the
+// coordinator on completion, not by workers pushing).
+func (t *TieredCache) Store(spec campaign.Spec, key string, r *campaign.Result) error {
+	if t.local == nil {
+		return nil
+	}
+	return t.local.Put(key, spec, r)
+}
+
+// fetchPeer runs one bounded peer lookup and validates the response.
+func (t *TieredCache) fetchPeer(key string) (*campaign.Result, bool) {
+	type reply struct {
+		res *campaign.Result
+		err error
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan reply, 1)
+	go func() {
+		res, err := t.peer.FetchResult(ctx, key)
+		ch <- reply{res, err}
+	}()
+	var r reply
+	select {
+	case r = <-ch:
+	case <-t.clock.After(t.timeout):
+		t.metrics.PeerErrors.Add(1)
+		return nil, false
+	}
+	if r.err != nil {
+		t.metrics.PeerErrors.Add(1)
+		return nil, false
+	}
+	if r.res == nil {
+		t.metrics.PeerMisses.Add(1)
+		return nil, false
+	}
+	// Validation: a peer response that does not look like a campaign
+	// result (corrupted in transit, wrong schema, tampered) is a miss —
+	// the simulation can always be re-run locally.
+	if r.res.Schema != campaign.ResultSchema {
+		t.metrics.PeerCorrupt.Add(1)
+		return nil, false
+	}
+	return r.res, true
+}

@@ -1,0 +1,194 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chex86/internal/campaign"
+)
+
+// fetchFunc adapts a function to ResultFetcher.
+type fetchFunc func(ctx context.Context, key string) (*campaign.Result, error)
+
+func (f fetchFunc) FetchResult(ctx context.Context, key string) (*campaign.Result, error) {
+	return f(ctx, key)
+}
+
+// firedClock's After channels have already fired — every timeout elapses
+// instantly.
+type firedClock struct{}
+
+func (firedClock) Now() int64 { return 0 }
+func (firedClock) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- time.Time{}
+	return ch
+}
+
+// cacheFixture returns a spec, its content address, and its fake result.
+func cacheFixture(t *testing.T) (campaign.Spec, string, *campaign.Result) {
+	t.Helper()
+	spec := benchCells(t, 1)[0]
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, key, fakeCellResult(&spec)
+}
+
+func TestTieredCacheLocalHit(t *testing.T) {
+	local, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, key, res := cacheFixture(t)
+	if err := local.Put(key, spec, res); err != nil {
+		t.Fatal(err)
+	}
+	peerCalled := false
+	tc := NewTieredCache(local, fetchFunc(func(context.Context, string) (*campaign.Result, error) {
+		peerCalled = true
+		return nil, nil
+	}), nil, 0)
+
+	got, ok := tc.Lookup(spec, key)
+	if !ok || got.Bench.Cycles != res.Bench.Cycles {
+		t.Fatalf("lookup = %+v, %v, want the local entry", got, ok)
+	}
+	if peerCalled {
+		t.Fatal("local hit still consulted the peer")
+	}
+	if m := tc.Metrics().Snapshot(); m.LocalHits != 1 {
+		t.Fatalf("metrics = %+v, want one local hit", m)
+	}
+}
+
+func TestTieredCachePeerHitWritesThrough(t *testing.T) {
+	local, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, key, res := cacheFixture(t)
+	tc := NewTieredCache(local, fetchFunc(func(_ context.Context, k string) (*campaign.Result, error) {
+		if k != key {
+			return nil, nil
+		}
+		return res, nil
+	}), nil, 0)
+
+	got, ok := tc.Lookup(spec, key)
+	if !ok || got.Bench.Cycles != res.Bench.Cycles {
+		t.Fatalf("lookup = %+v, %v, want the peer entry", got, ok)
+	}
+	if m := tc.Metrics().Snapshot(); m.PeerHits != 1 {
+		t.Fatalf("metrics = %+v, want one peer hit", m)
+	}
+	// The peer hit was written through: the local tier now serves it even
+	// if the peer vanishes.
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("peer hit was not written through to the local tier")
+	}
+}
+
+func TestTieredCachePeerFailureModes(t *testing.T) {
+	spec, key, res := cacheFixture(t)
+	cases := []struct {
+		name  string
+		peer  fetchFunc
+		clock Clock
+		check func(t *testing.T, m CacheMetricsSnapshot)
+	}{
+		{
+			name: "miss",
+			peer: func(context.Context, string) (*campaign.Result, error) { return nil, nil },
+			check: func(t *testing.T, m CacheMetricsSnapshot) {
+				if m.PeerMisses != 1 {
+					t.Fatalf("metrics = %+v, want one peer miss", m)
+				}
+			},
+		},
+		{
+			name: "error",
+			peer: func(context.Context, string) (*campaign.Result, error) {
+				return nil, errors.New("peer unreachable")
+			},
+			check: func(t *testing.T, m CacheMetricsSnapshot) {
+				if m.PeerErrors != 1 {
+					t.Fatalf("metrics = %+v, want one peer error", m)
+				}
+			},
+		},
+		{
+			name: "corrupt",
+			peer: func(context.Context, string) (*campaign.Result, error) {
+				bad := *res
+				bad.Schema = "garbage/v0"
+				return &bad, nil
+			},
+			check: func(t *testing.T, m CacheMetricsSnapshot) {
+				if m.PeerCorrupt != 1 {
+					t.Fatalf("metrics = %+v, want one corrupt rejection", m)
+				}
+			},
+		},
+		{
+			name: "timeout",
+			peer: func(ctx context.Context, _ string) (*campaign.Result, error) {
+				<-ctx.Done() // never answers on its own
+				return nil, ctx.Err()
+			},
+			clock: firedClock{},
+			check: func(t *testing.T, m CacheMetricsSnapshot) {
+				if m.PeerErrors != 1 {
+					t.Fatalf("metrics = %+v, want the timeout counted as a peer error", m)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cache := NewTieredCache(nil, tc.peer, tc.clock, time.Second)
+			if _, ok := cache.Lookup(spec, key); ok {
+				t.Fatalf("peer %s reported a hit", tc.name)
+			}
+			m := cache.Metrics().Snapshot()
+			if m.Misses != 1 {
+				t.Fatalf("metrics = %+v, want the lookup counted as a miss", m)
+			}
+			tc.check(t, m)
+		})
+	}
+}
+
+func TestTieredCacheStoreIsLocalOnly(t *testing.T) {
+	local, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, key, res := cacheFixture(t)
+	pushed := false
+	tc := NewTieredCache(local, fetchFunc(func(context.Context, string) (*campaign.Result, error) {
+		pushed = true
+		return nil, nil
+	}), nil, 0)
+	if err := tc.Store(spec, key, res); err != nil {
+		t.Fatal(err)
+	}
+	if pushed {
+		t.Fatal("Store reached the peer; workers must not push")
+	}
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("Store did not reach the local tier")
+	}
+
+	// Both tiers absent: Store is a no-op, Lookup a miss.
+	empty := NewTieredCache(nil, nil, nil, 0)
+	if err := empty.Store(spec, key, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := empty.Lookup(spec, key); ok {
+		t.Fatal("tierless cache reported a hit")
+	}
+}

@@ -1,0 +1,767 @@
+package fabric
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"chex86/internal/campaign"
+	"chex86/internal/faultinject"
+)
+
+// CoordinatorOptions configures a Coordinator. The zero value is usable
+// for in-process tests with a frozen clock; production wires a wall clock
+// and a cache.
+type CoordinatorOptions struct {
+	// Clock drives lease deadlines and heartbeat expiry. nil = a frozen
+	// clock at 0 (leases and heartbeats never expire on their own —
+	// fine for tests that drive expiry explicitly).
+	Clock Clock
+
+	// LeaseTTL bounds how long a worker may hold a cell before the
+	// coordinator assumes it dead and reassigns (default 60s).
+	LeaseTTL time.Duration
+
+	// HeartbeatTTL bounds how long a worker may go silent before it is
+	// deregistered and its leases reaped (default 15s).
+	HeartbeatTTL time.Duration
+
+	// MaxQueue caps pending (queued, not yet leased) cells; submissions
+	// that would exceed it fail with ErrQueueFull (default 4096).
+	MaxQueue int
+
+	// Cache is the coordinator's content-addressed result store: consulted
+	// at admission (cached cells never queue), written on completion, and
+	// served to workers as the peer tier (FetchResult). nil = none.
+	Cache *campaign.Cache
+
+	// Local executes cells on the coordinator itself when zero workers are
+	// registered — the bottom rung of the degradation ladder. nil disables
+	// local fallback (cells wait for a worker).
+	Local *campaign.Pool
+}
+
+func (o *CoordinatorOptions) setDefaults() {
+	if o.Clock == nil {
+		o.Clock = frozenClock{}
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 60 * time.Second
+	}
+	if o.HeartbeatTTL <= 0 {
+		o.HeartbeatTTL = 15 * time.Second
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4096
+	}
+}
+
+// frozenClock is the zero-value clock: time never passes.
+type frozenClock struct{}
+
+func (frozenClock) Now() int64                           { return 0 }
+func (frozenClock) After(time.Duration) <-chan time.Time { return make(chan time.Time) }
+
+// CampaignState is a campaign's lifecycle position.
+type CampaignState string
+
+const (
+	CampaignRunning CampaignState = "running"
+	CampaignDone    CampaignState = "done"
+	CampaignFailed  CampaignState = "failed"
+)
+
+// CellState is one cell's lifecycle position.
+type CellState string
+
+const (
+	CellQueued CellState = "queued"
+	CellLeased CellState = "leased"
+	CellDone   CellState = "done"
+	CellFailed CellState = "failed"
+)
+
+// Campaign is one sharded submission: an ordered list of cell specs, each
+// executed exactly-once-effectively (idempotent completion), merged in
+// cell order so the result is byte-identical to a sequential run.
+type Campaign struct {
+	id       int
+	mode     campaign.Mode
+	faultCfg *faultinject.Config // set for fault-mode campaigns (drives Merge)
+	priority int
+
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     CampaignState
+	cells     []campaign.Spec
+	keys      []string
+	cellState []CellState
+	cellBy    []string // completing executor per cell: worker ID, "cache", or "local"
+	cellErr   []string
+	results   []*campaign.Result
+	remaining int
+	failed    int
+	local     bool // at least one cell ran on the coordinator's local pool
+	report    *faultinject.Report
+}
+
+// ID returns the campaign's coordinator-assigned ID.
+func (cp *Campaign) ID() int { return cp.id }
+
+// Done is closed when every cell is terminal.
+func (cp *Campaign) Done() <-chan struct{} { return cp.done }
+
+// Wait blocks until the campaign completes or ctx is cancelled.
+func (cp *Campaign) Wait(ctx context.Context) error {
+	select {
+	case <-cp.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CellStatus is a point-in-time view of one cell.
+type CellStatus struct {
+	Index int       `json:"index"`
+	State CellState `json:"state"`
+	By    string    `json:"by,omitempty"` // worker ID, "cache", or "local"
+	Error string    `json:"error,omitempty"`
+}
+
+// CampaignStatus is a point-in-time, JSON-ready view of a campaign.
+type CampaignStatus struct {
+	ID       int           `json:"id"`
+	Mode     campaign.Mode `json:"mode"`
+	State    CampaignState `json:"state"`
+	Priority int           `json:"priority"`
+	Cells    int           `json:"cells"`
+	Queued   int           `json:"queued"`
+	Leased   int           `json:"leased"`
+	Done     int           `json:"done"`
+	Failed   int           `json:"failed"`
+	Local    bool          `json:"local"` // degraded to coordinator-local execution
+	Detail   []CellStatus  `json:"detail,omitempty"`
+}
+
+// Status snapshots the campaign (with per-cell detail when detail=true).
+func (cp *Campaign) Status(detail bool) CampaignStatus {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	st := CampaignStatus{
+		ID:       cp.id,
+		Mode:     cp.mode,
+		State:    cp.state,
+		Priority: cp.priority,
+		Cells:    len(cp.cells),
+		Local:    cp.local,
+	}
+	for i, cs := range cp.cellState {
+		switch cs {
+		case CellQueued:
+			st.Queued++
+		case CellLeased:
+			st.Leased++
+		case CellDone:
+			st.Done++
+		case CellFailed:
+			st.Failed++
+		}
+		if detail {
+			st.Detail = append(st.Detail, CellStatus{Index: i, State: cs, By: cp.cellBy[i], Error: cp.cellErr[i]})
+		}
+	}
+	return st
+}
+
+// Results returns the per-cell results in cell order once the campaign is
+// done (nil before then, or for failed campaigns partial with nil holes).
+func (cp *Campaign) Results() []*campaign.Result {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]*campaign.Result, len(cp.results))
+	copy(out, cp.results)
+	return out
+}
+
+// Report returns the merged fault-injection report of a completed
+// fault-mode campaign (nil otherwise). The merge runs in cell order over
+// deterministic per-cell reports, so these bytes equal a single-node
+// sequential faultinject.Run of the same configuration.
+func (cp *Campaign) Report() *faultinject.Report {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.report
+}
+
+// workerState is the coordinator's registration record for one worker.
+type workerState struct {
+	info       WorkerInfo
+	lastBeatNS int64
+	completed  int64
+	leases     int
+}
+
+// WorkerStatus is a JSON-ready view of one registered worker.
+type WorkerStatus struct {
+	ID           string `json:"id"`
+	Addr         string `json:"addr,omitempty"`
+	Concurrency  int    `json:"concurrency,omitempty"`
+	ActiveLeases int    `json:"activeLeases"`
+	Completed    int64  `json:"completed"`
+	SilentForMS  int64  `json:"silentForMS"` // time since last heartbeat, coordinator clock
+}
+
+// lease tracks one granted cell.
+type lease struct {
+	id         int64
+	workerID   string
+	camp       *Campaign
+	cell       int
+	deadlineNS int64
+}
+
+// queuedCell is one heap entry.
+type queuedCell struct {
+	camp *Campaign
+	cell int
+}
+
+// cellHeap orders pending cells by (priority desc, campaign ID asc, cell
+// index asc) — a total order, so scheduling is deterministic regardless of
+// requeue interleaving.
+type cellHeap []queuedCell
+
+func (h cellHeap) Len() int { return len(h) }
+func (h cellHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.camp.priority != b.camp.priority {
+		return a.camp.priority > b.camp.priority
+	}
+	if a.camp.id != b.camp.id {
+		return a.camp.id < b.camp.id
+	}
+	return a.cell < b.cell
+}
+func (h cellHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x any)   { *h = append(*h, x.(queuedCell)) }
+func (h *cellHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Coordinator owns the fabric's scheduling state: worker registry, cell
+// queue, leases, and campaigns. All methods are safe for concurrent use.
+// It implements Transport, so a worker can run against it in-process.
+type Coordinator struct {
+	opts    CoordinatorOptions
+	metrics Metrics
+
+	mu        sync.Mutex
+	workers   map[string]*workerState
+	leases    map[int64]*lease
+	queue     cellHeap
+	campaigns []*Campaign
+	nextLease int64
+}
+
+var _ Transport = (*Coordinator)(nil)
+
+// NewCoordinator builds a coordinator.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	opts.setDefaults()
+	return &Coordinator{
+		opts:    opts,
+		workers: make(map[string]*workerState),
+		leases:  make(map[int64]*lease),
+	}
+}
+
+// Metrics exposes the coordinator's counters.
+func (c *Coordinator) Metrics() *Metrics { return &c.metrics }
+
+// LeaseTTL returns the configured lease TTL.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.opts.LeaseTTL }
+
+// HeartbeatTTL returns the configured heartbeat TTL.
+func (c *Coordinator) HeartbeatTTL() time.Duration { return c.opts.HeartbeatTTL }
+
+// Tick reaps expired workers and leases and re-dispatches; production
+// calls it periodically, tests call it after advancing the clock.
+func (c *Coordinator) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+}
+
+// Register adds (or refreshes) a worker.
+func (c *Coordinator) Register(_ context.Context, info WorkerInfo) (*RegisterReply, error) {
+	if info.ID == "" {
+		return nil, fmt.Errorf("fabric: register: empty worker ID")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	w := c.workers[info.ID]
+	if w == nil {
+		w = &workerState{info: info}
+		c.workers[info.ID] = w
+	}
+	w.info = info
+	w.lastBeatNS = c.opts.Clock.Now()
+	c.metrics.WorkersRegistered.Add(1)
+	return &RegisterReply{
+		WorkerID:       info.ID,
+		LeaseTTLMS:     c.opts.LeaseTTL.Milliseconds(),
+		HeartbeatTTLMS: c.opts.HeartbeatTTL.Milliseconds(),
+	}, nil
+}
+
+// Heartbeat refreshes a worker's liveness.
+func (c *Coordinator) Heartbeat(_ context.Context, workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	w := c.workers[workerID]
+	if w == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
+	}
+	w.lastBeatNS = c.opts.Clock.Now()
+	return nil
+}
+
+// Deregister removes a worker gracefully; its leased cells are requeued
+// immediately.
+func (c *Coordinator) Deregister(_ context.Context, workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.workers[workerID]; !ok {
+		return nil // already gone — deregistration is idempotent
+	}
+	delete(c.workers, workerID)
+	c.metrics.WorkersLeft.Add(1)
+	c.expireWorkerLeasesLocked(workerID)
+	c.reapLocked()
+	return nil
+}
+
+// Lease hands the worker the highest-priority pending cell, or nil when
+// the queue is empty.
+func (c *Coordinator) Lease(_ context.Context, workerID string) (*Lease, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	w := c.workers[workerID]
+	if w == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
+	}
+	if c.queue.Len() == 0 {
+		return nil, nil
+	}
+	qc := heap.Pop(&c.queue).(queuedCell)
+	now := c.opts.Clock.Now()
+	c.nextLease++
+	l := &lease{
+		id:         c.nextLease,
+		workerID:   workerID,
+		camp:       qc.camp,
+		cell:       qc.cell,
+		deadlineNS: now + int64(c.opts.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	w.leases++
+	qc.camp.mu.Lock()
+	qc.camp.cellState[qc.cell] = CellLeased
+	qc.camp.cellBy[qc.cell] = workerID
+	spec := qc.camp.cells[qc.cell]
+	qc.camp.mu.Unlock()
+	c.metrics.LeasesGranted.Add(1)
+	return &Lease{
+		ID:         l.id,
+		CampaignID: qc.camp.id,
+		CellIndex:  qc.cell,
+		Spec:       spec,
+		DeadlineNS: l.deadlineNS,
+		TTLMS:      c.opts.LeaseTTL.Milliseconds(),
+	}, nil
+}
+
+// Complete records a cell's terminal outcome, idempotently: the first
+// terminal record for a cell wins and every later one — a duplicated
+// message, a slow worker racing its reassignment — is acknowledged and
+// discarded. Completions from expired leases are still recorded when they
+// are first (the cell result is deterministic and content-addressed, so
+// whichever copy arrives first is correct).
+func (c *Coordinator) Complete(_ context.Context, req CompleteRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+
+	if l := c.leases[req.LeaseID]; l != nil && l.camp.id == req.CampaignID && l.cell == req.CellIndex {
+		c.dropLeaseLocked(l)
+	} else {
+		c.metrics.LateCompletes.Add(1)
+	}
+
+	camp := c.campaignByIDLocked(req.CampaignID)
+	if camp == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownCampaign, req.CampaignID)
+	}
+	if req.CellIndex < 0 || req.CellIndex >= len(camp.cells) {
+		return fmt.Errorf("fabric: campaign %d has no cell %d", req.CampaignID, req.CellIndex)
+	}
+	if req.Result == nil && req.Error == "" {
+		return fmt.Errorf("fabric: complete needs a result or an error")
+	}
+	by := req.WorkerID
+	if by == "" {
+		by = "unknown"
+	}
+	if w := c.workers[req.WorkerID]; w != nil && req.Error == "" {
+		w.completed++
+	}
+	c.recordCellLocked(camp, req.CellIndex, by, req.Result, req.Error)
+	return nil
+}
+
+// FetchResult serves the peer cache tier: a result by content address.
+// A miss is (nil, nil) — the cache is an accelerator, never an error.
+func (c *Coordinator) FetchResult(_ context.Context, key string) (*campaign.Result, error) {
+	if c.opts.Cache == nil {
+		return nil, nil
+	}
+	res, ok := c.opts.Cache.Get(key)
+	if !ok {
+		return nil, nil
+	}
+	return res, nil
+}
+
+// Workers snapshots the registry, sorted by worker ID.
+func (c *Coordinator) Workers() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	now := c.opts.Clock.Now()
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]WorkerStatus, 0, len(ids))
+	for _, id := range ids {
+		w := c.workers[id]
+		out = append(out, WorkerStatus{
+			ID:           id,
+			Addr:         w.info.Addr,
+			Concurrency:  w.info.Concurrency,
+			ActiveLeases: w.leases,
+			Completed:    w.completed,
+			SilentForMS:  (now - w.lastBeatNS) / 1e6,
+		})
+	}
+	return out
+}
+
+// Campaign returns the campaign with the given ID, or nil.
+func (c *Coordinator) Campaign(id int) *Campaign {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.campaignByIDLocked(id)
+}
+
+// Campaigns snapshots every campaign in submission order.
+func (c *Coordinator) Campaigns() []*Campaign {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Campaign, len(c.campaigns))
+	copy(out, c.campaigns)
+	return out
+}
+
+// SubmitFault shards a fault-injection campaign into its workload ×
+// variant × site cells and schedules them; the completed campaign's
+// Report() is byte-identical to a sequential faultinject.Run(cfg).
+func (c *Coordinator) SubmitFault(cfg faultinject.Config, priority int) (*Campaign, error) {
+	norm := cfg.Normalized()
+	var cells []campaign.Spec
+	for _, cell := range norm.Cells() {
+		cells = append(cells, campaign.FaultSpec(cell))
+	}
+	return c.submit(cells, campaign.ModeFault, &norm, priority)
+}
+
+// Submit schedules an arbitrary list of cell specs (e.g. one bench spec
+// per workload) as one campaign. Results() returns per-cell results in
+// submission order.
+func (c *Coordinator) Submit(cells []campaign.Spec, priority int) (*Campaign, error) {
+	mode := campaign.ModeBench
+	if len(cells) > 0 {
+		mode = cells[0].Mode
+	}
+	return c.submit(cells, mode, nil, priority)
+}
+
+func (c *Coordinator) submit(cells []campaign.Spec, mode campaign.Mode, faultCfg *faultinject.Config, priority int) (*Campaign, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("fabric: empty campaign")
+	}
+	// Keys validate the specs and drive both admission-time cache hits and
+	// completion-time stores. Compute them before taking the lock.
+	keys := make([]string, len(cells))
+	for i := range cells {
+		k, err := cells[i].Key()
+		if err != nil {
+			return nil, fmt.Errorf("fabric: cell %d: %w", i, err)
+		}
+		keys[i] = k
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+
+	// Admission: consult the result store first — cached cells never
+	// occupy queue capacity.
+	hits := make([]*campaign.Result, len(cells))
+	misses := 0
+	for i, k := range keys {
+		if c.opts.Cache != nil {
+			if res, ok := c.opts.Cache.Get(k); ok {
+				hits[i] = res
+				continue
+			}
+		}
+		misses++
+	}
+	if c.queue.Len()+misses > c.opts.MaxQueue {
+		c.metrics.CampaignsRejected.Add(1)
+		return nil, fmt.Errorf("%w: %d pending + %d new > %d", ErrQueueFull, c.queue.Len(), misses, c.opts.MaxQueue)
+	}
+
+	camp := &Campaign{
+		id:        len(c.campaigns) + 1,
+		mode:      mode,
+		faultCfg:  faultCfg,
+		priority:  priority,
+		done:      make(chan struct{}),
+		state:     CampaignRunning,
+		cells:     cells,
+		keys:      keys,
+		cellState: make([]CellState, len(cells)),
+		cellBy:    make([]string, len(cells)),
+		cellErr:   make([]string, len(cells)),
+		results:   make([]*campaign.Result, len(cells)),
+		remaining: len(cells),
+	}
+	for i := range camp.cellState {
+		camp.cellState[i] = CellQueued
+	}
+	c.campaigns = append(c.campaigns, camp)
+	c.metrics.CampaignsSubmitted.Add(1)
+
+	for i := range cells {
+		if hits[i] != nil {
+			c.metrics.CellsFromCache.Add(1)
+			c.recordCellLocked(camp, i, "cache", hits[i], "")
+			continue
+		}
+		heap.Push(&c.queue, queuedCell{camp: camp, cell: i})
+		c.metrics.CellsQueued.Add(1)
+	}
+	c.drainLocalLocked()
+	return camp, nil
+}
+
+// campaignByIDLocked resolves an ID (IDs are 1-based slice positions).
+func (c *Coordinator) campaignByIDLocked(id int) *Campaign {
+	if id < 1 || id > len(c.campaigns) {
+		return nil
+	}
+	return c.campaigns[id-1]
+}
+
+// reapLocked expires silent workers and overdue leases, requeues their
+// cells, and falls back to local execution when no workers remain. It is
+// called at every entry point, so the fabric makes progress on whatever
+// traffic arrives — plus the periodic Tick for quiet periods.
+func (c *Coordinator) reapLocked() {
+	now := c.opts.Clock.Now()
+
+	var deadWorkers []string
+	for id, w := range c.workers {
+		if now-w.lastBeatNS > int64(c.opts.HeartbeatTTL) {
+			deadWorkers = append(deadWorkers, id)
+		}
+	}
+	sort.Strings(deadWorkers)
+	for _, id := range deadWorkers {
+		delete(c.workers, id)
+		c.metrics.WorkersExpired.Add(1)
+		c.expireWorkerLeasesLocked(id)
+	}
+
+	var overdue []int64
+	for id, l := range c.leases {
+		if l.deadlineNS <= now {
+			overdue = append(overdue, id)
+		}
+	}
+	sort.Slice(overdue, func(i, j int) bool { return overdue[i] < overdue[j] })
+	for _, id := range overdue {
+		c.expireLeaseLocked(c.leases[id])
+	}
+
+	c.drainLocalLocked()
+}
+
+// expireWorkerLeasesLocked requeues every cell a (dead) worker held.
+func (c *Coordinator) expireWorkerLeasesLocked(workerID string) {
+	var held []int64
+	for id, l := range c.leases {
+		if l.workerID == workerID {
+			held = append(held, id)
+		}
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+	for _, id := range held {
+		c.expireLeaseLocked(c.leases[id])
+	}
+}
+
+// expireLeaseLocked drops a lease and requeues its cell if still leased.
+func (c *Coordinator) expireLeaseLocked(l *lease) {
+	c.dropLeaseLocked(l)
+	c.metrics.LeasesExpired.Add(1)
+	l.camp.mu.Lock()
+	requeue := l.camp.cellState[l.cell] == CellLeased
+	if requeue {
+		l.camp.cellState[l.cell] = CellQueued
+		l.camp.cellBy[l.cell] = ""
+	}
+	l.camp.mu.Unlock()
+	if requeue {
+		heap.Push(&c.queue, queuedCell{camp: l.camp, cell: l.cell})
+	}
+}
+
+// dropLeaseLocked removes a lease from the books.
+func (c *Coordinator) dropLeaseLocked(l *lease) {
+	if _, ok := c.leases[l.id]; !ok {
+		return
+	}
+	delete(c.leases, l.id)
+	if w := c.workers[l.workerID]; w != nil && w.leases > 0 {
+		w.leases--
+	}
+}
+
+// recordCellLocked applies the first terminal record for a cell and
+// finalizes the campaign when every cell is terminal. Callers hold c.mu.
+func (c *Coordinator) recordCellLocked(camp *Campaign, idx int, by string, res *campaign.Result, errMsg string) {
+	camp.mu.Lock()
+	if camp.cellState[idx] == CellDone || camp.cellState[idx] == CellFailed {
+		camp.mu.Unlock()
+		c.metrics.DupCompletions.Add(1)
+		return
+	}
+	if errMsg != "" {
+		camp.cellState[idx] = CellFailed
+		camp.cellErr[idx] = errMsg
+		camp.failed++
+	} else {
+		camp.cellState[idx] = CellDone
+		camp.results[idx] = res
+	}
+	camp.cellBy[idx] = by
+	if by == "local" {
+		camp.local = true
+	}
+	camp.remaining--
+	finalize := camp.remaining == 0
+	camp.mu.Unlock()
+	c.metrics.Completions.Add(1)
+
+	if res != nil && c.opts.Cache != nil && by != "cache" {
+		// Store failures only degrade future lookups; the completion
+		// stands either way.
+		_ = c.opts.Cache.Put(camp.keys[idx], camp.cells[idx], res)
+	}
+	if finalize {
+		c.finalizeLocked(camp)
+	}
+}
+
+// finalizeLocked merges and closes a campaign whose cells are all
+// terminal.
+func (c *Coordinator) finalizeLocked(camp *Campaign) {
+	camp.mu.Lock()
+	defer camp.mu.Unlock()
+	if camp.failed > 0 {
+		camp.state = CampaignFailed
+		c.metrics.CampaignsFailed.Add(1)
+	} else {
+		camp.state = CampaignDone
+		c.metrics.CampaignsDone.Add(1)
+		if camp.mode == campaign.ModeFault && camp.faultCfg != nil {
+			cells := make([]*faultinject.Report, 0, len(camp.results))
+			ok := true
+			for _, r := range camp.results {
+				if r == nil || r.Fault == nil {
+					ok = false
+					break
+				}
+				cells = append(cells, r.Fault)
+			}
+			if ok {
+				camp.report = faultinject.Merge(*camp.faultCfg, cells)
+			}
+		}
+	}
+	close(camp.done)
+}
+
+// drainLocalLocked moves every queued cell onto the coordinator's local
+// pool when zero workers are registered — the fabric keeps serving as a
+// single-process chexd rather than stalling. Each drained cell completes
+// through the same idempotent path as a remote one.
+func (c *Coordinator) drainLocalLocked() {
+	if c.opts.Local == nil || len(c.workers) > 0 {
+		return
+	}
+	for c.queue.Len() > 0 {
+		qc := heap.Pop(&c.queue).(queuedCell)
+		qc.camp.mu.Lock()
+		qc.camp.cellState[qc.cell] = CellLeased
+		qc.camp.cellBy[qc.cell] = "local"
+		spec := qc.camp.cells[qc.cell]
+		qc.camp.mu.Unlock()
+		c.metrics.CellsLocal.Add(1)
+
+		job, err := c.opts.Local.Submit(spec)
+		if err != nil {
+			c.recordCellLocked(qc.camp, qc.cell, "local", nil, err.Error())
+			continue
+		}
+		go c.completeLocal(qc.camp, qc.cell, job)
+	}
+}
+
+// completeLocal waits for a locally executed cell and records it.
+func (c *Coordinator) completeLocal(camp *Campaign, idx int, job *campaign.Job) {
+	res, err := job.Wait(context.Background())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.recordCellLocked(camp, idx, "local", nil, err.Error())
+		return
+	}
+	c.recordCellLocked(camp, idx, "local", res, "")
+}

@@ -1,0 +1,421 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chex86/internal/campaign"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// benchCells returns n cheap-but-real bench specs with distinct keys.
+func benchCells(t *testing.T, n int) []campaign.Spec {
+	t.Helper()
+	names := workload.Names()
+	if n > len(names) {
+		t.Fatalf("want %d cells but the catalog has %d workloads", n, len(names))
+	}
+	var cells []campaign.Spec
+	for _, name := range names[:n] {
+		cells = append(cells, campaign.BenchSpec(name, pipeline.DefaultConfig(), 0.1, 1000, 0))
+	}
+	return cells
+}
+
+// fakeExec is a pool executor that returns a synthetic result without
+// simulating, so scheduling tests stay fast.
+func fakeExec(_ context.Context, spec *campaign.Spec) (*campaign.Result, error) {
+	return fakeCellResult(spec), nil
+}
+
+func fakeCellResult(spec *campaign.Spec) *campaign.Result {
+	return &campaign.Result{
+		Schema:   campaign.ResultSchema,
+		Mode:     spec.Mode,
+		Workload: spec.Workload,
+		Bench:    &campaign.BenchResult{Cycles: 42, Insts: 7},
+	}
+}
+
+func TestWorkerLifecycle(t *testing.T) {
+	ctx := context.Background()
+	clock := NewLogicalClock(0)
+	c := NewCoordinator(CoordinatorOptions{Clock: clock, HeartbeatTTL: 10 * time.Second})
+
+	if _, err := c.Register(ctx, WorkerInfo{ID: "w1", Concurrency: 2}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Register(ctx, WorkerInfo{ID: "w1", Concurrency: 2}) // refresh is allowed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.HeartbeatTTLMS != 10_000 {
+		t.Fatalf("heartbeat TTL = %dms, want 10000", reply.HeartbeatTTLMS)
+	}
+	if ws := c.Workers(); len(ws) != 1 || ws[0].ID != "w1" {
+		t.Fatalf("workers = %+v, want [w1]", ws)
+	}
+
+	// Heartbeats inside the TTL keep the worker alive.
+	clock.Advance(8 * time.Second)
+	if err := c.Heartbeat(ctx, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(8 * time.Second)
+	c.Tick()
+	if ws := c.Workers(); len(ws) != 1 {
+		t.Fatalf("worker reaped despite fresh heartbeat: %+v", ws)
+	}
+
+	// Silence past the TTL deregisters.
+	clock.Advance(11 * time.Second)
+	c.Tick()
+	if ws := c.Workers(); len(ws) != 0 {
+		t.Fatalf("silent worker survived the TTL: %+v", ws)
+	}
+	if err := c.Heartbeat(ctx, "w1"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("heartbeat after expiry = %v, want ErrUnknownWorker", err)
+	}
+	if got := c.Metrics().WorkersExpired.Load(); got != 1 {
+		t.Fatalf("WorkersExpired = %d, want 1", got)
+	}
+
+	// Deregistration is idempotent — even for a worker already reaped.
+	if err := c.Deregister(ctx, "w1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseExpiryReassigns(t *testing.T) {
+	ctx := context.Background()
+	clock := NewLogicalClock(0)
+	c := NewCoordinator(CoordinatorOptions{
+		Clock:        clock,
+		LeaseTTL:     10 * time.Second,
+		HeartbeatTTL: time.Hour,
+	})
+	for _, id := range []string{"w1", "w2"} {
+		if _, err := c.Register(ctx, WorkerInfo{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells := benchCells(t, 1)
+	camp, err := c.Submit(cells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l1, err := c.Lease(ctx, "w1")
+	if err != nil || l1 == nil {
+		t.Fatalf("lease = %v, %v, want a cell", l1, err)
+	}
+	if l2, _ := c.Lease(ctx, "w2"); l2 != nil {
+		t.Fatalf("second lease got the only cell: %+v", l2)
+	}
+
+	// The lease expires: the cell returns to the queue for w2.
+	clock.Advance(11 * time.Second)
+	c.Tick()
+	if got := c.Metrics().LeasesExpired.Load(); got != 1 {
+		t.Fatalf("LeasesExpired = %d, want 1", got)
+	}
+	l2, err := c.Lease(ctx, "w2")
+	if err != nil || l2 == nil {
+		t.Fatalf("reassigned lease = %v, %v, want the requeued cell", l2, err)
+	}
+	if l2.CellIndex != l1.CellIndex || l2.CampaignID != l1.CampaignID {
+		t.Fatalf("reassigned lease is a different cell: %+v vs %+v", l2, l1)
+	}
+
+	// w2 completes first; the original worker's late completion must be
+	// acknowledged and discarded, not double-counted.
+	res := fakeCellResult(&cells[0])
+	if err := c.Complete(ctx, CompleteRequest{WorkerID: "w2", LeaseID: l2.ID, CampaignID: l2.CampaignID, CellIndex: l2.CellIndex, Result: res}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(ctx, CompleteRequest{WorkerID: "w1", LeaseID: l1.ID, CampaignID: l1.CampaignID, CellIndex: l1.CellIndex, Result: res}); err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := camp.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics().Snapshot()
+	if m.Completions != 1 || m.DupCompletions != 1 {
+		t.Fatalf("completions=%d dup=%d, want 1/1", m.Completions, m.DupCompletions)
+	}
+	st := camp.Status(true)
+	if st.State != CampaignDone || st.Done != 1 {
+		t.Fatalf("campaign status = %+v, want done", st)
+	}
+	if st.Detail[0].By != "w2" {
+		t.Fatalf("cell credited to %q, want the first completer w2", st.Detail[0].By)
+	}
+}
+
+func TestDuplicateCompletionIsIdempotent(t *testing.T) {
+	ctx := context.Background()
+	c := NewCoordinator(CoordinatorOptions{Clock: NewLogicalClock(0)})
+	if _, err := c.Register(ctx, WorkerInfo{ID: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	cells := benchCells(t, 1)
+	camp, err := c.Submit(cells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.Lease(ctx, "w1")
+	if err != nil || l == nil {
+		t.Fatal("no lease")
+	}
+	req := CompleteRequest{WorkerID: "w1", LeaseID: l.ID, CampaignID: l.CampaignID, CellIndex: l.CellIndex, Result: fakeCellResult(&cells[0])}
+	for i := 0; i < 3; i++ { // original + two duplicated deliveries
+		if err := c.Complete(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := c.Metrics().Snapshot()
+	if m.Completions != 1 || m.DupCompletions != 2 {
+		t.Fatalf("completions=%d dup=%d, want 1/2", m.Completions, m.DupCompletions)
+	}
+	if st := camp.Status(false); st.State != CampaignDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(CoordinatorOptions{Clock: NewLogicalClock(0), MaxQueue: 2, Cache: cache})
+
+	cells := benchCells(t, 3)
+	if _, err := c.Submit(cells, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("3 cells into a 2-slot queue = %v, want ErrQueueFull", err)
+	}
+	if got := c.Metrics().CampaignsRejected.Load(); got != 1 {
+		t.Fatalf("CampaignsRejected = %d, want 1", got)
+	}
+
+	// Cached cells never occupy queue capacity: with two of three cells
+	// already in the result store, the same campaign is admitted.
+	for i := 0; i < 2; i++ {
+		key, err := cells[i].Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cache.Put(key, cells[i], fakeCellResult(&cells[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	camp, err := c.Submit(cells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics().Snapshot()
+	if m.CellsFromCache != 2 || m.CellsQueued != 1 {
+		t.Fatalf("fromCache=%d queued=%d, want 2/1", m.CellsFromCache, m.CellsQueued)
+	}
+	st := camp.Status(true)
+	if st.Done != 2 || st.Queued != 1 {
+		t.Fatalf("status = %+v, want 2 done (cache) + 1 queued", st)
+	}
+	for _, cell := range st.Detail[:2] {
+		if cell.By != "cache" {
+			t.Fatalf("cell %d credited to %q, want cache", cell.Index, cell.By)
+		}
+	}
+}
+
+func TestLocalFallbackWithZeroWorkers(t *testing.T) {
+	pool := campaign.NewPool(campaign.Options{Workers: 2, Exec: fakeExec})
+	defer pool.Close()
+	c := NewCoordinator(CoordinatorOptions{Clock: NewLogicalClock(0), Local: pool})
+
+	camp, err := c.Submit(benchCells(t, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := camp.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := camp.Status(false)
+	if st.State != CampaignDone || !st.Local {
+		t.Fatalf("status = %+v, want done via local degradation", st)
+	}
+	if got := c.Metrics().CellsLocal.Load(); got != 3 {
+		t.Fatalf("CellsLocal = %d, want 3", got)
+	}
+	for i, r := range camp.Results() {
+		if r == nil {
+			t.Fatalf("cell %d has no result", i)
+		}
+	}
+}
+
+func TestDegradesToLocalWhenWorkersLeave(t *testing.T) {
+	ctx := context.Background()
+	pool := campaign.NewPool(campaign.Options{Workers: 2, Exec: fakeExec})
+	defer pool.Close()
+	clock := NewLogicalClock(0)
+	c := NewCoordinator(CoordinatorOptions{Clock: clock, Local: pool, HeartbeatTTL: time.Hour})
+
+	if _, err := c.Register(ctx, WorkerInfo{ID: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	camp, err := c.Submit(benchCells(t, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a live worker the queue waits for leases — nothing runs locally.
+	if got := c.Metrics().CellsLocal.Load(); got != 0 {
+		t.Fatalf("CellsLocal = %d before any worker left, want 0", got)
+	}
+	if l, err := c.Lease(ctx, "w1"); err != nil || l == nil {
+		t.Fatalf("lease = %v, %v", l, err)
+	}
+
+	// The only worker leaves mid-campaign: its leased cell is requeued and
+	// the whole queue drains onto the coordinator's local pool.
+	if err := c.Deregister(ctx, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := camp.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	st := camp.Status(false)
+	if st.State != CampaignDone || !st.Local {
+		t.Fatalf("status = %+v, want done via local degradation", st)
+	}
+	if got := c.Metrics().CellsLocal.Load(); got != 3 {
+		t.Fatalf("CellsLocal = %d, want all 3", got)
+	}
+	if got := c.Metrics().LeasesExpired.Load(); got != 1 {
+		t.Fatalf("LeasesExpired = %d, want the departed worker's lease", got)
+	}
+}
+
+func TestPriorityAndDeterministicOrder(t *testing.T) {
+	ctx := context.Background()
+	c := NewCoordinator(CoordinatorOptions{Clock: NewLogicalClock(0)})
+	if _, err := c.Register(ctx, WorkerInfo{ID: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	low, err := c.Submit(benchCells(t, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := c.Submit(benchCells(t, 2)[:1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Highest priority first; within a priority, campaign ID then cell
+	// index ascending — a total order, so the schedule is reproducible.
+	want := []struct{ camp, cell int }{
+		{high.ID(), 0},
+		{low.ID(), 0},
+		{low.ID(), 1},
+	}
+	for i, w := range want {
+		l, err := c.Lease(ctx, "w1")
+		if err != nil || l == nil {
+			t.Fatalf("lease %d: %v, %v", i, l, err)
+		}
+		if l.CampaignID != w.camp || l.CellIndex != w.cell {
+			t.Fatalf("lease %d = campaign %d cell %d, want %d/%d", i, l.CampaignID, l.CellIndex, w.camp, w.cell)
+		}
+	}
+}
+
+func TestCompleteValidation(t *testing.T) {
+	ctx := context.Background()
+	c := NewCoordinator(CoordinatorOptions{Clock: NewLogicalClock(0)})
+	if err := c.Complete(ctx, CompleteRequest{CampaignID: 7, CellIndex: 0, Error: "x"}); !errors.Is(err, ErrUnknownCampaign) {
+		t.Fatalf("complete for unknown campaign = %v, want ErrUnknownCampaign", err)
+	}
+	camp, err := c.Submit(benchCells(t, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(ctx, CompleteRequest{CampaignID: camp.ID(), CellIndex: 9}); err == nil {
+		t.Fatal("out-of-range cell index accepted")
+	}
+	if err := c.Complete(ctx, CompleteRequest{CampaignID: camp.ID(), CellIndex: 0}); err == nil {
+		t.Fatal("completion with neither result nor error accepted")
+	}
+}
+
+func TestFailedCellFailsCampaign(t *testing.T) {
+	ctx := context.Background()
+	c := NewCoordinator(CoordinatorOptions{Clock: NewLogicalClock(0)})
+	if _, err := c.Register(ctx, WorkerInfo{ID: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	camp, err := c.Submit(benchCells(t, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.Lease(ctx, "w1")
+	if err != nil || l == nil {
+		t.Fatal("no lease")
+	}
+	if err := c.Complete(ctx, CompleteRequest{WorkerID: "w1", LeaseID: l.ID, CampaignID: l.CampaignID, CellIndex: l.CellIndex, Error: "simulator exploded"}); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := camp.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	st := camp.Status(true)
+	if st.State != CampaignFailed || st.Failed != 1 {
+		t.Fatalf("status = %+v, want failed", st)
+	}
+	if st.Detail[0].Error != "simulator exploded" {
+		t.Fatalf("cell error = %q", st.Detail[0].Error)
+	}
+	if got := c.Metrics().CampaignsFailed.Load(); got != 1 {
+		t.Fatalf("CampaignsFailed = %d, want 1", got)
+	}
+}
+
+func TestLogicalClockAfter(t *testing.T) {
+	clock := NewLogicalClock(100)
+	ch := clock.After(10 * time.Nanosecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	clock.Advance(9 * time.Nanosecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	clock.Advance(1 * time.Nanosecond)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if clock.Now() != 110 {
+		t.Fatalf("Now = %d, want 110", clock.Now())
+	}
+	// d <= 0 fires immediately.
+	select {
+	case <-clock.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}

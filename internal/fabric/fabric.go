@@ -1,0 +1,181 @@
+// Package fabric is the distributed campaign fabric: a coordinator/worker
+// split over the internal/campaign Spec model that shards any submission
+// into independent cells (generalizing faultinject.Cells-style sharding),
+// hands each cell to a registered worker under a time-bounded lease, and
+// merges the per-cell results back into the report a single-node
+// sequential run would have produced — byte for byte.
+//
+// The fabric is built for partial failure. Workers register and heartbeat
+// on an injected Clock; a worker that misses its heartbeat TTL is
+// deregistered and its leased cells are reassigned. A lease that expires —
+// worker crash, network partition, or just a slow run — returns its cell
+// to the queue, and completion is idempotent: the first terminal record
+// for a cell wins, so a slow worker racing its own reassignment can never
+// double-count a cell (and, because cell results are deterministic and
+// content-addressed, whichever copy lands first is the correct one).
+//
+// Degradation ladder (each rung fails toward a slower but correct mode):
+//
+//  1. full fabric — cells distributed across live workers, results served
+//     from the two-tier cache (local disk, then peer fetch by SHA-256
+//     content address);
+//  2. peer cache unreachable, timed out, or corrupt — fall back to the
+//     local tier, then to recomputation;
+//  3. worker death mid-cell — lease expiry reassigns the cell to a
+//     surviving worker;
+//  4. zero registered workers — the coordinator executes cells on its own
+//     local pool (single-process mode, exactly PR 3's path);
+//  5. queue full — admission control rejects new campaigns with
+//     ErrQueueFull, which the HTTP layer surfaces as 429 + Retry-After.
+//
+// Determinism contract: the package never reads the wall clock (Clock is
+// injected; tests drive a LogicalClock), never uses the global math/rand
+// stream (the chaos harness derives xorshift streams from
+// faultinject.DeriveSeed), and never iterates a map into an output. The
+// chexvet determinism gate holds with zero waivers.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"chex86/internal/campaign"
+)
+
+// Sentinel errors, preserved across the HTTP transport by error codes.
+var (
+	// ErrUnknownWorker: the coordinator has no live registration for the
+	// worker (expired heartbeat, coordinator restart). Workers recover by
+	// re-registering.
+	ErrUnknownWorker = errors.New("fabric: unknown worker")
+	// ErrQueueFull: admission control rejected the submission because the
+	// pending-cell queue is at capacity. Retry after backoff.
+	ErrQueueFull = errors.New("fabric: queue full")
+	// ErrUnknownCampaign: no campaign with that ID.
+	ErrUnknownCampaign = errors.New("fabric: unknown campaign")
+)
+
+// Clock abstracts monotonic time so every scheduling decision — lease
+// deadlines, heartbeat expiry, poll sleeps, peer-fetch timeouts — is
+// testable with logical time. Production wires a wall clock in the CLIs
+// (cmd/chexd, cmd/chexworker); internal/fabric itself never reads the
+// wall clock.
+type Clock interface {
+	// Now is the current time in nanoseconds on an arbitrary epoch.
+	Now() int64
+	// After fires once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// LogicalClock is a manually advanced Clock for tests and deterministic
+// harnesses: Now returns the logical time, and After-channels fire when
+// Advance moves past their deadline.
+type LogicalClock struct {
+	mu     sync.Mutex
+	now    int64
+	timers []logicalTimer
+}
+
+type logicalTimer struct {
+	at int64
+	ch chan time.Time
+}
+
+// NewLogicalClock starts a logical clock at start nanoseconds.
+func NewLogicalClock(start int64) *LogicalClock {
+	return &LogicalClock{now: start}
+}
+
+// Now returns the logical time.
+func (c *LogicalClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the logical clock has advanced
+// by at least d (immediately for d <= 0).
+func (c *LogicalClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- time.Time{}
+		return ch
+	}
+	c.timers = append(c.timers, logicalTimer{at: c.now + int64(d), ch: ch})
+	return ch
+}
+
+// Advance moves logical time forward and fires every timer whose deadline
+// has passed.
+func (c *LogicalClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += int64(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if t.at <= c.now {
+			t.ch <- time.Time{}
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}
+
+// WorkerInfo identifies a worker at registration.
+type WorkerInfo struct {
+	ID          string `json:"id"`
+	Addr        string `json:"addr,omitempty"` // informational (logs, status)
+	Concurrency int    `json:"concurrency,omitempty"`
+}
+
+// RegisterReply tells the worker the coordinator's failure-model
+// parameters so both sides agree on lease and heartbeat budgets.
+type RegisterReply struct {
+	WorkerID       string `json:"workerId"`
+	LeaseTTLMS     int64  `json:"leaseTTLMS"`
+	HeartbeatTTLMS int64  `json:"heartbeatTTLMS"`
+}
+
+// Lease grants one cell to one worker until DeadlineNS (coordinator
+// clock). A worker that cannot Complete before the deadline must assume
+// the cell has been reassigned; completing anyway is safe (idempotent).
+type Lease struct {
+	ID         int64         `json:"id"`
+	CampaignID int           `json:"campaignId"`
+	CellIndex  int           `json:"cellIndex"`
+	Spec       campaign.Spec `json:"spec"`
+	DeadlineNS int64         `json:"deadlineNS"`
+	TTLMS      int64         `json:"ttlMS"`
+}
+
+// CompleteRequest reports a cell's terminal outcome. Exactly one of
+// Result and Error is set.
+type CompleteRequest struct {
+	WorkerID   string           `json:"workerId"`
+	LeaseID    int64            `json:"leaseId"`
+	CampaignID int              `json:"campaignId"`
+	CellIndex  int              `json:"cellIndex"`
+	Result     *campaign.Result `json:"result,omitempty"`
+	Error      string           `json:"error,omitempty"`
+}
+
+// Transport is the worker's view of the coordinator. The Coordinator
+// itself implements it (in-process fabric, tests); Client implements it
+// over HTTP; ChaosTransport wraps any Transport with injected faults.
+type Transport interface {
+	Register(ctx context.Context, info WorkerInfo) (*RegisterReply, error)
+	Heartbeat(ctx context.Context, workerID string) error
+	Deregister(ctx context.Context, workerID string) error
+	// Lease returns the next cell for this worker, or nil when the queue
+	// is empty.
+	Lease(ctx context.Context, workerID string) (*Lease, error)
+	Complete(ctx context.Context, req CompleteRequest) error
+	// FetchResult is the peer tier of the result cache: a lookup by
+	// content address in the coordinator's store. A miss is (nil, nil).
+	FetchResult(ctx context.Context, key string) (*campaign.Result, error)
+}

@@ -1,0 +1,182 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"chex86/internal/campaign"
+)
+
+// newHTTPFabric serves a coordinator over a real HTTP listener and
+// returns a Client transport pointed at it.
+func newHTTPFabric(t *testing.T, opts CoordinatorOptions) (*Coordinator, *Client) {
+	t.Helper()
+	if opts.Clock == nil {
+		opts.Clock = NewLogicalClock(0)
+	}
+	c := NewCoordinator(opts)
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, NewClient(srv.URL+"/", srv.Client()) // trailing slash must be tolerated
+}
+
+// TestHTTPTransportRoundTrip drives the full worker wire protocol over
+// HTTP: register, heartbeat, lease, complete, peer cache fetch — with
+// sentinel errors surviving the wire.
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, client := newHTTPFabric(t, CoordinatorOptions{Cache: cache})
+	ctx := context.Background()
+
+	// Sentinels must survive the HTTP hop.
+	if err := client.Heartbeat(ctx, "ghost"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("heartbeat for unregistered worker = %v, want ErrUnknownWorker", err)
+	}
+
+	reply, err := client.Register(ctx, WorkerInfo{ID: "w1", Addr: "here", Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.WorkerID != "w1" || reply.LeaseTTLMS <= 0 {
+		t.Fatalf("register reply = %+v", reply)
+	}
+	if err := client.Heartbeat(ctx, "w1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty queue leases nil, not an error.
+	if l, err := client.Lease(ctx, "w1"); err != nil || l != nil {
+		t.Fatalf("lease on empty queue = %+v, %v, want nil, nil", l, err)
+	}
+
+	cells := benchCells(t, 1)
+	camp, err := c.Submit(cells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := client.Lease(ctx, "w1")
+	if err != nil || l == nil {
+		t.Fatalf("lease = %+v, %v, want the queued cell", l, err)
+	}
+	if l.Spec.Workload != cells[0].Workload {
+		t.Fatalf("leased spec = %+v, want %q", l.Spec, cells[0].Workload)
+	}
+
+	// Peer cache miss is (nil, nil); after completion the result is
+	// fetchable by content address.
+	key, err := cells[0].Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := client.FetchResult(ctx, key); err != nil || res != nil {
+		t.Fatalf("fetch before completion = %+v, %v, want nil, nil", res, err)
+	}
+	if err := client.Complete(ctx, CompleteRequest{
+		WorkerID: "w1", LeaseID: l.ID, CampaignID: l.CampaignID, CellIndex: l.CellIndex,
+		Result: fakeCellResult(&cells[0]),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := camp.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.FetchResult(ctx, key)
+	if err != nil || res == nil {
+		t.Fatalf("fetch after completion = %+v, %v, want the stored result", res, err)
+	}
+	if res.Schema != campaign.ResultSchema {
+		t.Fatalf("fetched schema = %q", res.Schema)
+	}
+
+	if err := client.Deregister(ctx, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if ws := c.Workers(); len(ws) != 0 {
+		t.Fatalf("workers after deregister = %+v", ws)
+	}
+}
+
+// TestHTTPWorkerEndToEnd runs a real Worker against a coordinator over
+// HTTP: the worker registers, leases, executes on its pool, completes.
+func TestHTTPWorkerEndToEnd(t *testing.T) {
+	c, client := newHTTPFabric(t, CoordinatorOptions{})
+	ctx := context.Background()
+
+	pool := campaign.NewPool(campaign.Options{Workers: 1, Exec: fakeExec})
+	defer pool.Close()
+	w, err := NewWorker(WorkerOptions{ID: "w1", Transport: client, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	camp, err := c.Submit(benchCells(t, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		worked, err := w.PollOnce(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !worked {
+			break
+		}
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := camp.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := camp.Status(false); st.State != CampaignDone {
+		t.Fatalf("campaign = %+v, want done", st)
+	}
+}
+
+// TestWorkerReRegistersWhenForgotten: a coordinator that lost the worker
+// (restart, heartbeat expiry) answers ErrUnknownWorker; the worker must
+// recover by re-registering inside the same poll.
+func TestWorkerReRegistersWhenForgotten(t *testing.T) {
+	ctx := context.Background()
+	clock := NewLogicalClock(0)
+	c := NewCoordinator(CoordinatorOptions{Clock: clock, HeartbeatTTL: 10 * time.Second})
+	pool := campaign.NewPool(campaign.Options{Workers: 1, Exec: fakeExec})
+	defer pool.Close()
+	w, err := NewWorker(WorkerOptions{ID: "w1", Transport: c, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator forgets the worker while a cell is waiting.
+	clock.Advance(11 * time.Second)
+	c.Tick()
+	camp, err := c.Submit(benchCells(t, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worked, err := w.PollOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worked {
+		t.Fatal("poll after expiry did not recover via re-registration")
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := camp.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+}

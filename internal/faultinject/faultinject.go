@@ -56,6 +56,25 @@ func AllSites() []Site {
 	return []Site{SiteCapTable, SiteCapCache, SiteAliasCache, SitePredictor, SiteDIFT, SiteCtxSwitch}
 }
 
+// The fabric fault families: injection sites of the distributed campaign
+// fabric (internal/fabric) rather than the simulated microarchitecture.
+// They are targeted by the fabric chaos harness, which injects them
+// through a wrapped Transport instead of through Run — so they are
+// deliberately NOT part of AllSites (campaign cell enumeration and cache
+// keys must not change).
+const (
+	SiteWorkerKill  Site = "worker-kill"  // worker dies mid-cell (lease must expire and reassign)
+	SiteMsgDrop     Site = "msg-drop"     // coordinator RPC lost in transit
+	SiteMsgDelay    Site = "msg-delay"    // coordinator RPC delayed past its usefulness
+	SiteMsgDup      Site = "msg-dup"      // coordinator RPC delivered twice (idempotency probe)
+	SitePeerCorrupt Site = "peer-corrupt" // peer cache response corrupted (validation must reject)
+)
+
+// FabricSites returns every fabric-chaos site in report order.
+func FabricSites() []Site {
+	return []Site{SiteWorkerKill, SiteMsgDrop, SiteMsgDelay, SiteMsgDup, SitePeerCorrupt}
+}
+
 // Class is the fail-closed outcome classification of one campaign run.
 type Class string
 
@@ -269,15 +288,23 @@ func (r *Report) JSON() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// deriveSeed mixes the campaign seed with the run coordinates so every run
-// gets an independent but reproducible RNG stream.
-func deriveSeed(seed uint64, parts ...string) uint64 {
+// DeriveSeed mixes a campaign seed with run coordinates so every run gets
+// an independent but reproducible RNG stream. Exported for the fabric
+// chaos harness (internal/fabric), which derives its per-worker fault
+// streams the same way this package derives per-cell streams.
+func DeriveSeed(seed uint64, parts ...string) uint64 {
 	h := fnv.New64a()
 	for _, p := range parts {
 		h.Write([]byte(p))
 		h.Write([]byte{0})
 	}
 	return seed ^ h.Sum64()
+}
+
+// deriveSeed is the internal spelling, kept for the call sites predating
+// the export.
+func deriveSeed(seed uint64, parts ...string) uint64 {
+	return DeriveSeed(seed, parts...)
 }
 
 // Run executes the campaign and returns its report. Configuration errors
