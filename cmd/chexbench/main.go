@@ -68,6 +68,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	kinst := flag.Bool("kinst", false, "measure host throughput: Kinst/s and allocs/instruction per workload")
 	kinstVariants := flag.String("kinst-variants", "baseline,always-on,prediction", "comma-separated protection variants for -kinst")
+	ctxK := flag.Int("ctxk", 0, "call-string depth for -elide proofs (0 = default k=2, -1 = context-insensitive)")
 	flag.Parse()
 
 	if *cpuprofile != "" || *memprofile != "" {
@@ -132,7 +133,8 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles, Timeout: *timeout}
+	o := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles,
+		Timeout: *timeout, ContextK: *ctxK}
 	if *benches != "" {
 		o.Benches = strings.Split(*benches, ",")
 	}

@@ -46,6 +46,8 @@ func main() {
 	crosscheck := flag.Bool("crosscheck", false, "replay workloads dynamically and diff tracker tags against static verdicts")
 	elideMode := flag.Bool("elide", false, "verify capability-check elision proofs and print the proof table")
 	jsonOut := flag.Bool("json", false, "emit the -elide proof reports as byte-stable JSON (crosscheck reports are always JSON)")
+	ctxK := flag.Int("ctxk", 0, "call-string depth for -elide proofs (0 = default k=2, -1 = context-insensitive)")
+	contexts := flag.Int("contexts", 0, "cap the per-context verdict rows printed per site in -elide output (0 = all)")
 	variantFlag := flag.String("variant", "prediction", "protection variant for the dynamic replay")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	insts := flag.Uint64("insts", 0, "instruction budget for the dynamic replay (0 = run to completion)")
@@ -65,7 +67,7 @@ func main() {
 	}
 
 	if *elideMode {
-		if err := runElide(profiles, *scale, *jsonOut, *out, *quiet); err != nil {
+		if err := runElide(profiles, *scale, *ctxK, *contexts, *jsonOut, *out, *quiet); err != nil {
 			fail(err)
 		}
 		return
@@ -127,11 +129,19 @@ func main() {
 
 // runElide analyzes each workload, verifies its proof bundle with the
 // independent checker, and renders the proof table (or, with jsonOut,
-// a byte-stable JSON report).
-func runElide(profiles []*workload.Profile, scale float64, jsonOut bool, outPath string, quiet bool) error {
+// a byte-stable JSON report including the per-context verdict table).
+func runElide(profiles []*workload.Profile, scale float64, ctxK, contexts int, jsonOut bool, outPath string, quiet bool) error {
+	type ctxVerdict struct {
+		Addr     uint64 `json:"addr"`
+		MacroIdx uint8  `json:"macroIdx"`
+		Ctx      string `json:"ctx"`
+		Verdict  string `json:"verdict"`
+		Proof    string `json:"proof"` // elide | keep | none
+	}
 	type elideReport struct {
 		Workload string `json:"workload"`
 		*elide.Report
+		Contexts []ctxVerdict `json:"contexts,omitempty"`
 	}
 	var reports []elideReport
 	for _, p := range profiles {
@@ -139,11 +149,57 @@ func runElide(profiles []*workload.Profile, scale float64, jsonOut bool, outPath
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		rep, err := elide.ForProgram(prog, elide.Options{Harts: harts(p)})
+		an, err := ptrflow.Analyze(prog, ptrflow.Options{Harts: harts(p), ContextK: ctxK})
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		reports = append(reports, elideReport{Workload: p.Name, Report: rep})
+		rep := elide.FromAnalysis(prog, an, elide.Options{Harts: harts(p), ContextK: ctxK})
+
+		// Join checker decisions onto the analyzer's per-context
+		// verdicts: proof status is the decision at the exact context,
+		// falling back to a context-free ("any") elision that already
+		// covers every context of the site.
+		type decKey struct {
+			addr uint64
+			idx  uint8
+			ctx  string
+		}
+		status := make(map[decKey]string, len(rep.Decisions))
+		for i := range rep.Decisions {
+			d := &rep.Decisions[i]
+			c := d.Ctx
+			if c == "" {
+				c = "any"
+			}
+			status[decKey{d.Addr, d.MacroIdx, c}] = d.Status
+		}
+		var ctxRows []ctxVerdict
+		for _, s := range an.SortedSites() {
+			printed := 0
+			for _, sc := range s.SortedCtxs() {
+				if contexts > 0 && printed >= contexts {
+					break
+				}
+				name := sc.Ctx.String()
+				proof, ok := status[decKey{s.Addr, s.MacroIdx, name}]
+				if !ok {
+					if status[decKey{s.Addr, s.MacroIdx, "any"}] == "elide" {
+						proof = "elide"
+					} else {
+						proof = "none"
+					}
+				}
+				ctxRows = append(ctxRows, ctxVerdict{
+					Addr:     s.Addr,
+					MacroIdx: s.MacroIdx,
+					Ctx:      name,
+					Verdict:  sc.Verdict.String(),
+					Proof:    proof,
+				})
+				printed++
+			}
+		}
+		reports = append(reports, elideReport{Workload: p.Name, Report: rep, Contexts: ctxRows})
 		if !jsonOut && !quiet {
 			fmt.Printf("%s:\n%s", p.Name, rep.Format())
 		}

@@ -9,6 +9,7 @@ import (
 	"chex86/internal/decode"
 	"chex86/internal/heap"
 	"chex86/internal/isa"
+	"chex86/internal/pipeline"
 	"chex86/internal/ptrflow"
 	"chex86/internal/tracker"
 )
@@ -237,6 +238,12 @@ type checker struct {
 	poison    fact            // claimed unknown-EA store contribution
 	invs      map[int]*invariant
 
+	// Context-sensitive layer claims: per-(block, call-string) invariants
+	// and the deterministic order they were decoded in (the bundle's
+	// canonical sorted order), which the per-context induction iterates.
+	ctxInvs  map[ctxInvKey]*invariant
+	ctxOrder []ctxInvKey
+
 	anyFree      bool   // checker-derived release reachability
 	heapMin      int64  // checker-derived min allocation lower bound (-1 unset)
 	heapUnknown  bool   // an allocation size could not be bounded below
@@ -259,6 +266,7 @@ func newChecker(prog *asm.Program, b *ptrflow.Bundle, harts int, hints map[uint6
 		relocSlot: map[uint64]string{},
 		claims:    map[string]fact{},
 		invs:      map[int]*invariant{},
+		ctxInvs:   map[ctxInvKey]*invariant{},
 		heapMin:   -1,
 	}
 	if ck.harts <= 0 {
@@ -282,7 +290,9 @@ func newChecker(prog *asm.Program, b *ptrflow.Bundle, harts int, hints map[uint6
 		return nil, err
 	}
 	ck.recoverRegions()
-	ck.decodeClaims()
+	if err := ck.decodeClaims(); err != nil {
+		return nil, err
+	}
 	return ck, nil
 }
 
@@ -421,8 +431,14 @@ func factFrom(pf ptrflow.Fact) fact {
 }
 
 // decodeClaims converts the bundle's serialized claims into checker
-// structures.
-func (ck *checker) decodeClaims() {
+// structures. Invariants are routed by claimed context: the ⊤ layer
+// ("any", or an absent context for pre-context bundles) into invs, the
+// per-context layer into ctxInvs keyed by the re-parsed call string.
+// Context strings are verified well-formed here — structurally via
+// ParseCallCtx, and semantically against the program: every site on a
+// call string must be the address of an internal direct CALL, since
+// those are the only events the runtime fold pushes.
+func (ck *checker) decodeClaims() error {
 	ck.poison = factFrom(ck.bundle.Poison)
 	for _, rc := range ck.bundle.Regions {
 		ck.claims[rc.Name] = factFrom(rc.Stores)
@@ -442,8 +458,53 @@ func (ck *checker) decodeClaims() {
 				inv.frame[sf.Off] = factFrom(sf.Fact)
 			}
 		}
-		ck.invs[bi.Block] = inv
+		if bi.Ctx == "" || bi.Ctx == pipeline.CtxAny.String() {
+			ck.invs[bi.Block] = inv
+			continue
+		}
+		ctx, err := pipeline.ParseCallCtx(bi.Ctx)
+		if err != nil {
+			return fmt.Errorf("invariant for block %d: %v", bi.Block, err)
+		}
+		if err := ck.validateCtx(ctx); err != nil {
+			return fmt.Errorf("invariant for block %d: %v", bi.Block, err)
+		}
+		key := ctxInvKey{block: bi.Block, ctx: ctx}
+		if _, dup := ck.ctxInvs[key]; dup {
+			return fmt.Errorf("duplicate invariant claim for block %d context %s", bi.Block, bi.Ctx)
+		}
+		ck.ctxInvs[key] = inv
+		ck.ctxOrder = append(ck.ctxOrder, key)
 	}
+	if len(ck.ctxOrder) > 0 && (ck.bundle.CtxK < 1 || ck.bundle.CtxK > 2) {
+		return fmt.Errorf("per-context invariants claimed at unsupported k=%d", ck.bundle.CtxK)
+	}
+	return nil
+}
+
+// ctxInvKey identifies one claimed (block, call-string context)
+// invariant.
+type ctxInvKey struct {
+	block int
+	ctx   pipeline.CallCtx
+}
+
+// validateCtx checks a parsed call string against the program: every
+// site must be an internal direct CALL instruction whose target is
+// inside the program text — the only control transfers the runtime
+// fold pushes, and therefore the only strings a live context can take.
+func (ck *checker) validateCtx(ctx pipeline.CallCtx) error {
+	for _, site := range [2]uint64{ctx.S0, ctx.S1} {
+		if site == 0 {
+			continue
+		}
+		in := ck.prog.At(site)
+		if in == nil || in.Op != isa.CALL || in.Dst.Kind == isa.OpReg ||
+			ck.prog.At(in.Target) == nil {
+			return fmt.Errorf("call-string site %#x is not an internal CALL", site)
+		}
+	}
+	return nil
 }
 
 func (ck *checker) claimedStores(name string) fact {
@@ -1143,6 +1204,9 @@ func (ck *checker) verifyInduction() error {
 			}
 		}
 	}
+	if err := ck.verifyCtxInduction(); err != nil {
+		return err
+	}
 	if ck.storeErr != nil {
 		return ck.storeErr
 	}
@@ -1171,15 +1235,35 @@ func (ck *checker) heapChunkMin() uint64 {
 }
 
 // verifyProof re-derives one proof's site facts from the (already
-// verified) invariant of its block and checks the full safety condition.
+// verified) invariant of its block and checks the full safety
+// condition. A ⊤ ("any") proof starts from the block's ⊤-layer
+// invariant; a context-qualified proof starts from the claimed
+// (block, context) invariant, which the per-context induction has
+// verified over the valid-path call/return edges.
 func (ck *checker) verifyProof(p *ptrflow.Proof) error {
 	b := ck.cfg.BlockAt(p.Addr)
 	if b == nil {
 		return fmt.Errorf("site %#x.%d: no containing block", p.Addr, p.MacroIdx)
 	}
-	inv, ok := ck.invs[b.ID]
-	if !ok {
-		return fmt.Errorf("site %#x.%d: block %d has no invariant", p.Addr, p.MacroIdx, b.ID)
+	var (
+		inv *invariant
+		ok  bool
+	)
+	if p.Ctx == "" || p.Ctx == pipeline.CtxAny.String() {
+		inv, ok = ck.invs[b.ID]
+		if !ok {
+			return fmt.Errorf("site %#x.%d: block %d has no invariant", p.Addr, p.MacroIdx, b.ID)
+		}
+	} else {
+		ctx, err := pipeline.ParseCallCtx(p.Ctx)
+		if err != nil {
+			return fmt.Errorf("site %#x.%d: %v", p.Addr, p.MacroIdx, err)
+		}
+		inv, ok = ck.ctxInvs[ctxInvKey{block: b.ID, ctx: ctx}]
+		if !ok {
+			return fmt.Errorf("site %#x.%d: block %d has no invariant for context %s",
+				p.Addr, p.MacroIdx, b.ID, p.Ctx)
+		}
 	}
 	var siteErr error
 	found := false

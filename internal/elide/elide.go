@@ -36,13 +36,23 @@ type Options struct {
 	// rejects all proofs; the hints only serve CFG construction for the
 	// keep-side diagnostics.
 	IndirectTargets map[uint64][]uint64
+
+	// ContextK selects the call-string depth of the analyzer's
+	// context-sensitive layer: 0 means the default (k = 2), -1 disables
+	// the layer entirely (context-insensitive proofs only).
+	ContextK int
 }
 
 // SiteDecision is the per-dereference outcome: elide (independently
 // verified proven-safe) or keep (no proof, or proof rejected).
 type SiteDecision struct {
-	Addr          uint64   `json:"addr"`
-	MacroIdx      uint8    `json:"macroIdx"`
+	Addr     uint64 `json:"addr"`
+	MacroIdx uint8  `json:"macroIdx"`
+	// Ctx is the calling context the decision applies in: "any" for the
+	// context-insensitive layer (one row per site), or a call-string
+	// form for a context-qualified proof row (emitted only when the
+	// "any" row keeps the check).
+	Ctx           string   `json:"ctx"`
 	Store         bool     `json:"store,omitempty"`
 	Status        string   `json:"status"` // "elide" | "keep"
 	Region        string   `json:"region,omitempty"`
@@ -65,7 +75,12 @@ type Stats struct {
 // form is byte-stable: decisions follow the analyzer's sorted site
 // order, and every field is plain data.
 type Report struct {
-	Harts        int            `json:"harts"`
+	Harts int `json:"harts"`
+	// CtxK is the call-string depth of the bundle's context-sensitive
+	// layer (-1 = none). The pipeline configuration must carry it
+	// (Config.ElisionCtxK) so the runtime truncates its live fold to the
+	// depth the map's keys were built at.
+	CtxK         int            `json:"ctxK"`
 	Verified     bool           `json:"verified"`
 	Reason       string         `json:"reason,omitempty"` // bundle-level rejection
 	HeapMinChunk uint64         `json:"heapMinChunk,omitempty"`
@@ -90,6 +105,7 @@ func ForProgram(prog *asm.Program, opt Options) (*Report, error) {
 	an, err := ptrflow.Analyze(prog, ptrflow.Options{
 		Harts:           opt.Harts,
 		IndirectTargets: opt.IndirectTargets,
+		ContextK:        opt.ContextK,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("elide: %w", err)
@@ -104,16 +120,23 @@ func FromAnalysis(prog *asm.Program, an *ptrflow.Analysis, opt Options) *Report 
 		harts = 1
 	}
 	bundle := an.ProofBundle()
-	rep := &Report{Harts: harts, Map: pipeline.ElisionMap{}}
+	rep := &Report{Harts: harts, CtxK: bundle.CtxK, Map: pipeline.ElisionMap{}}
 
 	type key struct {
 		addr uint64
 		idx  uint8
 	}
-	proofs := map[key]*ptrflow.Proof{}
+	ctxAny := pipeline.CtxAny.String()
+	anyProofs := map[key]*ptrflow.Proof{}
+	ctxProofs := map[key][]*ptrflow.Proof{}
 	for i := range bundle.Proofs {
 		p := &bundle.Proofs[i]
-		proofs[key{p.Addr, p.MacroIdx}] = p
+		k := key{p.Addr, p.MacroIdx}
+		if p.Ctx == "" || p.Ctx == ctxAny {
+			anyProofs[k] = p
+		} else {
+			ctxProofs[k] = append(ctxProofs[k], p)
+		}
 	}
 	rep.Stats.Proofs = len(bundle.Proofs)
 
@@ -128,9 +151,11 @@ func FromAnalysis(prog *asm.Program, an *ptrflow.Analysis, opt Options) *Report 
 		rep.HeapMinChunk = ck.heapChunkMin()
 	}
 
-	for _, s := range an.SortedSites() {
-		d := SiteDecision{Addr: s.Addr, MacroIdx: s.MacroIdx, Store: s.Store, Status: "keep"}
-		p, hasProof := proofs[key{s.Addr, s.MacroIdx}]
+	sites := an.SortedSites()
+	for _, s := range sites {
+		k := key{s.Addr, s.MacroIdx}
+		d := SiteDecision{Addr: s.Addr, MacroIdx: s.MacroIdx, Ctx: ctxAny, Store: s.Store, Status: "keep"}
+		p, hasProof := anyProofs[k]
 		switch {
 		case !hasProof:
 			d.Reason = fmt.Sprintf("no proof (analyzer verdict: %s)", s.Verdict)
@@ -142,20 +167,52 @@ func FromAnalysis(prog *asm.Program, an *ptrflow.Analysis, opt Options) *Report 
 				d.Reason = "proof rejected: " + perr.Error()
 				rep.Stats.Rejected++
 			} else {
-				d.Status = "elide"
-				d.Region = p.Region
-				d.Lo, d.Hi, d.Size = p.Lo, p.Hi, p.Size
-				d.Justification = append(append([]string{}, p.Justification...),
-					"checker: block invariants verified inductive, site conditions re-derived independently")
-				rep.Map[pipeline.ElideKey{Addr: p.Addr, MacroIdx: p.MacroIdx}] = true
+				elideInto(&d, p)
+				rep.Map[pipeline.ElideKey{Addr: p.Addr, MacroIdx: p.MacroIdx, Ctx: pipeline.CtxAny}] = true
 				rep.Stats.Elided++
 			}
 		}
 		rep.Decisions = append(rep.Decisions, d)
+		if d.Status == "elide" {
+			continue // a ⊤ elision already covers every calling context
+		}
+		// Context-qualified proofs for a site the ⊤ layer keeps: one
+		// decision row per claimed context, in the bundle's canonical
+		// context order.
+		for _, cp := range ctxProofs[k] {
+			cd := SiteDecision{Addr: s.Addr, MacroIdx: s.MacroIdx, Ctx: cp.Ctx, Store: s.Store, Status: "keep"}
+			ctx, cerr := pipeline.ParseCallCtx(cp.Ctx)
+			switch {
+			case err != nil:
+				cd.Reason = "bundle rejected: " + err.Error()
+				rep.Stats.Rejected++
+			case cerr != nil:
+				cd.Reason = "proof rejected: " + cerr.Error()
+				rep.Stats.Rejected++
+			default:
+				if perr := ck.verifyProof(cp); perr != nil {
+					cd.Reason = "proof rejected: " + perr.Error()
+					rep.Stats.Rejected++
+				} else {
+					elideInto(&cd, cp)
+					rep.Map[pipeline.ElideKey{Addr: cp.Addr, MacroIdx: cp.MacroIdx, Ctx: ctx}] = true
+					rep.Stats.Elided++
+				}
+			}
+			rep.Decisions = append(rep.Decisions, cd)
+		}
 	}
-	rep.Stats.Sites = len(rep.Decisions)
+	rep.Stats.Sites = len(sites)
 	rep.Digest = digest(rep)
 	return rep
+}
+
+func elideInto(d *SiteDecision, p *ptrflow.Proof) {
+	d.Status = "elide"
+	d.Region = p.Region
+	d.Lo, d.Hi, d.Size = p.Lo, p.Hi, p.Size
+	d.Justification = append(append([]string{}, p.Justification...),
+		"checker: block invariants verified inductive, site conditions re-derived independently")
 }
 
 // digest content-addresses the decision set together with the tracker

@@ -73,7 +73,7 @@ func TestElideInductionLoop(t *testing.T) {
 		t.Fatalf("decision bounds %s+[%d,%d] width %d, want tab+[0,24] width 8",
 			d.Region, d.Lo, d.Hi, d.Size)
 	}
-	if !rep.Map[pipeline.ElideKey{Addr: addr, MacroIdx: d.MacroIdx}] {
+	if !rep.Map[pipeline.ElideKey{Addr: addr, MacroIdx: d.MacroIdx, Ctx: pipeline.CtxAny}] {
 		t.Fatal("elision map is missing the proven site")
 	}
 

@@ -25,14 +25,18 @@ func (r *Report) Format() string {
 		if d.Store {
 			kind = "store"
 		}
+		ctx := ""
+		if d.Ctx != "" && d.Ctx != "any" {
+			ctx = "  ctx=" + d.Ctx
+		}
 		if d.Status == "elide" {
-			fmt.Fprintf(&b, "  %#08x.%d %-5s elide  %s+[%d,%d] width %d\n",
-				d.Addr, d.MacroIdx, kind, d.Region, d.Lo, d.Hi, d.Size)
+			fmt.Fprintf(&b, "  %#08x.%d %-5s elide  %s+[%d,%d] width %d%s\n",
+				d.Addr, d.MacroIdx, kind, d.Region, d.Lo, d.Hi, d.Size, ctx)
 			for _, j := range d.Justification {
 				fmt.Fprintf(&b, "      · %s\n", j)
 			}
 		} else {
-			fmt.Fprintf(&b, "  %#08x.%d %-5s keep   %s\n", d.Addr, d.MacroIdx, kind, d.Reason)
+			fmt.Fprintf(&b, "  %#08x.%d %-5s keep  %s %s\n", d.Addr, d.MacroIdx, kind, ctx, d.Reason)
 		}
 	}
 	fmt.Fprintf(&b, "  digest: %s\n", r.Digest)

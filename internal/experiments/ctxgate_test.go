@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// elisionTotals sums the dynamic check counts of one RunElision sweep.
+func elisionTotals(rows []ElisionRow) (checks, elided uint64) {
+	for i := range rows {
+		checks += rows[i].ChecksRun
+		elided += rows[i].ChecksElided
+	}
+	return
+}
+
+// TestContextElisionGate is the CI gate for the context-sensitive layer:
+// on mcf and leela the context-sensitive (k = 2) total elision rate must
+// be at least the context-insensitive rate. The per-context layer only
+// ever adds verified proofs on top of the ⊤ layer's, so a regression
+// here means the two-layer split broke the baseline proofs.
+func TestContextElisionGate(t *testing.T) {
+	base := Options{Scale: 0.1, MaxInsts: 50_000, Benches: []string{"mcf", "leela"}}
+
+	insens := base
+	insens.ContextK = -1
+	insRows, err := RunElision(insens)
+	if err != nil {
+		t.Fatalf("context-insensitive sweep: %v", err)
+	}
+	insChecks, insElided := elisionTotals(insRows)
+
+	ctx := base
+	ctx.ContextK = 2
+	ctxRows, err := RunElision(ctx)
+	if err != nil {
+		t.Fatalf("context-sensitive sweep: %v", err)
+	}
+	ctxChecks, ctxElided := elisionTotals(ctxRows)
+
+	if insChecks+insElided == 0 || ctxChecks+ctxElided == 0 {
+		t.Fatal("no capability checks ran: the elision replay is broken")
+	}
+	insRate := float64(insElided) / float64(insChecks+insElided)
+	ctxRate := float64(ctxElided) / float64(ctxChecks+ctxElided)
+	if ctxRate < insRate {
+		t.Fatalf("context-sensitive elision rate %.4f fell below the context-insensitive rate %.4f",
+			ctxRate, insRate)
+	}
+
+	// Per-benchmark, every verified insensitive elision must survive:
+	// the k=2 bundle still carries the ⊤ proofs.
+	for i := range insRows {
+		if ctxRows[i].Elided < insRows[i].Elided {
+			t.Errorf("%s: k=2 verified %d proofs, context-insensitive verified %d — ⊤ proofs lost",
+				insRows[i].Bench, ctxRows[i].Elided, insRows[i].Elided)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type ElisionRow struct {
 	Sites    int `json:"sites"`    // static memory access sites
 	Proofs   int `json:"proofs"`   // proofs emitted by the analyzer
 	Elided   int `json:"elided"`   // proofs verified by the checker
+	CtxElide int `json:"ctxElide"` // verified proofs qualified to a calling context
 	Rejected int `json:"rejected"` // proofs the checker refused
 
 	// Dynamic counts from the elision run.
@@ -82,7 +83,7 @@ func RunElision(o Options) ([]ElisionRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := elide.ForProgram(prog, elide.Options{Harts: harts(p)})
+		rep, err := elide.ForProgram(prog, elide.Options{Harts: harts(p), ContextK: o.ContextK})
 		if err != nil {
 			return nil, fmt.Errorf("elision %s: %w", p.Name, err)
 		}
@@ -93,6 +94,12 @@ func RunElision(o Options) ([]ElisionRow, error) {
 			Proofs:   rep.Stats.Proofs,
 			Elided:   rep.Stats.Elided,
 			Rejected: rep.Stats.Rejected,
+		}
+		for i := range rep.Decisions {
+			d := &rep.Decisions[i]
+			if d.Status == "elide" && d.Ctx != "any" {
+				row.CtxElide++
+			}
 		}
 
 		ctx := context.Background()
@@ -105,6 +112,7 @@ func RunElision(o Options) ([]ElisionRow, error) {
 		cfg := pipeline.DefaultConfig()
 		cfg.ElideChecks = true
 		cfg.ElisionDigest = rep.Digest
+		cfg.ElisionCtxK = rep.CtxK
 		res, err := runWithElision(ctx, p, cfg, &o, rep.Map)
 		if err != nil {
 			return nil, fmt.Errorf("elision %s (elide): %w", p.Name, err)
@@ -123,13 +131,13 @@ func RunElision(o Options) ([]ElisionRow, error) {
 func FormatElision(rows []ElisionRow) string {
 	var b strings.Builder
 	b.WriteString("Proof-carrying check elision (prediction-driven variant, verified proofs only)\n")
-	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %12s %12s %8s %8s\n",
-		"benchmark", "sites", "proofs", "elided", "reject", "checks", "suppressed", "rate", "speedup")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %8s %12s %12s %8s %8s\n",
+		"benchmark", "sites", "proofs", "elided", "ctx", "reject", "checks", "suppressed", "rate", "speedup")
 	var checks, suppressed uint64
 	for i := range rows {
 		r := &rows[i]
-		fmt.Fprintf(&b, "%-14s %8d %8d %8d %8d %12d %12d %7.2f%% %7.3fx\n",
-			r.Bench, r.Sites, r.Proofs, r.Elided, r.Rejected,
+		fmt.Fprintf(&b, "%-14s %8d %8d %8d %8d %8d %12d %12d %7.2f%% %7.3fx\n",
+			r.Bench, r.Sites, r.Proofs, r.Elided, r.CtxElide, r.Rejected,
 			r.ChecksRun, r.ChecksElided, 100*r.ElisionRate(), r.Speedup())
 		checks += r.ChecksRun
 		suppressed += r.ChecksElided

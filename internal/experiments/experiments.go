@@ -39,6 +39,9 @@ type Options struct {
 	MaxCycles uint64
 	// Timeout bounds each run in wall-clock time (0 = unbounded).
 	Timeout time.Duration
+	// ContextK is the call-string depth for elision experiments
+	// (0 = the default k = 2, -1 = context-insensitive proofs only).
+	ContextK int
 }
 
 // runSim executes one configured simulation under the harness's

@@ -5,7 +5,7 @@
 // cross-check all diff outputs across runs, so a wall-clock read or an
 // unsorted map walk that feeds a writer silently breaks them.
 //
-// Three checks:
+// Four checks:
 //
 //   - time-now: calls to (or references of) time.Now, time.Since, or
 //     time.Until. Simulated time must come from the cycle counter;
@@ -21,6 +21,12 @@
 //     Marshal/Encode). Go randomizes map iteration order, so such loops
 //     emit differently ordered bytes on every run; iterate a sorted key
 //     slice instead.
+//
+//   - map-format: a map-typed value passed to a %v (or %+v) verb of a
+//     Printf-family formatter. fmt orders map keys with an internal
+//     comparator that falls back to pointer order for reference-typed
+//     keys, so the rendered bytes can differ across runs; render sorted
+//     keys explicitly instead.
 //
 // A finding is waived by a `//determinism:ok` comment on the same line
 // (or the line above) — the waiver is for call sites that are provably
@@ -51,6 +57,7 @@ const (
 	CheckTimeNow        = "time-now"
 	CheckGlobalRand     = "global-rand"
 	CheckMapRangeOutput = "map-range-output"
+	CheckMapFormat      = "map-format"
 )
 
 // Finding is one determinism hazard.
@@ -80,6 +87,13 @@ var sinkNames = map[string]bool{
 	"Sprint": true, "Sprintf": true, "Sprintln": true,
 	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 	"Marshal": true, "MarshalIndent": true, "Encode": true,
+}
+
+// formatArgIdx maps Printf-family selector names to the position of
+// their format-string argument; operands follow it.
+var formatArgIdx = map[string]int{
+	"Printf": 0, "Sprintf": 0, "Errorf": 0, "Logf": 0, "Fatalf": 0, "Panicf": 0,
+	"Fprintf": 1, "Appendf": 1,
 }
 
 // LintDir lints the non-test Go files of one package directory.
@@ -179,6 +193,33 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []Finding {
 				report(n.Pos(), CheckGlobalRand,
 					fmt.Sprintf("global math/rand stream rand.%s is auto-seeded and shared; use rand.New(rand.NewSource(seed))", n.Sel.Name))
 			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fi, ok := formatArgIdx[sel.Sel.Name]
+			if !ok || len(n.Args) <= fi {
+				return true
+			}
+			lit, ok := n.Args[fi].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for vi, spec := range verbSpecs(format) {
+				argIdx := fi + 1 + vi
+				if argIdx >= len(n.Args) {
+					break
+				}
+				if (spec == "%v" || spec == "%+v") && isMapType(info, n.Args[argIdx]) {
+					report(n.Args[argIdx].Pos(), CheckMapFormat,
+						fmt.Sprintf("map-typed operand formatted with %s: fmt's key ordering falls back to pointer order for reference-typed keys; render sorted keys explicitly", spec))
+				}
+			}
 		case *ast.RangeStmt:
 			if !isMapType(info, n.X) {
 				return true
@@ -232,6 +273,51 @@ func importName(f *ast.File, path string) string {
 		return p
 	}
 	return ""
+}
+
+// verbSpecs parses a Printf-style format string into the normalized
+// verb of each operand-consuming directive, in operand order: "%v",
+// "%+v", "%d", ... A '*' width or precision consumes an operand of its
+// own ("*"). Explicit operand indexes (%[1]v) abort parsing to nil —
+// mis-mapping operands would misreport, so the check stays silent.
+func verbSpecs(format string) []string {
+	var out []string
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++ // literal %%
+			continue
+		}
+		hasPlus := false
+	directive:
+		for i < len(format) {
+			switch c := format[i]; {
+			case c == '[':
+				return nil
+			case c == '*':
+				out = append(out, "*")
+				i++
+			case c == '+':
+				hasPlus = true
+				i++
+			case strings.IndexByte("-# 0123456789.", c) >= 0:
+				i++
+			default:
+				v := "%"
+				if hasPlus {
+					v = "%+"
+				}
+				out = append(out, v+string(c))
+				i++
+				break directive
+			}
+		}
+	}
+	return out
 }
 
 // isMapType reports whether expr's resolved type is a map. Unresolved

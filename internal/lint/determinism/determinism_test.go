@@ -188,6 +188,82 @@ func g() {
 	}
 }
 
+func TestMapFormat(t *testing.T) {
+	fs := lintSource(t, `package p
+import "fmt"
+func f(m map[string]int) string { return fmt.Sprintf("%v", m) }
+func g(m map[*int]bool) { fmt.Printf("state: %+v\n", m) }
+`)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 map-format findings, got %v", fs)
+	}
+	for _, f := range fs {
+		if f.Check != CheckMapFormat {
+			t.Errorf("want %s, got %s", CheckMapFormat, f.Check)
+		}
+	}
+}
+
+func TestMapFormatOperandMapping(t *testing.T) {
+	// Only the %v verb bound to the map operand fires — the scalar
+	// operands around it must not confuse the operand mapping, and
+	// Fprintf's writer argument shifts the format index by one.
+	fs := lintSource(t, `package p
+import (
+	"fmt"
+	"os"
+)
+func f(n int, m map[string]int) {
+	fmt.Printf("%d then %v and %s\n", n, m, "x")
+	fmt.Fprintf(os.Stderr, "%v first, %d after\n", m, n)
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 map-format findings, got %v", fs)
+	}
+}
+
+func TestMapFormatNonMapAllowed(t *testing.T) {
+	fs := lintSource(t, `package p
+import "fmt"
+type cfg struct{ n int }
+func f(c cfg, xs []int, n int, m map[string]int) {
+	fmt.Printf("%v %v %d\n", c, xs, n)
+	fmt.Printf("%d\n", len(m))
+	fmt.Printf("%q\n", "str")
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("non-map %%v operands must pass, got %v", fs)
+	}
+}
+
+func TestMapFormatExplicitIndexSkipped(t *testing.T) {
+	// Explicit operand indexes abort verb parsing: mis-mapping operands
+	// would misreport, so the check stays conservative.
+	fs := lintSource(t, `package p
+import "fmt"
+func f(m map[string]int) string { return fmt.Sprintf("%[1]v", m) }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("explicit-index format must be skipped, got %v", fs)
+	}
+}
+
+func TestMapFormatWaiver(t *testing.T) {
+	fs := lintSource(t, `package p
+import "fmt"
+func f(m map[string]int) {
+	fmt.Printf("%v\n", m) //determinism:ok
+	//determinism:ok — sorted upstream
+	fmt.Printf("%+v\n", m)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("waived map-format findings must pass, got %v", fs)
+	}
+}
+
 func TestRenamedImports(t *testing.T) {
 	fs := lintSource(t, `package p
 import (

@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CallCtx is a k-limited call-string context (k = 2): the addresses of
+// the most recent internal CALL instructions on the path from the hart
+// entry, most recent last. The zero value is the root context (no calls
+// on the string). The type lives in this package because all three
+// layers share it: the static analyzer (internal/ptrflow) keys its
+// per-context fixpoint on it, the independent proof checker
+// (internal/elide) re-derives call-string well-formedness over it, and
+// the pipeline folds the committed call/ret stream into it to select
+// the live context for elision lookups.
+type CallCtx struct {
+	// S0 is the older call site (0 = empty slot), S1 the most recent.
+	S0, S1 uint64
+}
+
+// CtxRoot is the empty call string: execution at the hart entry's
+// procedure level.
+var CtxRoot = CallCtx{}
+
+// CtxAny is the ⊤ context sentinel: a claim or elision entry that holds
+// in *every* calling context (the join over all contexts — exactly the
+// context-insensitive fact). The runtime falls back to it whenever the
+// live context cannot be determined (lost call/ret pairing, stack
+// deeper than the fold buffer), which is the fail-closed direction:
+// ⊤ entries are verified against joined invariants.
+var CtxAny = CallCtx{S0: ^uint64(0), S1: ^uint64(0)}
+
+// IsRoot reports whether the context is the empty call string.
+func (c CallCtx) IsRoot() bool { return c == CtxRoot }
+
+// IsAny reports whether the context is the ⊤ sentinel.
+func (c CallCtx) IsAny() bool { return c == CtxAny }
+
+// Push appends an internal call site to the string under the k = 2
+// limit: the oldest element falls off, and a call site equal to the
+// current top collapses (direct recursion folds to one context, so the
+// context set stays finite without losing the most recent site).
+func (c CallCtx) Push(site uint64) CallCtx {
+	if c.S1 == site {
+		return c
+	}
+	return CallCtx{S0: c.S1, S1: site}
+}
+
+// PushK is Push under an explicit k limit (0, 1 or 2). k = 0 keeps
+// every context at root — the context-insensitive analysis; k = 1
+// tracks only the most recent call site.
+func (c CallCtx) PushK(site uint64, k int) CallCtx {
+	switch {
+	case k <= 0:
+		return CtxRoot
+	case k == 1:
+		return CallCtx{S1: site}
+	default:
+		return c.Push(site)
+	}
+}
+
+// Limit re-truncates a k = 2 context to a smaller k, so a runtime that
+// folds the full call stream at k = 2 can probe maps built by a
+// shallower analysis: the k = 1 image is the most recent site, the
+// k = 0 image is root. The sentinel is its own image at every k.
+func (c CallCtx) Limit(k int) CallCtx {
+	if c.IsAny() {
+		return c
+	}
+	switch {
+	case k <= 0:
+		return CtxRoot
+	case k == 1:
+		return CallCtx{S1: c.S1}
+	default:
+		return c
+	}
+}
+
+// Depth returns the number of call sites on the string (0–2).
+func (c CallCtx) Depth() int {
+	switch {
+	case c.S0 != 0:
+		return 2
+	case c.S1 != 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less orders contexts canonically for byte-stable serialization:
+// root first, then by (S0, S1), the ⊤ sentinel last.
+func (c CallCtx) Less(o CallCtx) bool {
+	if c.S0 != o.S0 {
+		return c.S0 < o.S0
+	}
+	return c.S1 < o.S1
+}
+
+// String renders the canonical serialized form: "root", "any", or the
+// call sites oldest-first joined with '>' ("0x401020>0x401080").
+func (c CallCtx) String() string {
+	switch {
+	case c.IsRoot():
+		return "root"
+	case c.IsAny():
+		return "any"
+	case c.S0 == 0:
+		return "0x" + strconv.FormatUint(c.S1, 16)
+	default:
+		return "0x" + strconv.FormatUint(c.S0, 16) + ">0x" + strconv.FormatUint(c.S1, 16)
+	}
+}
+
+// ParseCallCtx decodes the String form. It rejects anything a Push
+// sequence could not have produced structurally (empty elements, a
+// zero site, more than two sites); deeper well-formedness — that each
+// site is an internal CALL instruction — is the proof checker's job,
+// since only it holds the program.
+func ParseCallCtx(s string) (CallCtx, error) {
+	switch s {
+	case "root":
+		return CtxRoot, nil
+	case "any":
+		return CtxAny, nil
+	}
+	parts := strings.Split(s, ">")
+	if len(parts) > 2 {
+		return CallCtx{}, fmt.Errorf("call context %q exceeds the k=2 limit", s)
+	}
+	var sites [2]uint64
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimPrefix(p, "0x"), 16, 64)
+		if err != nil || v == 0 {
+			return CallCtx{}, fmt.Errorf("call context %q: bad site %q", s, p)
+		}
+		sites[i] = v
+	}
+	if len(parts) == 1 {
+		return CallCtx{S1: sites[0]}, nil
+	}
+	return CallCtx{S0: sites[0], S1: sites[1]}, nil
+}

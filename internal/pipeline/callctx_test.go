@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/emu"
+	"chex86/internal/isa"
+)
+
+func TestCallCtxPushCollapse(t *testing.T) {
+	c := CtxRoot.Push(0x100).Push(0x200)
+	if c != (CallCtx{S0: 0x100, S1: 0x200}) {
+		t.Fatalf("push sequence = %v", c)
+	}
+	// Direct recursion: pushing the top site again is the identity.
+	if got := c.Push(0x200); got != c {
+		t.Fatalf("recursive push changed the context: %v", got)
+	}
+	// A third distinct site drops the oldest.
+	if got := c.Push(0x300); got != (CallCtx{S0: 0x200, S1: 0x300}) {
+		t.Fatalf("k-limit shift = %v", got)
+	}
+}
+
+func TestCallCtxPushKAndLimitAgree(t *testing.T) {
+	// Folding at full depth then truncating must equal folding at the
+	// shallower k directly — the runtime relies on this to probe maps
+	// built by a shallower analysis.
+	sites := []uint64{0x10, 0x20, 0x20, 0x30, 0x10}
+	for _, k := range []int{0, 1, 2} {
+		full, atK := CtxRoot, CtxRoot
+		for _, s := range sites {
+			full = full.Push(s)
+			atK = atK.PushK(s, k)
+			if got := full.Limit(k); got != atK {
+				t.Fatalf("k=%d: Limit(%v) = %v, PushK chain = %v", k, full, got, atK)
+			}
+		}
+	}
+	if got := CtxAny.Limit(1); !got.IsAny() {
+		t.Fatalf("the sentinel must be its own image at every k, got %v", got)
+	}
+}
+
+func TestCallCtxStringParseRoundTrip(t *testing.T) {
+	cases := []CallCtx{
+		CtxRoot,
+		CtxAny,
+		{S1: 0x401020},
+		{S0: 0x401020, S1: 0x401080},
+	}
+	for _, c := range cases {
+		got, err := ParseCallCtx(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round trip %v -> %q -> %v, err=%v", c, c.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "0x0", "0x1>0x2>0x3", "0x1>", "nonsense", "0xzz"} {
+		if c, err := ParseCallCtx(bad); err == nil {
+			t.Fatalf("ParseCallCtx(%q) = %v, want error", bad, c)
+		}
+	}
+}
+
+func TestCallCtxLessOrdersRootFirstAnyLast(t *testing.T) {
+	ordered := []CallCtx{
+		CtxRoot,
+		{S1: 0x10},
+		{S1: 0x20},
+		{S0: 0x10, S1: 0x20},
+		{S0: 0x20, S1: 0x10},
+		CtxAny,
+	}
+	for i := range ordered {
+		for j := range ordered {
+			if got := ordered[i].Less(ordered[j]); got != (i < j) {
+				t.Fatalf("Less(%v, %v) = %v, want %v", ordered[i], ordered[j], got, i < j)
+			}
+		}
+	}
+}
+
+// ctxFoldSim builds a minimal simulator whose program has one internal
+// callee, for driving ctxRetire by hand.
+func ctxFoldSim(t *testing.T) (*Sim, uint64) {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.Call("fn")
+	b.Hlt()
+	b.Label("fn")
+	b.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(prog, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, prog.MustLookup("fn")
+}
+
+func TestCtxRetireFold(t *testing.T) {
+	s, fn := ctxFoldSim(t)
+	c := &coreCtx{}
+	call := func(site uint64, target uint64, ev emu.EventKind) {
+		c.ctxRetire(s, &emu.Rec{Inst: &isa.Inst{Op: isa.CALL, Addr: site}, Target: target, Event: ev})
+	}
+	ret := func(ev emu.EventKind) {
+		c.ctxRetire(s, &emu.Rec{Inst: &isa.Inst{Op: isa.RET}, Event: ev})
+	}
+
+	if got := c.liveCtx(); !got.IsRoot() {
+		t.Fatalf("initial context = %v, want root", got)
+	}
+	// Internal call pushes.
+	call(0x100, fn, emu.EvNone)
+	if got := c.liveCtx(); got != (CallCtx{S1: 0x100}) {
+		t.Fatalf("after internal call: %v", got)
+	}
+	// External call (target outside text) is summarized, not descended.
+	call(0x104, 0xdead0000, emu.EvNone)
+	if got := c.liveCtx(); got != (CallCtx{S1: 0x100}) {
+		t.Fatalf("external call must not push: %v", got)
+	}
+	// Intercepted allocator call carries an event: no push, and the
+	// emulator's synthetic allocator-exit RET carries one too: no pop.
+	call(0x108, fn, emu.EvAllocEnter)
+	ret(emu.EvAllocExit)
+	if got := c.liveCtx(); got != (CallCtx{S1: 0x100}) {
+		t.Fatalf("allocator call/ret must not move the fold: %v", got)
+	}
+	// Genuine RET pops back to root.
+	ret(emu.EvNone)
+	if got := c.liveCtx(); !got.IsRoot() {
+		t.Fatalf("after matched ret: %v", got)
+	}
+	// Popping an empty stack loses the pairing permanently.
+	ret(emu.EvNone)
+	if got := c.liveCtx(); !got.IsAny() {
+		t.Fatalf("unmatched ret must poison the fold: %v", got)
+	}
+	call(0x100, fn, emu.EvNone)
+	if got := c.liveCtx(); !got.IsAny() {
+		t.Fatalf("the fold must stay lost after poisoning: %v", got)
+	}
+}
+
+func TestCtxRetireDeepStackFallsBackToAny(t *testing.T) {
+	s, fn := ctxFoldSim(t)
+	c := &coreCtx{}
+	depth := len(c.ctxStack) + 3
+	for i := 0; i < depth; i++ {
+		c.ctxRetire(s, &emu.Rec{Inst: &isa.Inst{Op: isa.CALL, Addr: 0x1000 + uint64(4*i)}, Target: fn})
+	}
+	if got := c.liveCtx(); !got.IsAny() {
+		t.Fatalf("beyond the fold buffer the context must be ⊤, got %v", got)
+	}
+	// Returning back inside the recorded window re-names the context —
+	// the overflow is depth-bounded, not permanent.
+	for i := 0; i < 3; i++ {
+		c.ctxRetire(s, &emu.Rec{Inst: &isa.Inst{Op: isa.RET}})
+	}
+	want := CallCtx{S0: 0x1000 + 4*uint64(len(c.ctxStack)-2), S1: 0x1000 + 4*uint64(len(c.ctxStack)-1)}
+	if got := c.liveCtx(); got != want {
+		t.Fatalf("after unwinding into the window: %v, want %v", got, want)
+	}
+}
+
+func ExampleCallCtx_String() {
+	fmt.Println(CtxRoot)
+	fmt.Println(CallCtx{S1: 0x401020})
+	fmt.Println(CallCtx{S0: 0x401020, S1: 0x401080})
+	fmt.Println(CtxAny)
+	// Output:
+	// root
+	// 0x401020
+	// 0x401020>0x401080
+	// any
+}

@@ -82,6 +82,13 @@ type Config struct {
 	// differing elision maps.
 	ElisionDigest string
 
+	// ElisionCtxK is the call-string depth the installed elision map was
+	// built at (0 means the default k = 2). The runtime always folds the
+	// committed call/ret stream at k = 2 and re-truncates the live context
+	// with CallCtx.Limit to form the probe key, so maps built at any
+	// k ≤ 2 are consulted correctly.
+	ElisionCtxK int
+
 	// EnableChecker runs the hardware checker co-processor alongside
 	// execution (the offline rule-validation mode of Section V-A).
 	EnableChecker bool

@@ -190,7 +190,62 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	if cfg.Variant.UsesTracker() {
 		c.eng.CommitThrough(rec.Seq)
 	}
+
+	// --- Live call-string fold (elision lookups only). ---
+	// Updated after the macro-op is fully processed so a CALL's own
+	// micro-ops (the return-address push) probe in the caller's context
+	// and a RET's in the callee's — matching the static attribution.
+	if cfg.ElideChecks {
+		c.ctxRetire(s, rec)
+	}
 	return c.firstViolation
+}
+
+// liveCtx returns the k=2 call-string context of the next macro-op, or
+// CtxAny when the fold cannot name it (pairing lost, or currently deeper
+// than the stack records) — the fail-closed direction, since CtxAny
+// elision entries are verified against context-joined invariants.
+func (c *coreCtx) liveCtx() CallCtx {
+	switch {
+	case c.ctxLost || c.ctxDepth > len(c.ctxStack):
+		return CtxAny
+	case c.ctxDepth == 0:
+		return CtxRoot
+	default:
+		return c.ctxStack[c.ctxDepth-1]
+	}
+}
+
+// ctxRetire folds one committed macro-op into the live call-string.
+// Only CALLs into the program text push (external and intercepted
+// allocator calls are summarized by the static analysis, not descended
+// into), and only genuine guest RETs pop — the emulator's synthetic
+// allocator-exit RET records carry an allocator event and return to the
+// same procedure the CALL left.
+func (c *coreCtx) ctxRetire(s *Sim, rec *emu.Rec) {
+	switch rec.Inst.Op {
+	case isa.CALL:
+		if rec.Event != emu.EvNone || s.M.Prog.At(rec.Target) == nil {
+			return
+		}
+		if c.ctxDepth < len(c.ctxStack) {
+			cur := CtxRoot
+			if c.ctxDepth > 0 {
+				cur = c.ctxStack[c.ctxDepth-1]
+			}
+			c.ctxStack[c.ctxDepth] = cur.Push(rec.Inst.Addr)
+		}
+		c.ctxDepth++
+	case isa.RET:
+		if rec.Event != emu.EvNone {
+			return
+		}
+		if c.ctxDepth == 0 {
+			c.ctxLost = true
+			return
+		}
+		c.ctxDepth--
+	}
 }
 
 // record notes the first capability violation detected for the current
@@ -213,6 +268,18 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 	seq := rec.Seq
 	rip := rec.Inst.Addr
 	covered := cfg.Context.Covers(rip)
+
+	// Elision probe context: the live fold re-truncated to the depth the
+	// installed map was built at (constant per macro-op — the fold only
+	// advances at retirement, below).
+	var elideCtx CallCtx
+	if cfg.ElideChecks {
+		k := cfg.ElisionCtxK
+		if k == 0 {
+			k = 2
+		}
+		elideCtx = c.liveCtx().Limit(k)
+	}
 
 	for i := range native {
 		u := &native[i]
@@ -247,8 +314,13 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 			// state later sites depend on. Macro-ops rerouted through the
 			// microcode RAM are never elided: their micro-op numbering may
 			// not match the native expansion the proof was keyed against.
+			// Two probes: the exact live context first, then the ⊤ entry
+			// holding in every context (context-insensitive proofs, and
+			// the only entries reachable once the fold is lost).
 			if doCheck && pid != 0 && cfg.ElideChecks && !c.microRerouted &&
-				s.elision[ElideKey{Addr: rip, MacroIdx: u.MacroIdx}] {
+				(s.elision[ElideKey{Addr: rip, MacroIdx: u.MacroIdx, Ctx: elideCtx}] ||
+					(!elideCtx.IsAny() &&
+						s.elision[ElideKey{Addr: rip, MacroIdx: u.MacroIdx, Ctx: CtxAny}])) {
 				inject = false
 				hwOnly = false
 				doCheck = false

@@ -176,6 +176,19 @@ type coreCtx struct {
 	// is suppressed for it (fail-closed).
 	microRerouted bool
 
+	// Live call-string fold (elision lookups only; maintained when
+	// Cfg.ElideChecks is set). ctxStack[d-1] holds the k=2 CallCtx after
+	// the d-th committed internal CALL; pops restore the caller's fold
+	// exactly, which a bare k-limited string could not (the truncated
+	// site is gone). Depth keeps counting past the array so deep phases
+	// recover once they return below the cap; the stored prefix stays
+	// valid. A RET with no matching CALL on the stack means the fold can
+	// never be trusted again — ctxLost pins every later lookup to the
+	// CtxAny fallback (fail-closed).
+	ctxStack [64]CallCtx
+	ctxDepth int
+	ctxLost  bool
+
 	// Capability event state.
 	pendingGen     *core.Capability
 	pendingFreePID core.PID

@@ -8,6 +8,7 @@ import (
 	"chex86/internal/decode"
 	"chex86/internal/heap"
 	"chex86/internal/isa"
+	"chex86/internal/pipeline"
 	"chex86/internal/tracker"
 )
 
@@ -25,6 +26,13 @@ type Options struct {
 	// MaxTransfers bounds block-transfer applications as a divergence
 	// backstop; 0 means an automatic bound derived from program size.
 	MaxTransfers int
+
+	// ContextK selects the call-string depth of the context-sensitive
+	// pass (context.go): 0 means the default k = 2, 1 and 2 are honored
+	// as given (larger values clamp to 2), and -1 disables the pass
+	// entirely — every function analyzed once with all callers merged,
+	// reproducing the context-insensitive PR 2 analysis.
+	ContextK int
 }
 
 // SiteKey identifies one memory micro-op: the macro-op address plus the
@@ -58,6 +66,14 @@ type Site struct {
 	// precede the access. EA.OK is false when any path fails to
 	// attribute the address to the same single region.
 	EA eaFact
+
+	// Ctxs is the per-calling-context refinement of the fields above,
+	// keyed by k-limited call string (context.go); nil when the analysis
+	// ran context-insensitively. Each entry joins only the paths that
+	// reach the site under that context, so its verdict and EA
+	// attribution are at least as sharp as the merged ones. Iterate via
+	// SortedCtxs for deterministic output.
+	Ctxs map[pipeline.CallCtx]*SiteCtx
 }
 
 // Key returns the site's key.
@@ -108,6 +124,10 @@ type Analysis struct {
 	// unknown external code (which may free).
 	AnyFree bool
 
+	// CtxK is the effective call-string depth the analysis ran with
+	// (-1 context-insensitive, otherwise 1 or 2).
+	CtxK int
+
 	regions    map[string]*region
 	relocSlot  map[uint64]string // reloc slot -> target global name
 	globals    []asm.Global      // sorted by address
@@ -117,8 +137,14 @@ type Analysis struct {
 
 	blockIn []*state // per-block entry fixpoint (narrowed), nil if unreached
 
+	// Context-sensitive pass results (context.go): per-(block, context)
+	// entry states plus their deterministic discovery order.
+	ctxIn    map[ctxKey]*state
+	ctxOrder []ctxKey
+
 	onRegionChange func() // fixpoint-restart notification
 	collect        bool   // final pass: gather alloc-size/free facts
+	frozen         bool   // context pass: region summaries are read-only
 	allocUnknown   bool   // an allocation size could not be bounded below
 	allocMin       int64  // min provable size-argument lower bound
 }
@@ -382,6 +408,13 @@ func Analyze(prog *asm.Program, opt Options) (*Analysis, error) {
 	if a.Harts <= 0 {
 		a.Harts = 1
 	}
+	a.CtxK = opt.ContextK
+	switch {
+	case a.CtxK == 0 || a.CtxK > 2:
+		a.CtxK = 2
+	case a.CtxK < 0:
+		a.CtxK = -1
+	}
 	a.Stats.Blocks = len(g.Blocks)
 	a.Stats.Insts = len(prog.Insts)
 	a.Stats.UnresolvedIndirects = len(g.Unresolved)
@@ -419,20 +452,9 @@ func Analyze(prog *asm.Program, opt Options) (*Analysis, error) {
 	regionsDirty := false
 	a.onRegionChange = func() { regionsDirty = true }
 
-	// edgeState produces the outgoing state along one successor edge,
-	// applying conditional-branch refinement on JCC edges. When the taken
-	// and fall-through edges reach the same block the refinements would
-	// have to be joined back together, which is the unrefined state — so
-	// refinement is skipped there.
-	edgeState := func(b *Block, st *state, cmp cmpFact, succ int) *state {
-		if cmp.ok && b.TakenSucc >= 0 && b.TakenSucc != b.FallSucc &&
-			(succ == b.TakenSucc || succ == b.FallSucc) {
-			es := st.clone()
-			refineByCond(es, cmp, b.Cond, succ == b.TakenSucc)
-			return es
-		}
-		return st
-	}
+	// Edge states (a.edgeState, context.go) apply conditional-branch
+	// refinement on JCC edges; the context-sensitive pass shares the
+	// same helper.
 
 	for len(work) > 0 {
 		id := work[0]
@@ -448,7 +470,7 @@ func Analyze(prog *asm.Program, opt Options) (*Analysis, error) {
 		cmp := a.transferBlock(g, &g.Blocks[id], st, db, &dec, &uopBuf, nil)
 
 		for _, succ := range g.Blocks[id].Succs {
-			es := edgeState(&g.Blocks[id], st, cmp, succ)
+			es := a.edgeState(&g.Blocks[id], st, cmp, succ)
 			if in[succ] == nil {
 				in[succ] = es.clone()
 				push(succ)
@@ -488,7 +510,7 @@ func Analyze(prog *asm.Program, opt Options) (*Analysis, error) {
 			st := in[id].clone()
 			cmp := a.transferBlock(g, &g.Blocks[id], st, db, &dec, &uopBuf, nil)
 			for _, succ := range g.Blocks[id].Succs {
-				es := edgeState(&g.Blocks[id], st, cmp, succ)
+				es := a.edgeState(&g.Blocks[id], st, cmp, succ)
 				if next[succ] == nil {
 					next[succ] = es.clone()
 				} else {
@@ -521,6 +543,20 @@ func Analyze(prog *asm.Program, opt Options) (*Analysis, error) {
 		a.HeapMinChunk = uint64(a.allocMin)
 	}
 	a.finish()
+
+	// Context-sensitive pass (context.go): a second fixpoint over
+	// (block, k-limited call string) nodes with valid-path call/return
+	// matching, reading the region summaries above frozen. It only adds
+	// per-context refinements (Site.Ctxs, per-context invariants and
+	// proofs); every context-insensitive result stands as computed.
+	if a.CtxK >= 1 {
+		a.frozen = true
+		err := a.analyzeContexts(db, &dec, &uopBuf, maxTransfers)
+		a.frozen = false
+		if err != nil {
+			return nil, err
+		}
+	}
 	return a, nil
 }
 
@@ -642,6 +678,13 @@ func (a *Analysis) relocRead(slotAddr uint64) Value {
 // joinStore accumulates a dynamic store into a region summary, flagging a
 // fixpoint restart when the summary grows.
 func (a *Analysis) joinStore(name string, v Value) {
+	if a.frozen {
+		// Context pass: the summaries already over-approximate every
+		// store (the insensitive fixpoint saw a superset of the states),
+		// and regions stay context-insensitive by design — shared memory
+		// has no owning call string.
+		return
+	}
 	r := a.region(name)
 	j := join(r.stores, v)
 	if !j.eq(r.stores) {
@@ -664,6 +707,9 @@ func (a *Analysis) joinStore(name string, v Value) {
 // bound: it may hit any region (and any stack slot), so its value joins
 // every summary and the final pass demotes all verdicts to Assumed.
 func (a *Analysis) poisonAll(v Value) {
+	if a.frozen {
+		return // already accounted by the insensitive fixpoint
+	}
 	j := join(a.poison, v)
 	if !j.eq(a.poison) {
 		a.poisonGrows++

@@ -35,6 +35,18 @@ type Block struct {
 	Cond      isa.Cond
 	TakenSucc int
 	FallSucc  int
+
+	// CallSite, Callees and CallFall describe a terminating internal
+	// call for context-sensitive valid-path matching: CallSite is the
+	// CALL instruction's address (the element pushed onto the call
+	// string), Callees the entry block IDs of the possible callees, and
+	// CallFall the return-site block (-1 when the call is the last
+	// instruction of text). Zero/nil/-1 when the block does not end in a
+	// resolved internal CALL — external and unresolved-indirect calls
+	// are summarized, not descended into, so they push nothing.
+	CallSite uint64
+	Callees  []int
+	CallFall int
 }
 
 // CFG is the control-flow graph of a guest program at macro-op
@@ -57,6 +69,18 @@ type CFG struct {
 	// them is invisible to the analysis (reported, never silently
 	// ignored).
 	Unresolved []uint64
+
+	// FuncEntryBlocks maps each function entry address to its entry
+	// block ID (entries whose address decodes to no instruction are
+	// absent).
+	FuncEntryBlocks map[uint64]int
+
+	// RetOwners maps each RET-terminated block to the entry addresses of
+	// the functions whose intraprocedural walk reaches it (sorted). A
+	// context-sensitive analysis matches a RET under context c back to
+	// exactly the callers of these owners that produced c, instead of
+	// the merged Succs return edges.
+	RetOwners map[int][]uint64
 
 	blockOf []int // instruction index -> block ID
 }
@@ -198,7 +222,7 @@ func BuildCFG(prog *asm.Program, harts int, hints map[uint64][]uint64) *CFG {
 		}
 		id := len(g.Blocks)
 		g.Blocks = append(g.Blocks, Block{ID: id, Start: start, End: i + 1,
-			TakenSucc: -1, FallSucc: -1})
+			TakenSucc: -1, FallSucc: -1, CallFall: -1})
 		for j := start; j <= i; j++ {
 			g.blockOf[j] = id
 		}
@@ -270,9 +294,12 @@ func BuildCFG(prog *asm.Program, harts int, hints map[uint64][]uint64) *CFG {
 				b.IntraSuccs = addSucc(b.IntraSuccs, fall)
 				break
 			}
+			b.CallSite = last.Addr
+			b.CallFall = fall
 			for _, t := range callees {
 				id := blockAtIdx(instIndex(prog, t))
 				b.Succs = addSucc(b.Succs, id)
+				b.Callees = addSucc(b.Callees, id)
 				if fall >= 0 {
 					retSites[t] = append(retSites[t], fall)
 				}
@@ -302,11 +329,13 @@ func BuildCFG(prog *asm.Program, harts int, hints map[uint64][]uint64) *CFG {
 	sort.Slice(g.FuncEntries, func(i, j int) bool { return g.FuncEntries[i] < g.FuncEntries[j] })
 
 	owners := map[int][]uint64{} // RET block -> owning function entries
+	g.FuncEntryBlocks = map[uint64]int{}
 	for _, f := range g.FuncEntries {
 		entry := blockAtIdx(instIndex(prog, f))
 		if entry < 0 {
 			continue
 		}
+		g.FuncEntryBlocks[f] = entry
 		seen := make(map[int]bool)
 		stack := []int{entry}
 		for len(stack) > 0 {
@@ -332,6 +361,10 @@ func BuildCFG(prog *asm.Program, harts int, hints map[uint64][]uint64) *CFG {
 			}
 		}
 	}
+	// owners was built by iterating sorted FuncEntries, so each list is
+	// already in ascending entry-address order — deterministic for the
+	// per-context return matching that consumes it.
+	g.RetOwners = owners
 
 	for _, a := range entryAddrs {
 		if id := blockAtIdx(instIndex(prog, a)); id >= 0 {

@@ -2,6 +2,7 @@ package ptrflow
 
 import (
 	"fmt"
+	"sort"
 
 	"chex86/internal/asm"
 	"chex86/internal/isa"
@@ -54,8 +55,14 @@ type SlotFact struct {
 // checker rebuilds that CFG itself, so the IDs are meaningful to both
 // sides without trusting the analyzer's copy.
 type BlockInvariant struct {
-	Block int    `json:"block"`
-	Regs  []Fact `json:"regs"` // indexed by isa.Reg, length isa.NumRegs
+	Block int `json:"block"`
+	// Ctx is the k-limited call-string context the invariant holds in,
+	// in pipeline.CallCtx.String() form: "any" for the ⊤ layer (the
+	// context-insensitive fixpoint, inductive over the merged Succs
+	// graph), "root"/"0x..."/"0x...>0x..." for the context-sensitive
+	// layer (inductive over the valid-path call/return edges).
+	Ctx  string `json:"ctx"`
+	Regs []Fact `json:"regs"` // indexed by isa.Reg, length isa.NumRegs
 	RSPOK bool   `json:"rspOk"`
 	RSP   int64  `json:"rsp,omitempty"`
 	// FrameOK distinguishes an empty frame (no slot facts) from a
@@ -85,8 +92,13 @@ type RegionClaim struct {
 // and may be elided. Justification records the fact chain the claim
 // rests on, for `chexlint -elide`.
 type Proof struct {
-	Addr          uint64   `json:"addr"`
-	MacroIdx      uint8    `json:"macroIdx"`
+	Addr     uint64 `json:"addr"`
+	MacroIdx uint8  `json:"macroIdx"`
+	// Ctx is the calling context the claim holds in ("any" = every
+	// context; the proof then rests on the ⊤-layer invariants). A
+	// context-qualified proof licenses elision only when the runtime's
+	// live call-string fold matches it exactly.
+	Ctx           string   `json:"ctx"`
 	Store         bool     `json:"store"`
 	Region        string   `json:"region"`
 	Lo            int64    `json:"lo"`
@@ -98,6 +110,11 @@ type Proof struct {
 // Bundle is the complete proof-carrying output of one analysis run.
 type Bundle struct {
 	Harts int `json:"harts"`
+
+	// CtxK is the call-string depth of the context-sensitive layer
+	// (-1 = none: only ⊤ invariants and proofs are present). The
+	// checker re-derives every context push at this k.
+	CtxK int `json:"ctxK"`
 
 	// HeapMinChunk is the claimed lower bound on every heap chunk's size
 	// (0 = unknown; heap proofs are impossible). The checker re-derives
@@ -120,8 +137,8 @@ type Bundle struct {
 	Poison Fact `json:"poison"`
 
 	Regions    []RegionClaim    `json:"regions"`    // sorted by name
-	Invariants []BlockInvariant `json:"invariants"` // sorted by block ID
-	Proofs     []Proof          `json:"proofs"`     // sorted by (addr, macroIdx)
+	Invariants []BlockInvariant `json:"invariants"` // ⊤ layer by block, then per-context by (block, ctx)
+	Proofs     []Proof          `json:"proofs"`     // ⊤ layer by (addr, macroIdx), then per-context by (addr, macroIdx, ctx)
 }
 
 // ProofBundle converts the analysis fixpoint into a serializable proof
@@ -130,6 +147,7 @@ type Bundle struct {
 func (a *Analysis) ProofBundle() *Bundle {
 	b := &Bundle{
 		Harts:        a.Harts,
+		CtxK:         a.CtxK,
 		HeapMinChunk: a.HeapMinChunk,
 		AnyFree:      a.AnyFree,
 		Poison:       factOf(a.poison),
@@ -158,7 +176,16 @@ func (a *Analysis) ProofBundle() *Bundle {
 		if st == nil {
 			continue
 		}
-		b.Invariants = append(b.Invariants, invariantOf(id, st))
+		b.Invariants = append(b.Invariants, invariantOf(id, ctxAnyName, st))
+	}
+	// Context-sensitive layer: the discovered (block, context) nodes in
+	// canonical (block, context) order — discovery order would also be
+	// deterministic, but the sorted form is what the golden-byte test
+	// pins and what readers expect.
+	ctxKeys := append([]ctxKey(nil), a.ctxOrder...)
+	sortCtxKeys(ctxKeys)
+	for _, key := range ctxKeys {
+		b.Invariants = append(b.Invariants, invariantOf(key.Block, key.Ctx.String(), a.ctxIn[key]))
 	}
 
 	// Proofs are meaningless when control flow is not fully resolved:
@@ -166,16 +193,38 @@ func (a *Analysis) ProofBundle() *Bundle {
 	if b.IndirectBranches > 0 || len(b.Unresolved) > 0 {
 		return b
 	}
+	var ctxProofs []Proof
 	for _, s := range a.SortedSites() {
 		if p, ok := a.candidateProof(s); ok {
 			b.Proofs = append(b.Proofs, p)
+			// A ⊤ proof already elides the site in every context;
+			// per-context proofs there would be redundant weight.
+			continue
+		}
+		for _, sc := range s.SortedCtxs() {
+			if p, ok := a.candidateCtxProof(s, sc); ok {
+				ctxProofs = append(ctxProofs, p)
+			}
 		}
 	}
+	b.Proofs = append(b.Proofs, ctxProofs...)
 	return b
 }
 
-func invariantOf(id int, st *state) BlockInvariant {
-	inv := BlockInvariant{Block: id, RSPOK: st.rspOK, Free: st.free,
+// ctxAnyName is the serialized ⊤ context (pipeline.CtxAny.String()).
+const ctxAnyName = "any"
+
+func sortCtxKeys(keys []ctxKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Block != keys[j].Block {
+			return keys[i].Block < keys[j].Block
+		}
+		return keys[i].Ctx.Less(keys[j].Ctx)
+	})
+}
+
+func invariantOf(id int, ctx string, st *state) BlockInvariant {
+	inv := BlockInvariant{Block: id, Ctx: ctx, RSPOK: st.rspOK, Free: st.free,
 		FrameOK: st.frame != nil}
 	if st.rspOK {
 		inv.RSP = st.rsp
@@ -236,11 +285,25 @@ func (a *Analysis) globalByName(name string) *asm.Global {
 // tagged, and a value read before its initializing store is untagged —
 // its dereference gets no capability check with or without elision.
 func (a *Analysis) candidateProof(s *Site) (Proof, bool) {
-	if !s.Reached || s.Deref.Tag != TagPtr || s.Deref.Region == "" {
+	if !s.Reached {
 		return Proof{}, false
 	}
-	ea := s.EA
-	if !ea.OK || ea.Region != s.Deref.Region || !ea.Off.Bounded() || ea.Off.Lo < 0 {
+	return a.screenProof(s.Addr, s.MacroIdx, ctxAnyName, s.Store, s.Deref, s.EA)
+}
+
+// candidateCtxProof screens one site under one calling context: the same
+// conditions, over the facts joined along only that context's paths —
+// including the temporal release bit, which is per-path state and often
+// the fact context sensitivity recovers.
+func (a *Analysis) candidateCtxProof(s *Site, sc *SiteCtx) (Proof, bool) {
+	return a.screenProof(s.Addr, s.MacroIdx, sc.Ctx.String(), s.Store, sc.Deref, sc.EA)
+}
+
+func (a *Analysis) screenProof(addr uint64, macroIdx uint8, ctx string, store bool, deref Value, ea eaFact) (Proof, bool) {
+	if deref.Tag != TagPtr || deref.Region == "" {
+		return Proof{}, false
+	}
+	if !ea.OK || ea.Region != deref.Region || !ea.Off.Bounded() || ea.Off.Lo < 0 {
 		return Proof{}, false
 	}
 
@@ -249,12 +312,16 @@ func (a *Analysis) candidateProof(s *Site) (Proof, bool) {
 		just []string
 	)
 	kind := "load"
-	if s.Store {
+	if store {
 		kind = "store"
 	}
 	just = append(just,
 		fmt.Sprintf("deref tag is ptr(%s) on every path", ea.Region),
 		fmt.Sprintf("%s address = %s+%s, width %d", kind, ea.Region, ea.Off, ea.Size))
+
+	if ctx != ctxAnyName {
+		just = append(just, fmt.Sprintf("claim restricted to calling context %s", ctx))
+	}
 
 	if ea.Region == HeapRegion {
 		if a.HeapMinChunk == 0 {
@@ -277,11 +344,11 @@ func (a *Analysis) candidateProof(s *Site) (Proof, bool) {
 			return Proof{}, false
 		}
 		size = g.Size
-		if s.Store && g.ReadOnly {
+		if store && g.ReadOnly {
 			return Proof{}, false
 		}
 		just = append(just, fmt.Sprintf("global %s spans %d bytes", g.Name, g.Size))
-		if s.Store {
+		if store {
 			just = append(just, fmt.Sprintf("global %s is writable", g.Name))
 		}
 	}
@@ -294,7 +361,7 @@ func (a *Analysis) candidateProof(s *Site) (Proof, bool) {
 		fmt.Sprintf("bounds: 0 <= %d and %d+%d <= %d", ea.Off.Lo, ea.Off.Hi, ea.Size, size),
 		"control flow fully resolved: no indirect branches")
 
-	return Proof{Addr: s.Addr, MacroIdx: s.MacroIdx, Store: s.Store,
+	return Proof{Addr: addr, MacroIdx: macroIdx, Ctx: ctx, Store: store,
 		Region: ea.Region, Lo: ea.Off.Lo, Hi: ea.Off.Hi, Size: ea.Size,
 		Justification: just}, true
 }
