@@ -48,6 +48,7 @@ import (
 
 	"chex86/internal/campaign"
 	"chex86/internal/fabric"
+	"chex86/internal/lockstep"
 )
 
 // wallClock adapts the host clock to fabric.Clock. It lives here in the
@@ -98,6 +99,10 @@ func main() {
 	}
 	pool := campaign.NewPool(poolOpts)
 	defer pool.Close()
+
+	// Same injection for the lockstep shrink-duration metric: the counter
+	// lives in internal/lockstep (zero waivers), the clock lives here.
+	lockstep.SharedMetrics.SetClock(func() int64 { return time.Now().UnixNano() }) //determinism:ok — service-level wall-time probe
 
 	srv := &server{
 		pool:         pool,

@@ -12,6 +12,7 @@ import (
 	"chex86/internal/campaign"
 	"chex86/internal/fabric"
 	"chex86/internal/faultinject"
+	"chex86/internal/lockstep"
 	"chex86/internal/pipeline"
 	"chex86/internal/workload"
 )
@@ -31,7 +32,7 @@ type server struct {
 
 // jobRequest is the submission body for POST /api/v1/jobs.
 type jobRequest struct {
-	Mode      string              `json:"mode,omitempty"` // "bench" (default) or "fault"
+	Mode      string              `json:"mode,omitempty"` // "bench" (default), "fault", or "lockstep"
 	Workload  string              `json:"workload,omitempty"`
 	Variant   string              `json:"variant,omitempty"` // "prediction" (default), "baseline", ...
 	Scale     float64             `json:"scale,omitempty"`
@@ -39,6 +40,7 @@ type jobRequest struct {
 	MaxCycles uint64              `json:"maxCycles,omitempty"`
 	TimeoutMS int64               `json:"timeoutMS,omitempty"`
 	Fault     *faultinject.Config `json:"fault,omitempty"`
+	Lockstep  *lockstep.SweepSpec `json:"lockstep,omitempty"`
 }
 
 // campaignRequest is the batch body for POST /api/v1/campaign: one bench
@@ -73,6 +75,13 @@ func (s *server) spec(req *jobRequest) (campaign.Spec, error) {
 			return campaign.Spec{}, errors.New("fault mode needs a fault config")
 		}
 		spec := campaign.FaultSpec(*req.Fault)
+		spec.TimeoutMS = req.TimeoutMS
+		return spec, nil
+	case campaign.ModeLockstep:
+		if req.Lockstep == nil {
+			return campaign.Spec{}, errors.New("lockstep mode needs a lockstep sweep spec")
+		}
+		spec := campaign.LockstepSpec(*req.Lockstep)
 		spec.TimeoutMS = req.TimeoutMS
 		return spec, nil
 	case campaign.ModeBench:
@@ -162,6 +171,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.coord != nil {
 		fmt.Fprint(w, s.coord.Metrics().Snapshot().Render())
 	}
+	fmt.Fprint(w, lockstep.SharedMetrics.Snapshot().Render())
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {

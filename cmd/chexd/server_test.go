@@ -419,3 +419,57 @@ func TestFabricWorkersEndpoint(t *testing.T) {
 		t.Fatalf("workers = %+v", out.Workers)
 	}
 }
+
+// TestSubmitLockstepJob: a lockstep sweep shard rides the same job API as
+// bench and fault cells, and its counters surface on /metrics.
+func TestSubmitLockstepJob(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/api/v1/jobs",
+		`{"mode":"lockstep","lockstep":{"seed":5,"programs":2,"crosscheckEvery":-1}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	jr := decodeJob(t, resp)
+	if jr.Mode != campaign.ModeLockstep {
+		t.Fatalf("job mode = %s", jr.Mode)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + strconv.Itoa(jr.ID) + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := decodeJob(t, resp)
+	if done.State != campaign.JobDone {
+		t.Fatalf("state after wait = %s (%s)", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Lockstep == nil {
+		t.Fatalf("no lockstep report attached: %+v", done)
+	}
+	if done.Result.Lockstep.Failed() {
+		t.Fatalf("sweep failed:\n%s", done.Result.Lockstep.JSON())
+	}
+	if done.Result.Lockstep.Programs != 2 {
+		t.Fatalf("programs = %d, want 2", done.Result.Lockstep.Programs)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "lockstep_programs_total") {
+		t.Fatalf("/metrics missing lockstep counters:\n%s", body)
+	}
+
+	// Missing spec body is a client error, not a pool submission.
+	resp = postJSON(t, ts.URL+"/api/v1/jobs", `{"mode":"lockstep"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing lockstep spec: status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

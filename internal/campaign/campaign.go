@@ -26,6 +26,7 @@ import (
 
 	"chex86/internal/decode"
 	"chex86/internal/faultinject"
+	"chex86/internal/lockstep"
 	"chex86/internal/pipeline"
 	"chex86/internal/workload"
 )
@@ -40,6 +41,10 @@ const (
 	// ModeFault runs one fault-injection campaign cell (workload × variant
 	// × site) and records its resilience report.
 	ModeFault Mode = "fault"
+	// ModeLockstep runs one lockstep differential-fuzzing sweep shard
+	// (internal/lockstep): generated programs diffed against the reference
+	// emulator across the condition matrix, with invariant audits.
+	ModeLockstep Mode = "lockstep"
 )
 
 // Spec is the content of a job: what to simulate. Everything that changes
@@ -58,6 +63,11 @@ type Spec struct {
 
 	// Fault mode: one campaign cell (see faultinject.Config.Cells).
 	Fault *faultinject.Config `json:"fault,omitempty"`
+
+	// Lockstep mode: one differential-fuzzing sweep shard. The spec is
+	// fully deterministic (per-program seeds derive from Seed and the
+	// global program index), so shards cache and merge like any cell.
+	Lockstep *lockstep.SweepSpec `json:"lockstep,omitempty"`
 
 	// TimeoutMS bounds the run in host milliseconds (0 = none). Excluded
 	// from the cache key.
@@ -83,6 +93,42 @@ func FaultSpec(cell faultinject.Config) Spec {
 	return Spec{Mode: ModeFault, Fault: &c}
 }
 
+// LockstepSpec builds a lockstep-mode spec for one sweep shard.
+func LockstepSpec(sweep lockstep.SweepSpec) Spec {
+	s := sweep.Normalized()
+	return Spec{Mode: ModeLockstep, Lockstep: &s}
+}
+
+// LockstepShards splits a sweep into n index-range shards that together
+// reproduce exactly the sequential sweep's programs (per-program seeds
+// are functions of the global index) — the unit the fabric distributes.
+func LockstepShards(sweep lockstep.SweepSpec, n int) []Spec {
+	sweep = sweep.Normalized()
+	if n <= 1 || sweep.Programs <= 1 {
+		return []Spec{LockstepSpec(sweep)}
+	}
+	if n > sweep.Programs {
+		n = sweep.Programs
+	}
+	out := make([]Spec, 0, n)
+	per := sweep.Programs / n
+	extra := sweep.Programs % n
+	next := sweep.FirstProgram
+	for i := 0; i < n; i++ {
+		shard := sweep
+		shard.FirstProgram = next
+		shard.Programs = per
+		if i < extra {
+			shard.Programs++
+		}
+		next += shard.Programs
+		if shard.Programs > 0 {
+			out = append(out, LockstepSpec(shard))
+		}
+	}
+	return out
+}
+
 // validate rejects specs the executors could not run.
 func (s *Spec) validate() error {
 	switch s.Mode {
@@ -96,6 +142,13 @@ func (s *Spec) validate() error {
 	case ModeFault:
 		if s.Fault == nil {
 			return fmt.Errorf("campaign: fault spec needs a fault config")
+		}
+	case ModeLockstep:
+		if s.Lockstep == nil {
+			return fmt.Errorf("campaign: lockstep spec needs a sweep spec")
+		}
+		if err := s.Lockstep.Validate(); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("campaign: unknown mode %q", s.Mode)
@@ -130,8 +183,9 @@ type Result struct {
 	Workload string `json:"workload,omitempty"`
 	Variant  string `json:"variant,omitempty"`
 
-	Bench *BenchResult        `json:"bench,omitempty"`
-	Fault *faultinject.Report `json:"fault,omitempty"`
+	Bench    *BenchResult          `json:"bench,omitempty"`
+	Fault    *faultinject.Report   `json:"fault,omitempty"`
+	Lockstep *lockstep.SweepReport `json:"lockstep,omitempty"`
 }
 
 // ResultSchema versions the cached-result payload.

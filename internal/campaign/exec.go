@@ -6,6 +6,7 @@ import (
 
 	"chex86/internal/experiments"
 	"chex86/internal/faultinject"
+	"chex86/internal/lockstep"
 	"chex86/internal/workload"
 )
 
@@ -19,6 +20,8 @@ func Execute(ctx context.Context, spec *Spec) (*Result, error) {
 		return execBench(ctx, spec)
 	case ModeFault:
 		return execFault(ctx, spec)
+	case ModeLockstep:
+		return execLockstep(ctx, spec)
 	}
 	return nil, fmt.Errorf("campaign: unknown mode %q", spec.Mode)
 }
@@ -70,4 +73,27 @@ func execFault(ctx context.Context, spec *Spec) (*Result, error) {
 		r.Workload = spec.Fault.Workloads[0]
 	}
 	return r, nil
+}
+
+// execLockstep runs one differential-fuzzing sweep shard. The report is a
+// pure function of the spec (per-program seeds derive from the sweep seed
+// and the global program index), so shards cache, shard, and merge like
+// any other cell; interrupted sweeps propagate the context error and are
+// never cached. Counters land on the process-wide lockstep metrics that
+// chexd exposes on /metrics.
+func execLockstep(ctx context.Context, spec *Spec) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := lockstep.Sweep(ctx, *spec.Lockstep, lockstep.SweepOptions{
+		Metrics: lockstep.SharedMetrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schema:   ResultSchema,
+		Mode:     ModeLockstep,
+		Lockstep: rep,
+	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"chex86/internal/faultinject"
+	"chex86/internal/lockstep"
 	"chex86/internal/tracker"
 	"chex86/internal/workload"
 )
@@ -75,6 +76,11 @@ func (s *Spec) canonicalSpec() ([]byte, error) {
 			Mode  Mode               `json:"mode"`
 			Fault faultinject.Config `json:"fault"`
 		}{s.Mode, s.Fault.Normalized()})
+	case ModeLockstep:
+		return json.Marshal(struct {
+			Mode     Mode               `json:"mode"`
+			Lockstep lockstep.SweepSpec `json:"lockstep"`
+		}{s.Mode, s.Lockstep.Normalized()})
 	}
 	return nil, fmt.Errorf("campaign: unknown mode %q", s.Mode)
 }
@@ -104,6 +110,11 @@ func (s *Spec) programBytes() ([][]byte, error) {
 			out = append(out, b)
 		}
 		return out, nil
+	case ModeLockstep:
+		// Lockstep programs are generated, not cataloged: every guest
+		// program derives from the sweep seed already hashed in the spec
+		// section, so there are no workload bytes to fold in.
+		return nil, nil
 	}
 	return nil, fmt.Errorf("campaign: unknown mode %q", s.Mode)
 }

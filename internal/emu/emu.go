@@ -71,9 +71,46 @@ type Rec struct {
 	AllocSize uint64 // for EvAllocEnter/Exit: requested size; for EvFreeEnter: freed ptr in AllocBase
 }
 
+// FaultKind classifies a functional execution fault so consumers (the
+// lockstep differ in particular) can compare faults structurally instead
+// of string-matching Msg.
+type FaultKind uint8
+
+const (
+	// FaultNone is the zero value; a real *Fault never carries it.
+	FaultNone FaultKind = iota
+	// FaultShadowLoad is a guest load from the privileged shadow space.
+	FaultShadowLoad
+	// FaultShadowStore is a guest store to the privileged shadow space.
+	FaultShadowStore
+	// FaultBadRIP means control flow left the program text.
+	FaultBadRIP
+	// FaultBadOpcode is an unimplemented opcode or unsupported operand
+	// form reaching execution.
+	FaultBadOpcode
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultShadowLoad:
+		return "shadow-load"
+	case FaultShadowStore:
+		return "shadow-store"
+	case FaultBadRIP:
+		return "bad-rip"
+	case FaultBadOpcode:
+		return "bad-opcode"
+	}
+	return "unknown"
+}
+
 // Fault is a functional execution fault (the insecure baseline's equivalent
 // of a crash).
 type Fault struct {
+	Kind FaultKind
 	Core int
 	Addr uint64
 	RIP  uint64
@@ -82,7 +119,7 @@ type Fault struct {
 
 // Error implements error.
 func (f *Fault) Error() string {
-	return fmt.Sprintf("fault on core %d at rip=%#x addr=%#x: %s", f.Core, f.RIP, f.Addr, f.Msg)
+	return fmt.Sprintf("fault on core %d at rip=%#x addr=%#x: %s [%s]", f.Core, f.RIP, f.Addr, f.Msg, f.Kind)
 }
 
 // Span is a ground-truth allocation record.
@@ -365,14 +402,14 @@ func (m *Machine) Step() (*Rec, error) {
 
 func (m *Machine) readMem(h *Hart, addr uint64) (uint64, error) {
 	if mem.IsShadow(addr) {
-		return 0, &Fault{Core: h.ID, Addr: addr, RIP: h.RIP, Msg: "load from privileged shadow space"}
+		return 0, &Fault{Kind: FaultShadowLoad, Core: h.ID, Addr: addr, RIP: h.RIP, Msg: "load from privileged shadow space"}
 	}
 	return m.Mem.ReadU64(addr), nil
 }
 
 func (m *Machine) writeMem(h *Hart, addr, v uint64) error {
 	if mem.IsShadow(addr) {
-		return &Fault{Core: h.ID, Addr: addr, RIP: h.RIP, Msg: "store to privileged shadow space"}
+		return &Fault{Kind: FaultShadowStore, Core: h.ID, Addr: addr, RIP: h.RIP, Msg: "store to privileged shadow space"}
 	}
 	m.Mem.WriteU64(addr, v)
 	return nil
@@ -456,7 +493,7 @@ func (m *Machine) stepHart(h *Hart) (*Rec, error) {
 		if ex, ok := m.exitInsts[h.RIP]; ok {
 			in = ex
 		} else {
-			return nil, &Fault{Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "rip outside program text"}
+			return nil, &Fault{Kind: FaultBadRIP, Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "rip outside program text"}
 		}
 	}
 	m.seq++
@@ -502,7 +539,7 @@ func (m *Machine) stepHart(h *Hart) (*Rec, error) {
 		case in.Dst.Kind == isa.OpReg && in.Src.Kind == isa.OpMem:
 			a := h.ea(in.Src.Mem)
 			if mem.IsShadow(a) {
-				return nil, &Fault{Core: h.ID, Addr: a, RIP: h.RIP, Msg: "byte load from privileged shadow space"}
+				return nil, &Fault{Kind: FaultShadowLoad, Core: h.ID, Addr: a, RIP: h.RIP, Msg: "byte load from privileged shadow space"}
 			}
 			v := uint64(m.Mem.ReadU8(a))
 			h.Regs[in.Dst.Reg] = v
@@ -511,13 +548,13 @@ func (m *Machine) stepHart(h *Hart) (*Rec, error) {
 		case in.Dst.Kind == isa.OpMem && in.Src.Kind == isa.OpReg:
 			a := h.ea(in.Dst.Mem)
 			if mem.IsShadow(a) {
-				return nil, &Fault{Core: h.ID, Addr: a, RIP: h.RIP, Msg: "byte store to privileged shadow space"}
+				return nil, &Fault{Kind: FaultShadowStore, Core: h.ID, Addr: a, RIP: h.RIP, Msg: "byte store to privileged shadow space"}
 			}
 			m.Mem.WriteU8(a, byte(h.Regs[in.Src.Reg]))
 			rec.EA, rec.HasEA = a, true
 			rec.StoreVal = h.Regs[in.Src.Reg] & 0xFF
 		default:
-			return nil, &Fault{Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "unsupported movb form"}
+			return nil, &Fault{Kind: FaultBadOpcode, Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "unsupported movb form"}
 		}
 		adv()
 
@@ -580,7 +617,7 @@ func (m *Machine) stepHart(h *Hart) (*Rec, error) {
 			rec.EA, rec.HasEA = a, true
 			rec.Val, rec.HasVal = old, true
 		default:
-			return nil, &Fault{Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "unsupported xchg form"}
+			return nil, &Fault{Kind: FaultBadOpcode, Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "unsupported xchg form"}
 		}
 		adv()
 
@@ -656,7 +693,7 @@ func (m *Machine) stepHart(h *Hart) (*Rec, error) {
 		}
 
 	default:
-		return nil, &Fault{Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "unimplemented opcode " + in.Op.String()}
+		return nil, &Fault{Kind: FaultBadOpcode, Core: h.ID, Addr: h.RIP, RIP: h.RIP, Msg: "unimplemented opcode " + in.Op.String()}
 	}
 	return rec, nil
 }

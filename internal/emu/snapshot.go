@@ -1,0 +1,126 @@
+package emu
+
+import (
+	"fmt"
+	"strings"
+
+	"chex86/internal/isa"
+)
+
+// HartState is a plain-data copy of one hart's architectural state.
+type HartState struct {
+	ID     int
+	Regs   [isa.NumArchRegs]uint64
+	Flags  isa.Flags
+	RIP    uint64
+	Halted bool
+}
+
+// SpanState is a plain-data copy of one ground-truth allocation span.
+type SpanState struct {
+	PID  int64
+	Base uint64
+	Size uint64
+	Live bool
+}
+
+// Snapshot is a plain-data copy of the machine's architecturally visible
+// state: register files, the allocator frontier, and the ground-truth
+// allocation map. It contains no pointers into the machine, so two
+// snapshots from independently running machines can be compared field by
+// field — the lockstep differential harness does exactly that at commit
+// strides, with no reflection.
+type Snapshot struct {
+	Seq        uint64
+	TotalInsts uint64
+	HeapTop    uint64
+	Harts      []HartState
+	Spans      []SpanState
+}
+
+// Snapshot captures the machine's current architectural state.
+func (m *Machine) Snapshot() Snapshot {
+	s := Snapshot{
+		Seq:        m.seq,
+		TotalInsts: m.totalInsts,
+		HeapTop:    m.Alloc.Top(),
+		Harts:      make([]HartState, len(m.Harts)),
+		Spans:      make([]SpanState, len(m.Truth.Spans())),
+	}
+	for i, h := range m.Harts {
+		s.Harts[i] = HartState{ID: h.ID, Regs: h.Regs, Flags: h.Flags, RIP: h.RIP, Halted: h.Halted}
+	}
+	for i, sp := range m.Truth.Spans() {
+		s.Spans[i] = SpanState{PID: sp.PID, Base: sp.Base, Size: sp.Size, Live: sp.Live}
+	}
+	return s
+}
+
+// Diff compares two snapshots and returns a human-readable description of
+// every mismatching field, or nil when the snapshots are architecturally
+// identical. Seq and TotalInsts are compared too: lockstepped machines
+// must agree on how many instructions produced the state.
+func (s Snapshot) Diff(o Snapshot) []string {
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	if s.Seq != o.Seq {
+		add("seq %d != %d", s.Seq, o.Seq)
+	}
+	if s.TotalInsts != o.TotalInsts {
+		add("totalInsts %d != %d", s.TotalInsts, o.TotalInsts)
+	}
+	if s.HeapTop != o.HeapTop {
+		add("heapTop %#x != %#x", s.HeapTop, o.HeapTop)
+	}
+	if len(s.Harts) != len(o.Harts) {
+		add("hart count %d != %d", len(s.Harts), len(o.Harts))
+	} else {
+		for i := range s.Harts {
+			a, b := s.Harts[i], o.Harts[i]
+			if a.RIP != b.RIP {
+				add("hart %d rip %#x != %#x", i, a.RIP, b.RIP)
+			}
+			if a.Flags != b.Flags {
+				add("hart %d flags %v != %v", i, a.Flags, b.Flags)
+			}
+			if a.Halted != b.Halted {
+				add("hart %d halted %v != %v", i, a.Halted, b.Halted)
+			}
+			for r := 0; r < isa.NumArchRegs; r++ {
+				if a.Regs[r] != b.Regs[r] {
+					add("hart %d %s %#x != %#x", i, isa.Reg(r), a.Regs[r], b.Regs[r])
+				}
+			}
+		}
+	}
+	if len(s.Spans) != len(o.Spans) {
+		add("span count %d != %d", len(s.Spans), len(o.Spans))
+	} else {
+		for i := range s.Spans {
+			if s.Spans[i] != o.Spans[i] {
+				add("span %d %+v != %+v", i, s.Spans[i], o.Spans[i])
+			}
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line digest of the snapshot for divergence
+// reports.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%d insts=%d heapTop=%#x", s.Seq, s.TotalInsts, s.HeapTop)
+	live := 0
+	for _, sp := range s.Spans {
+		if sp.Live {
+			live++
+		}
+	}
+	fmt.Fprintf(&b, " spans=%d live=%d", len(s.Spans), live)
+	for _, h := range s.Harts {
+		fmt.Fprintf(&b, " h%d[rip=%#x halted=%v]", h.ID, h.RIP, h.Halted)
+	}
+	return b.String()
+}

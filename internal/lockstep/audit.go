@@ -1,0 +1,77 @@
+package lockstep
+
+import (
+	"context"
+	"fmt"
+
+	"chex86/internal/asm"
+	"chex86/internal/core"
+	"chex86/internal/pipeline"
+	"chex86/internal/ptrflow"
+)
+
+// auditInvariants sweeps the design invariants the capability machinery
+// promises, on the live pipeline state. It runs at commit strides and
+// once at end of run, for tracker-backed variants only:
+//
+//   - every capability entry's integrity code must verify (Table.Audit
+//     quarantines and reports corrupt entries — any hit here is silent
+//     shadow-state corruption);
+//   - the shadow capability table must agree with the emulator's
+//     ground-truth allocation map: a live span's capability carries the
+//     valid bit with matching base and bounds, a freed span's entry has
+//     it cleared (quarantine/Truth consistency). Entries mid-generation
+//     or mid-free (busy) are skipped, as are runs that already recorded
+//     violations — an injected violation legitimately desynchronizes the
+//     two views (that is what it is detecting).
+func auditInvariants(sim *pipeline.Sim) []string {
+	if !sim.Cfg.Variant.UsesTracker() {
+		return nil
+	}
+	var out []string
+	if pids := sim.Table.Audit(); len(pids) > 0 {
+		out = append(out, fmt.Sprintf("capability integrity audit quarantined %d entries (first pid=%d)", len(pids), pids[0]))
+	}
+	if len(sim.Violations) > 0 {
+		return out
+	}
+	for _, sp := range sim.M.Truth.Spans() {
+		cap := sim.Table.Lookup(core.PID(sp.PID))
+		if cap == nil {
+			// Freed spans may have been evicted from the table; a live
+			// heap span must still be covered.
+			if sp.Live {
+				out = append(out, fmt.Sprintf("live span pid=%d base=%#x has no capability entry", sp.PID, sp.Base))
+			}
+			continue
+		}
+		if cap.Perms&core.PermBusy != 0 {
+			continue // allocation or free in flight at this stride
+		}
+		valid := cap.Perms&core.PermValid != 0
+		if valid != sp.Live {
+			out = append(out, fmt.Sprintf("pid=%d truth live=%v but capability valid=%v", sp.PID, sp.Live, valid))
+			continue
+		}
+		if sp.Live && cap.Base != sp.Base {
+			out = append(out, fmt.Sprintf("pid=%d capability base %#x != truth base %#x", sp.PID, cap.Base, sp.Base))
+		}
+		if sp.Live && uint64(cap.Bounds) != sp.Size {
+			out = append(out, fmt.Sprintf("pid=%d capability bounds %d != truth size %d", sp.PID, cap.Bounds, sp.Size))
+		}
+	}
+	return out
+}
+
+// crosscheckProgram replays the program under the static pointer-flow
+// cross-check (internal/ptrflow): the live tracker's tag stream must be
+// sound against the analyzer's verdicts — zero proven false negatives.
+// The sweep samples safe programs through this (tag-lattice soundness is
+// a per-program property; running every Nth keeps the harness fast).
+func crosscheckProgram(ctx context.Context, prog *asm.Program, maxInsts uint64) (falseNegatives int, err error) {
+	rep, err := ptrflow.Crosscheck(ctx, prog, ptrflow.CheckOptions{Harts: 1, MaxInsts: maxInsts})
+	if err != nil {
+		return 0, err
+	}
+	return rep.FalseNegatives, nil
+}

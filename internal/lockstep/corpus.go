@@ -1,0 +1,107 @@
+package lockstep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"chex86/internal/lockstep/progen"
+)
+
+// Corpus is a content-addressed genome store on disk:
+//
+//	<dir>/seeds/<sha256-prefix>.json   — interesting seed genomes
+//	<dir>/repros/<sha256-prefix>.json  — shrunk failure reproducers
+//
+// Files are the genome's canonical JSON, named by its SHA-256 (first 16
+// hex chars), written atomically (temp file + rename), so concurrent
+// writers and re-runs converge on identical content.
+type Corpus struct {
+	dir string
+}
+
+const (
+	corpusSeeds  = "seeds"
+	corpusRepros = "repros"
+	hashPrefix   = 16
+)
+
+// OpenCorpus creates (or reuses) a corpus directory.
+func OpenCorpus(dir string) (*Corpus, error) {
+	for _, sub := range []string{corpusSeeds, corpusRepros} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("lockstep: open corpus: %w", err)
+		}
+	}
+	return &Corpus{dir: dir}, nil
+}
+
+// Dir returns the corpus root.
+func (c *Corpus) Dir() string { return c.dir }
+
+func (c *Corpus) put(sub string, g *progen.Genome) (string, error) {
+	path := filepath.Join(c.dir, sub, g.Hash()[:hashPrefix]+".json")
+	if _, err := os.Stat(path); err == nil {
+		return path, nil // content-addressed: identical genome already stored
+	}
+	tmp, err := os.CreateTemp(filepath.Join(c.dir, sub), ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("lockstep: corpus write: %w", err)
+	}
+	if _, err := tmp.Write(g.CanonicalJSON()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("lockstep: corpus write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("lockstep: corpus write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("lockstep: corpus write: %w", err)
+	}
+	return path, nil
+}
+
+// PutSeed persists an interesting seed genome; returns its path.
+func (c *Corpus) PutSeed(g *progen.Genome) (string, error) { return c.put(corpusSeeds, g) }
+
+// PutRepro persists a shrunk failure reproducer; returns its path.
+func (c *Corpus) PutRepro(g *progen.Genome) (string, error) { return c.put(corpusRepros, g) }
+
+func (c *Corpus) load(sub string) ([]*progen.Genome, error) {
+	ents, err := os.ReadDir(filepath.Join(c.dir, sub))
+	if err != nil {
+		return nil, fmt.Errorf("lockstep: corpus read: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	out := make([]*progen.Genome, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(c.dir, sub, name))
+		if err != nil {
+			return nil, fmt.Errorf("lockstep: corpus read: %w", err)
+		}
+		g, err := progen.ParseGenome(data)
+		if err != nil {
+			return nil, fmt.Errorf("lockstep: corpus %s/%s: %w", sub, name, err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// Seeds loads every stored seed genome, sorted by content address.
+func (c *Corpus) Seeds() ([]*progen.Genome, error) { return c.load(corpusSeeds) }
+
+// Repros loads every stored reproducer, sorted by content address.
+func (c *Corpus) Repros() ([]*progen.Genome, error) { return c.load(corpusRepros) }

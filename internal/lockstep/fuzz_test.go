@@ -1,0 +1,42 @@
+package lockstep
+
+import (
+	"testing"
+
+	"chex86/internal/decode"
+	"chex86/internal/lockstep/progen"
+)
+
+// FuzzLockstep is the Go-native fuzzing entry: the engine explores
+// (seed, mutation, steps) space and every derived genome must pass the
+// harness — reference lockstep agreement, invariant audits, per-variant
+// report identity, and ground-truth label detection. The condition set is
+// trimmed for throughput (insecure + prediction with elision and μop
+// cache toggled); CI runs this with -fuzz=FuzzLockstep -fuzztime 10s on
+// top of the seeded corpus below.
+func FuzzLockstep(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint16(40))
+	f.Add(uint64(2), uint8(1), uint16(24))
+	f.Add(uint64(3), uint8(2), uint16(16))
+	f.Add(uint64(4), uint8(3), uint16(32))
+	f.Add(uint64(5), uint8(4), uint16(8))
+	conds := []Condition{
+		{Variant: decode.VariantInsecure},
+		{Variant: decode.VariantMicrocodePrediction},
+		{Variant: decode.VariantMicrocodePrediction, Elide: true},
+		{Variant: decode.VariantMicrocodePrediction, NoUopCache: true},
+	}
+	muts := append([]progen.Mutation{progen.MutNone}, progen.Mutations()...)
+	f.Fuzz(func(t *testing.T, seed uint64, mutSel uint8, steps uint16) {
+		mut := muts[int(mutSel)%len(muts)]
+		g := progen.Generate(seed, progen.Options{
+			Steps:    int(steps%512) + 1,
+			Mutation: mut,
+		})
+		pr := RunGenome(g, conds, RunOptions{Stride: 32, MaxInsts: 200_000})
+		if pr.Failure != nil {
+			t.Fatalf("seed=%#x mut=%q steps=%d: %v\ngenome: %s",
+				seed, mut, steps, pr.Failure, g.CanonicalJSON())
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package lockstep
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics counts harness activity across every sweep in the process, for
+// the /metrics text exposition in chexd (long campaigns submitted through
+// the fabric report here). All fields are monotonic counters.
+//
+// The package itself never reads a wall clock — shrink timing uses an
+// injected clock set only by CLIs (SetClock), which keeps internal/lockstep
+// at zero chexvet waivers.
+type Metrics struct {
+	Programs            atomic.Int64
+	Divergences         atomic.Int64
+	InvariantViolations atomic.Int64
+	MutantsInjected     atomic.Int64
+	MutantsMissed       atomic.Int64
+	ShrinkRuns          atomic.Int64
+	ShrinkNS            atomic.Int64
+
+	clock atomic.Value // func() int64 returning unix nanoseconds
+}
+
+// SharedMetrics is the process-wide instance: sweeps run through the
+// campaign executor report here, and chexd renders it under /metrics.
+var SharedMetrics = &Metrics{}
+
+// SetClock injects the wall clock used to measure shrink duration
+// (nanoseconds). Without one, shrink time is simply not recorded.
+func (m *Metrics) SetClock(fn func() int64) { m.clock.Store(fn) }
+
+func (m *Metrics) now() int64 {
+	if fn, ok := m.clock.Load().(func() int64); ok && fn != nil {
+		return fn()
+	}
+	return 0
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters.
+type MetricsSnapshot struct {
+	Programs            int64
+	Divergences         int64
+	InvariantViolations int64
+	MutantsInjected     int64
+	MutantsMissed       int64
+	ShrinkRuns          int64
+	ShrinkNS            int64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Programs:            m.Programs.Load(),
+		Divergences:         m.Divergences.Load(),
+		InvariantViolations: m.InvariantViolations.Load(),
+		MutantsInjected:     m.MutantsInjected.Load(),
+		MutantsMissed:       m.MutantsMissed.Load(),
+		ShrinkRuns:          m.ShrinkRuns.Load(),
+		ShrinkNS:            m.ShrinkNS.Load(),
+	}
+}
+
+// Render emits the counters in the same text exposition format as the
+// campaign metrics (`name value`, one per line, fixed order).
+func (s MetricsSnapshot) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lockstep_programs_total %d\n", s.Programs)
+	fmt.Fprintf(&b, "lockstep_divergences_total %d\n", s.Divergences)
+	fmt.Fprintf(&b, "lockstep_invariant_violations_total %d\n", s.InvariantViolations)
+	fmt.Fprintf(&b, "lockstep_mutants_injected_total %d\n", s.MutantsInjected)
+	fmt.Fprintf(&b, "lockstep_mutants_missed_total %d\n", s.MutantsMissed)
+	fmt.Fprintf(&b, "lockstep_shrink_runs_total %d\n", s.ShrinkRuns)
+	fmt.Fprintf(&b, "lockstep_shrink_seconds_total %.6f\n", float64(s.ShrinkNS)/1e9)
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package progen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGenerateDeterminism: the same (seed, options) pair must produce a
+// byte-identical genome and a byte-identical program.
+func TestGenerateDeterminism(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, mut := range append([]Mutation{MutNone}, Mutations()...) {
+			a := Generate(seed, Options{Mutation: mut})
+			b := Generate(seed, Options{Mutation: mut})
+			if !bytes.Equal(a.CanonicalJSON(), b.CanonicalJSON()) {
+				t.Fatalf("seed %d mut %q: genomes differ", seed, mut)
+			}
+			da, err := a.ProgramDigest()
+			if err != nil {
+				t.Fatalf("seed %d mut %q: build: %v", seed, mut, err)
+			}
+			db, err := b.ProgramDigest()
+			if err != nil {
+				t.Fatalf("seed %d mut %q: build: %v", seed, mut, err)
+			}
+			if da != db {
+				t.Fatalf("seed %d mut %q: program digests differ", seed, mut)
+			}
+		}
+	}
+}
+
+// TestGenerateDistinct: different seeds should produce different
+// programs (sanity that the stream actually varies).
+func TestGenerateDistinct(t *testing.T) {
+	seen := map[string]uint64{}
+	for seed := uint64(0); seed < 50; seed++ {
+		d, err := Generate(seed, Options{}).ProgramDigest()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("seeds %d and %d generated identical programs", prev, seed)
+		}
+		seen[d] = seed
+	}
+}
+
+// TestGoldenDigests pins exact program digests for a few seeds: any
+// change to the generator's instruction stream — including an
+// unintentional platform or Go-version dependence — fails here. These
+// are the cross-process "golden bytes": the constants were produced by a
+// separate process running the same generator.
+func TestGoldenDigests(t *testing.T) {
+	golden := map[uint64]string{
+		1: "139ccc61308b394506ff5ed4e263837dd96d5f9c5b3a2e8b6268a6a3845bc31e",
+		2: "a9bec054138c2084655471b0c7087dd20c090f73cb4e59b4436d3d48d28fcca2",
+		3: "3f897f2c36cfebd9ea4bcbe36ffec32ae3b44751b4b0e174198b050898039b4c",
+	}
+	for seed, want := range golden {
+		got, err := Generate(seed, Options{}).ProgramDigest()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != want {
+			t.Errorf("seed %d: program digest %s, want %s", seed, got, want)
+		}
+	}
+}
+
+// TestMutationAlwaysPresent: a mutated genome must always build (the
+// fallback guarantees the labeled violation is emitted even when the
+// flagged step cannot fire) — including after every step was shrunk
+// away.
+func TestMutationAlwaysPresent(t *testing.T) {
+	for _, mut := range Mutations() {
+		for seed := uint64(0); seed < 20; seed++ {
+			g := Generate(seed, Options{Mutation: mut})
+			if _, err := g.Build(); err != nil {
+				t.Fatalf("seed %d mut %q: %v", seed, mut, err)
+			}
+			empty := g.Clone()
+			empty.Steps = nil
+			if _, err := empty.Build(); err != nil {
+				t.Fatalf("seed %d mut %q with no steps: %v", seed, mut, err)
+			}
+		}
+	}
+}
+
+// TestParseGenomeSanitizes: hostile corpus bytes must clamp into ranges
+// Build accepts.
+func TestParseGenomeSanitizes(t *testing.T) {
+	hostile := []byte(`{"seed":1,"bufs":99,"bufBytes":-8,"funcs":1000,"mutation":"nonsense",
+		"steps":[{"k":200,"b":-5,"d":99,"o":-1,"f":77},{"k":3,"b":40,"o":99999}]}`)
+	g, err := ParseGenome(hostile)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if g.Bufs < 1 || g.Bufs > 4 || g.BufBytes < 16 || g.Funcs > 8 {
+		t.Fatalf("not sanitized: %+v", g)
+	}
+	if !g.Mutation.valid() {
+		t.Fatalf("mutation not sanitized: %q", g.Mutation)
+	}
+	if _, err := g.Build(); err != nil {
+		t.Fatalf("sanitized genome must build: %v", err)
+	}
+	if _, err := ParseGenome([]byte("{nope")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+// TestSubsetsBuild: any step subset of a genome must build (the property
+// the shrinker depends on).
+func TestSubsetsBuild(t *testing.T) {
+	g := Generate(7, Options{Mutation: MutUAF})
+	for cut := 0; cut <= len(g.Steps); cut += 5 {
+		sub := g.Clone()
+		sub.Steps = sub.Steps[:cut]
+		if _, err := sub.Build(); err != nil {
+			t.Fatalf("prefix %d: %v", cut, err)
+		}
+		sub2 := g.Clone()
+		sub2.Steps = sub2.Steps[cut:]
+		if _, err := sub2.Build(); err != nil {
+			t.Fatalf("suffix %d: %v", cut, err)
+		}
+	}
+}

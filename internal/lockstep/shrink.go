@@ -1,0 +1,82 @@
+package lockstep
+
+import (
+	"chex86/internal/lockstep/progen"
+)
+
+// Shrink minimizes a failing genome by deterministic delta debugging:
+// ddmin-style chunked step removal (halving the chunk size as removals
+// stop helping), then dropping the call tree and reducing the buffer
+// count. Because progen.Build guards every step against the current
+// emission state, any step subset is a well-formed program — the shrinker
+// only ever deletes and re-tests.
+//
+// fails must report whether a candidate still reproduces the original
+// failure; it is invoked at most maxAttempts times (default 200) so
+// shrinking stays bounded even when every candidate re-runs the full
+// condition matrix. Returns the smallest reproducer found and the number
+// of attempts spent. Fully deterministic: candidate order depends only on
+// the input genome.
+func Shrink(g *progen.Genome, fails func(*progen.Genome) bool, maxAttempts int) (*progen.Genome, int) {
+	if maxAttempts <= 0 {
+		maxAttempts = 200
+	}
+	attempts := 0
+	try := func(cand *progen.Genome) bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		attempts++
+		return fails(cand)
+	}
+
+	best := g.Clone()
+	chunk := (len(best.Steps) + 1) / 2
+	for chunk > 0 {
+		removed := false
+		for start := 0; start < len(best.Steps) && attempts < maxAttempts; {
+			end := start + chunk
+			if end > len(best.Steps) {
+				end = len(best.Steps)
+			}
+			cand := best.Clone()
+			cand.Steps = append(cand.Steps[:start:start], cand.Steps[end:]...)
+			if try(cand) {
+				best = cand
+				removed = true
+				// Do not advance: the window now holds the steps that
+				// followed the removed chunk.
+			} else {
+				start = end
+			}
+		}
+		if attempts >= maxAttempts {
+			break
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		}
+	}
+
+	// Structural reductions: drop the call tree, then shed buffers (the
+	// genome normalizer remaps steps that referenced removed ones).
+	if best.Funcs > 0 && attempts < maxAttempts {
+		cand := best.Clone()
+		cand.Funcs = 0
+		if try(cand) {
+			best = cand
+		}
+	}
+	for best.Bufs > 1 && attempts < maxAttempts {
+		cand := best.Clone()
+		cand.Bufs = best.Bufs - 1
+		if !try(cand) {
+			break
+		}
+		best = cand
+	}
+	return best, attempts
+}

@@ -237,6 +237,15 @@ type Sim struct {
 	// pointer-flow cross-check (internal/ptrflow) diffs against.
 	TraceDeref func(rip uint64, u *isa.Uop, pid core.PID)
 
+	// TraceCommit, when set, observes every committed macro-op record
+	// after the pipeline has fully processed it (checks injected,
+	// capability events applied, violations recorded) and immediately
+	// before the record is recycled. The record must not be retained —
+	// copy what you need. This is the probe the lockstep differential
+	// harness (internal/lockstep) uses to compare the pipeline's committed
+	// architectural stream against a reference emulator running in step.
+	TraceCommit func(rec *emu.Rec)
+
 	// elision marks sites with an independently verified safety proof;
 	// consulted only when Cfg.ElideChecks is set (see elide.go).
 	elision ElisionMap
@@ -497,6 +506,9 @@ func (s *Sim) Step(rounds int) (bool, error) {
 				s.warm = s.result()
 			}
 			v := s.processRec(c, rec)
+			if s.TraceCommit != nil {
+				s.TraceCommit(rec)
+			}
 			// processRec fully consumes the record (violations and checker
 			// findings copy what they need), so it can go back on the
 			// machine's free list for the next Step to reuse.

@@ -2,229 +2,32 @@ package security
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"chex86/internal/asm"
 	"chex86/internal/core"
 	"chex86/internal/decode"
-	"chex86/internal/heap"
-	"chex86/internal/isa"
+	"chex86/internal/lockstep/progen"
 	"chex86/internal/pipeline"
 )
 
 // The randomized differential property of Section VI: CHEx86 is transparent
 // to memory-safe programs (no false positives, whatever the pointer flow)
 // and flags any single injected mutation — spatial (out-of-bounds) or
-// temporal (use-after-free, double free) — with the right violation class.
+// temporal (use-after-free, double free, dangling spill) — with the right
+// violation class.
 //
-// randomSafeProgram emits a program that allocates a handful of buffers and
-// then performs a random walk of pointer copies, arithmetic within bounds,
-// spills, reloads, and in-bounds word/byte accesses — the register-level
-// pointer flows Table I must follow. With fuzz=true one access is made out
-// of bounds.
+// The program generator lives in internal/lockstep/progen (it also feeds
+// the lockstep differential-fuzzing harness): seeded random walks of
+// pointer copies, bounded arithmetic, spills, reloads, in-bounds word/byte
+// accesses, alloc/free churn, and call trees, with an optional labeled
+// violation.
 
-type fuzzedAccess struct {
-	buf  int   // which allocation
-	off  int64 // byte offset, 8-aligned for word accesses
-	byte bool
-	oob  bool
-}
-
-const (
-	fuzzBufs     = 4
-	fuzzBufBytes = 128
-	fuzzSteps    = 40
-)
-
-// pointerRegs is the pool the generator shuffles allocations through.
-var pointerRegs = []isa.Reg{isa.RBX, isa.R12, isa.R13, isa.R14}
-
-// Mutation classes the fuzzer can inject into an otherwise safe program.
-const (
-	mutNone       = ""
-	mutOOB        = "oob"
-	mutUAF        = "uaf"
-	mutDoubleFree = "double-free"
-)
-
-func buildFuzzProgram(rng *rand.Rand, mutation string) (*asm.Program, error) {
-	b := asm.NewBuilder()
-
-	// Allocate the buffers; each pointer lands in its home register.
-	for i := 0; i < fuzzBufs; i++ {
-		b.MovRI(isa.RDI, fuzzBufBytes)
-		b.CallAddr(heap.MallocEntry)
-		b.MovRR(pointerRegs[i], isa.RAX)
-	}
-
-	// home[i] = register currently holding buffer i.
-	home := make([]isa.Reg, fuzzBufs)
-	copy(home, pointerRegs)
-	// spilled[i] = stack slot holding buffer i's pointer, or 0.
-	spilled := make([]int64, fuzzBufs)
-
-	// freeReg returns a pointer register no buffer currently lives in.
-	freeReg := func() isa.Reg {
-		for _, r := range pointerRegs {
-			used := false
-			for j := range home {
-				if home[j] == r {
-					used = true
-					break
-				}
-			}
-			if !used {
-				return r
-			}
-		}
-		return isa.RNone
-	}
-	// ensureHome reloads buffer i's pointer from its spill slot if it lost
-	// its register; reports whether the pointer is usable afterwards.
-	ensureHome := func(i int) bool {
-		if home[i] != isa.RNone {
-			return true
-		}
-		r := freeReg()
-		if r == isa.RNone || spilled[i] == 0 {
-			return false
-		}
-		b.Load(r, isa.RSP, spilled[i])
-		home[i] = r
-		return true
-	}
-
-	freed := make([]bool, fuzzBufs)
-	// emitTemporal injects the chosen temporal mutation on buffer i.
-	emitTemporal := func(i int) {
-		b.MovRR(isa.RDI, home[i])
-		b.CallAddr(heap.FreeEntry)
-		freed[i] = true
-		switch mutation {
-		case mutUAF:
-			b.Load(isa.RDX, home[i], 0) // read through the dangling pointer
-		case mutDoubleFree:
-			b.MovRR(isa.RDI, home[i])
-			b.CallAddr(heap.FreeEntry)
-		}
-	}
-
-	mutStep := -1
-	if mutation != mutNone {
-		mutStep = rng.Intn(fuzzSteps)
-	}
-
-	for step := 0; step < fuzzSteps; step++ {
-		i := rng.Intn(fuzzBufs)
-		if freed[i] {
-			continue
-		}
-		if !ensureHome(i) {
-			continue
-		}
-		if step == mutStep && (mutation == mutUAF || mutation == mutDoubleFree) {
-			emitTemporal(i)
-			mutStep = -2
-			continue
-		}
-		switch op := rng.Intn(6); op {
-		case 0: // copy the pointer to another register (MOV rule)
-			dst := pointerRegs[rng.Intn(len(pointerRegs))]
-			if dst == home[i] {
-				break
-			}
-			// Only evict a buffer that can be reloaded from its spill slot.
-			ok := true
-			for j := range home {
-				if home[j] == dst && spilled[j] == 0 {
-					ok = false
-				}
-			}
-			if !ok {
-				break
-			}
-			for j := range home {
-				if home[j] == dst {
-					home[j] = isa.RNone
-				}
-			}
-			b.MovRR(dst, home[i])
-			home[i] = dst
-		case 1: // spill the pointer to the stack (ST rule: alias record)
-			slot := int64(-64 - 16*i)
-			b.Store(isa.RSP, slot, home[i])
-			spilled[i] = slot
-		case 2: // reload the pointer from its spill slot (LD rule)
-			if spilled[i] == 0 {
-				break
-			}
-			b.Load(home[i], isa.RSP, spilled[i])
-		case 3, 4: // in-bounds access through the tracked pointer
-			acc := fuzzedAccess{
-				buf:  i,
-				off:  8 * rng.Int63n(fuzzBufBytes/8),
-				byte: rng.Intn(4) == 0,
-				oob:  step == mutStep && mutation == mutOOB,
-			}
-			emitAccess(b, home[i], acc, rng)
-			if acc.oob {
-				mutStep = -2 // emitted
-			}
-		case 5: // pointer arithmetic that stays in bounds (ADD/SUB rules)
-			adv := 8 * rng.Int63n(4)
-			b.AddRI(home[i], adv)
-			b.MovRI(isa.RDX, 1)
-			b.Store(home[i], 0, isa.RDX) // still inside the buffer
-			b.SubRI(home[i], adv)
-		}
-	}
-	lastUsable := -1
-	for i := range home {
-		if !freed[i] && ensureHome(i) {
-			lastUsable = i
-		}
-	}
-	if mutStep >= 0 && lastUsable >= 0 {
-		// The chosen step never fired; force the mutation at the end.
-		if mutation == mutOOB {
-			emitAccess(b, home[lastUsable], fuzzedAccess{off: 0, oob: true}, rng)
-		} else {
-			emitTemporal(lastUsable)
-		}
-	}
-	for i := 0; i < fuzzBufs; i++ {
-		if freed[i] || !ensureHome(i) {
-			continue // already freed by the mutation, or pointer lost
-		}
-		b.MovRR(isa.RDI, home[i])
-		b.CallAddr(heap.FreeEntry)
-	}
-	b.Hlt()
-	return b.Build()
-}
-
-func emitAccess(b *asm.Builder, ptr isa.Reg, a fuzzedAccess, rng *rand.Rand) {
-	off := a.off
-	if a.oob {
-		off = fuzzBufBytes + 8*rng.Int63n(4) // past the end
-	}
-	switch {
-	case a.byte && rng.Intn(2) == 0:
-		b.LoadB(isa.RDX, ptr, off)
-	case a.byte:
-		b.MovRI(isa.RDX, 0x5A)
-		b.StoreB(ptr, off, isa.RDX)
-	case rng.Intn(2) == 0:
-		b.Load(isa.RDX, ptr, off)
-	default:
-		b.MovRI(isa.RDX, int64(off))
-		b.Store(ptr, off, isa.RDX)
-	}
-}
-
-func runFuzz(t *testing.T, prog *asm.Program) []*core.Violation {
+func runFuzz(t *testing.T, g *progen.Genome) []*core.Violation {
 	t.Helper()
+	prog, err := g.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
 	cfg := pipeline.DefaultConfig()
 	cfg.Variant = decode.VariantMicrocodePrediction
 	cfg.MaxInsts = 500_000
@@ -241,14 +44,11 @@ func runFuzz(t *testing.T, prog *asm.Program) []*core.Violation {
 // TestFuzzNoFalsePositives: 50 random memory-safe pointer-flow programs,
 // zero violations allowed.
 func TestFuzzNoFalsePositives(t *testing.T) {
-	for seed := int64(0); seed < 50; seed++ {
+	for seed := uint64(0); seed < 50; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			prog, err := buildFuzzProgram(rand.New(rand.NewSource(seed)), mutNone)
-			if err != nil {
-				t.Fatalf("build: %v", err)
-			}
-			if vs := runFuzz(t, prog); len(vs) > 0 {
+			g := progen.Generate(seed, progen.Options{})
+			if vs := runFuzz(t, g); len(vs) > 0 {
 				t.Fatalf("false positive on safe random program: %v", vs[0])
 			}
 		})
@@ -258,28 +58,18 @@ func TestFuzzNoFalsePositives(t *testing.T) {
 // TestFuzzDetectsMutation: the same generator with one injected mutation
 // must always be flagged, with the mutation's violation class.
 func TestFuzzDetectsMutation(t *testing.T) {
-	cases := []struct {
-		mutation string
-		want     core.ViolationKind
-	}{
-		{mutOOB, core.VOutOfBounds},
-		{mutUAF, core.VUseAfterFree},
-		{mutDoubleFree, core.VDoubleFree},
-	}
-	for _, tc := range cases {
-		t.Run(tc.mutation, func(t *testing.T) {
-			for seed := int64(0); seed < 40; seed++ {
-				prog, err := buildFuzzProgram(rand.New(rand.NewSource(seed)), tc.mutation)
-				if err != nil {
-					t.Fatalf("seed %d: build: %v", seed, err)
-				}
-				vs := runFuzz(t, prog)
+	for _, mut := range progen.Mutations() {
+		mut := mut
+		t.Run(string(mut), func(t *testing.T) {
+			for seed := uint64(0); seed < 40; seed++ {
+				g := progen.Generate(seed, progen.Options{Mutation: mut})
+				vs := runFuzz(t, g)
 				if len(vs) == 0 {
-					t.Fatalf("seed %d: %s mutation escaped detection", seed, tc.mutation)
+					t.Fatalf("seed %d: %s mutation escaped detection", seed, mut)
 				}
-				if vs[0].Kind != tc.want {
+				if vs[0].Kind != mut.Expect() {
 					t.Fatalf("seed %d: %s mutation flagged as %v, want %v",
-						seed, tc.mutation, vs[0].Kind, tc.want)
+						seed, mut, vs[0].Kind, mut.Expect())
 				}
 			}
 		})
