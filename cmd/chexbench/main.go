@@ -60,6 +60,7 @@ func main() {
 	stamp := flag.String("stamp", "", "run identifier embedded in the report header (default: current time; pass a fixed stamp for byte-reproducible reports)")
 	coverage := flag.Bool("coverage", false, "run the static pointer-flow cross-check and report tracker coverage")
 	elideMode := flag.Bool("elide", false, "run proof-carrying check elision: analyze, verify proofs, replay with the elision map, report elision rate and speedup")
+	hoistMode := flag.Bool("hoist", false, "run dominator-based guard hoisting: verify fused block-guard claims, replay with the guard map, report the subsumed-check fraction")
 	campaignMode := flag.Bool("campaign", false, "run the benchmark catalog through the sharded campaign worker pool with content-addressed result caching")
 	campaignVariants := flag.String("campaign-variants", "prediction", "comma-separated protection variants for -campaign")
 	cacheDir := flag.String("cache-dir", ".chexcampaign", "campaign result cache directory (empty disables caching)")
@@ -221,6 +222,21 @@ func main() {
 			}
 			dump("elision", rows)
 			fmt.Print(experiments.FormatElision(rows))
+			return nil
+		})
+		if !*all && *fig == 0 && *table == 0 && !*hoistMode {
+			return
+		}
+	}
+
+	if *hoistMode {
+		run("Guard hoisting", func() error {
+			rows, err := experiments.RunHoist(o)
+			if err != nil {
+				return err
+			}
+			dump("hoist", rows)
+			fmt.Print(experiments.FormatHoist(rows))
 			return nil
 		})
 		if !*all && *fig == 0 && *table == 0 {

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -132,17 +133,26 @@ func main() {
 
 // applyShard rewrites the spec's program range to the i-th of n equal
 // index shards (1-based "i/n"), the same split campaign.LockstepShards
-// hands to the fabric.
+// hands to the fabric. Parsing is strict — trailing junk, signs baked
+// into garbage, zero or negative components and out-of-range indices all
+// fail loudly, and a shard that would receive zero programs is an error
+// rather than a silent switch into open-ended budget mode.
 func applyShard(spec *lockstep.SweepSpec, s string) error {
-	i, n := 0, 0
-	if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d/%d", &i, &n); err != nil || i < 1 || n < 1 || i > n {
+	is, ns, ok := strings.Cut(strings.TrimSpace(s), "/")
+	if !ok {
+		return fmt.Errorf("bad -shard %q: want i/n with 1 <= i <= n", s)
+	}
+	i, ierr := strconv.Atoi(is)
+	n, nerr := strconv.Atoi(ns)
+	if ierr != nil || nerr != nil || i < 1 || n < 1 || i > n {
 		return fmt.Errorf("bad -shard %q: want i/n with 1 <= i <= n", s)
 	}
 	if spec.Programs <= 0 {
 		return fmt.Errorf("-shard needs a bounded -programs count")
 	}
-	per := spec.Programs / n
-	extra := spec.Programs % n
+	total := spec.Programs
+	per := total / n
+	extra := total % n
 	first := spec.FirstProgram
 	for k := 1; k < i; k++ {
 		first += per
@@ -154,6 +164,9 @@ func applyShard(spec *lockstep.SweepSpec, s string) error {
 	spec.Programs = per
 	if i <= extra {
 		spec.Programs++
+	}
+	if spec.Programs == 0 {
+		return fmt.Errorf("-shard %d/%d is empty: only %d program(s) to split across %d shards", i, n, total, n)
 	}
 	return nil
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"chex86/internal/lockstep"
+)
+
+func TestApplyShardSplitsRange(t *testing.T) {
+	// 10 programs over 3 shards: 4 + 3 + 3, contiguous and exhaustive.
+	var first, total int
+	for i := 1; i <= 3; i++ {
+		spec := lockstep.SweepSpec{Programs: 10}
+		if err := applyShard(&spec, strings.Repeat(" ", i%2)+itoa(i)+"/3"); err != nil {
+			t.Fatalf("shard %d/3: %v", i, err)
+		}
+		if spec.FirstProgram != first {
+			t.Errorf("shard %d/3 first = %d, want %d", i, spec.FirstProgram, first)
+		}
+		first += spec.Programs
+		total += spec.Programs
+	}
+	if total != 10 {
+		t.Errorf("shards cover %d programs, want 10", total)
+	}
+}
+
+func TestApplyShardRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, shard string
+		programs    int
+		wantErr     string
+	}{
+		{"zero shards", "1/0", 10, "bad -shard"},
+		{"zero index", "0/4", 10, "bad -shard"},
+		{"negative index", "-1/4", 10, "bad -shard"},
+		{"negative count", "2/-4", 10, "bad -shard"},
+		{"index past count", "5/4", 10, "bad -shard"},
+		{"missing slash", "3", 10, "bad -shard"},
+		{"empty", "", 10, "bad -shard"},
+		{"trailing junk", "3/8x", 64, "bad -shard"},
+		{"junk index", "3y/8", 64, "bad -shard"},
+		{"float", "1.5/8", 64, "bad -shard"},
+		{"inner space", "3 /8", 64, "bad -shard"},
+		{"unbounded sweep", "1/4", 0, "bounded -programs"},
+		{"empty shard", "4/4", 3, "is empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := lockstep.SweepSpec{Programs: tc.programs}
+			err := applyShard(&spec, tc.shard)
+			if err == nil {
+				t.Fatalf("applyShard(%q) with %d programs succeeded; want error containing %q (spec now %+v)",
+					tc.shard, tc.programs, tc.wantErr, spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestApplyShardAcceptsWhitespacePadding(t *testing.T) {
+	// Outer whitespace is shell noise and is tolerated; anything inside
+	// the i/n pair is not.
+	spec := lockstep.SweepSpec{Programs: 64}
+	if err := applyShard(&spec, "  3/8  "); err != nil {
+		t.Fatalf("padded shard rejected: %v", err)
+	}
+	if spec.Programs != 8 || spec.FirstProgram != 16 {
+		t.Errorf("3/8 of 64 gave first=%d n=%d, want first=16 n=8", spec.FirstProgram, spec.Programs)
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }

@@ -1,8 +1,10 @@
 // Command chexvet runs the determinism lint suite over simulator
 // packages. It forbids wall-clock reads (time.Now/Since/Until), draws
-// from the global math/rand stream, and unsorted map iteration that
-// feeds output or serialization — the three hazards that break the
-// simulator's byte-identical-reruns contract.
+// from the global math/rand stream, unsorted map iteration that feeds
+// output or serialization, and %p format verbs (runtime addresses differ
+// on every run) — the hazards that break the simulator's
+// byte-identical-reruns contract. A finding is waived by a
+// //determinism:ok comment on the same line or the line above.
 //
 // With no arguments it audits the four core packages:
 // internal/pipeline, internal/tracker, internal/faultinject, and

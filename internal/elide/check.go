@@ -244,12 +244,12 @@ type checker struct {
 	ctxInvs  map[ctxInvKey]*invariant
 	ctxOrder []ctxInvKey
 
-	anyFree      bool   // checker-derived release reachability
-	heapMin      int64  // checker-derived min allocation lower bound (-1 unset)
-	heapUnknown  bool   // an allocation size could not be bounded below
-	storeErr     error  // first store-subsumption failure
-	dec          decode.Decoder
-	uopBuf       []isa.Uop
+	anyFree     bool  // checker-derived release reachability
+	heapMin     int64 // checker-derived min allocation lower bound (-1 unset)
+	heapUnknown bool  // an allocation size could not be bounded below
+	storeErr    error // first store-subsumption failure
+	dec         decode.Decoder
+	uopBuf      []isa.Uop
 }
 
 // newChecker builds the checker's own view of the program and decodes

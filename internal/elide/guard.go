@@ -1,0 +1,448 @@
+package elide
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+
+	"chex86/internal/isa"
+	"chex86/internal/pipeline"
+	"chex86/internal/ptrflow"
+)
+
+// This file re-verifies the analyzer's hoisted-guard claims fail-closed
+// from the serialized certificates alone. The obligations, each derived
+// with the checker's own machinery, never the analyzer's:
+//
+//  1. dominance — the guard's anchor block dominates every covered
+//     site's block, recomputed here with an iterative bitset dataflow
+//     (Dom(b) = {b} ∪ ⋂ Dom(preds)) deliberately different from the
+//     analyzer's Cooper-Harvey-Kennedy tree, and the claimed chain must
+//     match this computation's immediate-dominator steps exactly;
+//  2. subsumption — every covered site's access interval, re-derived
+//     from the verified block invariant by the checker's own transfer,
+//     fits inside the guard's fused [Lo, End) (and inside the claimed
+//     per-site interval, so a narrowed certificate cannot hide a wide
+//     dereference);
+//  3. safety — the full per-site condition of checkSite (tag, region
+//     extent, writability, temporal liveness) holds under the guard's
+//     context;
+//  4. containment — every covered site is in the independently verified
+//     elision map, so guard hoisting attributes suppressed checks but
+//     never suppresses one the per-site proofs did not already license.
+//
+// Any single failure rejects the entire guard set (empty map, Verified
+// false); elision decisions are unaffected.
+
+// GuardDecision is the per-guard outcome: hoist (every obligation
+// re-verified) or reject.
+type GuardDecision struct {
+	Block   int    `json:"block"`
+	Addr    uint64 `json:"addr"`
+	Ctx     string `json:"ctx"`
+	Region  string `json:"region,omitempty"`
+	Store   bool   `json:"store,omitempty"`
+	Lo      int64  `json:"lo"`
+	End     int64  `json:"end"`
+	Covered int    `json:"covered"`
+	Status  string `json:"status"` // "hoist" | "reject"
+	Reason  string `json:"reason,omitempty"`
+}
+
+// GuardStats summarizes guard checking.
+type GuardStats struct {
+	Guards   int `json:"guards"`   // claims the analyzer emitted
+	Covered  int `json:"covered"`  // covered sites across verified guards
+	Rejected int `json:"rejected"` // claims refused (all, when any fails)
+}
+
+// GuardReport is the verified hoisted-guard set for one program. Like
+// the elision Report it is byte-stable JSON plus an out-of-band Map for
+// the pipeline, and its Digest folds in the elision digest so a campaign
+// cache key pins the exact (elision, guard) pair in effect.
+type GuardReport struct {
+	Verified  bool            `json:"verified"`
+	Reason    string          `json:"reason,omitempty"`
+	Stats     GuardStats      `json:"stats"`
+	Decisions []GuardDecision `json:"decisions"`
+	Digest    string          `json:"digest"`
+
+	// Map is the pipeline-consumable guard map (empty unless every
+	// claim verified).
+	Map pipeline.GuardMap `json:"-"`
+}
+
+// verifyGuards checks every guard claim in the bundle against rep's
+// verified elision map. ckErr is the bundle-level checker error (nil
+// when induction verified); any claim failure rejects the whole set.
+func verifyGuards(ck *checker, ckErr error, b *ptrflow.Bundle, rep *Report) GuardReport {
+	gr := GuardReport{Map: pipeline.GuardMap{}}
+	gr.Stats.Guards = len(b.Guards)
+
+	reject := func(reason string) GuardReport {
+		gr.Verified = false
+		gr.Reason = reason
+		gr.Stats.Covered = 0
+		gr.Stats.Rejected = len(b.Guards)
+		for i := range gr.Decisions {
+			gr.Decisions[i].Status = "reject"
+			if gr.Decisions[i].Reason == "" {
+				gr.Decisions[i].Reason = "guard set rejected: " + reason
+			}
+		}
+		gr.Map = pipeline.GuardMap{}
+		gr.Digest = guardDigest(&gr, rep.Digest)
+		return gr
+	}
+
+	for i := range b.Guards {
+		g := &b.Guards[i]
+		gr.Decisions = append(gr.Decisions, GuardDecision{
+			Block: g.Block, Addr: g.Addr, Ctx: g.Ctx, Region: g.Region,
+			Store: g.Store, Lo: g.Lo, End: g.End, Covered: len(g.Covered),
+			Status: "hoist",
+		})
+	}
+
+	if ckErr != nil {
+		return reject("bundle rejected: " + ckErr.Error())
+	}
+	if len(b.Guards) == 0 {
+		gr.Verified = true
+		gr.Digest = guardDigest(&gr, rep.Digest)
+		return gr
+	}
+
+	dom := newBitsetDoms(ck.cfg)
+	gr.Map.Guards = map[pipeline.GuardKey]int{}
+	gr.Map.Covered = map[pipeline.ElideKey]bool{}
+
+	for i := range b.Guards {
+		g := &b.Guards[i]
+		if err := ck.verifyGuard(g, dom, rep.Map, &gr.Map); err != nil {
+			gr.Decisions[i].Reason = err.Error()
+			return reject(fmt.Sprintf("guard %d (block %d, ctx %s): %v", i, g.Block, g.Ctx, err))
+		}
+		gr.Stats.Covered += len(g.Covered)
+	}
+	gr.Verified = true
+	gr.Digest = guardDigest(&gr, rep.Digest)
+	return gr
+}
+
+// verifyGuard re-verifies one claim's obligations and, on success, adds
+// its anchor and covered keys to the pipeline map.
+func (ck *checker) verifyGuard(g *ptrflow.GuardClaim, dom *bitsetDoms,
+	elision pipeline.ElisionMap, out *pipeline.GuardMap) error {
+	if g.Block < 0 || g.Block >= len(ck.cfg.Blocks) || !dom.reach[g.Block] {
+		return fmt.Errorf("anchor block %d out of range or unreachable", g.Block)
+	}
+	if lead := ck.prog.Insts[ck.cfg.Blocks[g.Block].Start].Addr; lead != g.Addr {
+		return fmt.Errorf("anchor %#x is not block %d's leader (%#x)", g.Addr, g.Block, lead)
+	}
+	ctx, err := pipeline.ParseCallCtx(g.Ctx)
+	if err != nil {
+		return err
+	}
+	if !ctx.IsAny() {
+		if err := ck.validateCtx(ctx); err != nil {
+			return err
+		}
+	}
+	if g.Region == "" || g.End <= g.Lo {
+		return fmt.Errorf("degenerate fused claim %s+[%d,%d)", g.Region, g.Lo, g.End)
+	}
+	if len(g.Covered) == 0 {
+		return fmt.Errorf("guard covers no sites")
+	}
+	for i := range g.Covered {
+		gs := &g.Covered[i]
+		sb := ck.cfg.BlockAt(gs.Addr)
+		if sb == nil || sb.ID != gs.Block {
+			return fmt.Errorf("site %#x.%d: block claim %d does not match the checker's CFG", gs.Addr, gs.MacroIdx, gs.Block)
+		}
+		if err := dom.verifyChain(gs.Chain, sb.ID, g.Block); err != nil {
+			return fmt.Errorf("site %#x.%d: %v", gs.Addr, gs.MacroIdx, err)
+		}
+		if gs.Lo > gs.Hi || gs.Lo < g.Lo || satEnd(gs.Hi, gs.Size) > g.End {
+			return fmt.Errorf("site %#x.%d: claimed span [%d,%d+%d) escapes fused [%d,%d)",
+				gs.Addr, gs.MacroIdx, gs.Lo, gs.Hi, gs.Size, g.Lo, g.End)
+		}
+		if !elision[pipeline.ElideKey{Addr: gs.Addr, MacroIdx: gs.MacroIdx, Ctx: ctx}] &&
+			!elision[pipeline.ElideKey{Addr: gs.Addr, MacroIdx: gs.MacroIdx, Ctx: pipeline.CtxAny}] {
+			return fmt.Errorf("site %#x.%d is not in the verified elision map", gs.Addr, gs.MacroIdx)
+		}
+		if err := ck.checkGuardSite(g, gs, ctx); err != nil {
+			return fmt.Errorf("site %#x.%d: %v", gs.Addr, gs.MacroIdx, err)
+		}
+	}
+	out.Guards[pipeline.GuardKey{Addr: g.Addr, Ctx: ctx}] += len(g.Covered)
+	for i := range g.Covered {
+		gs := &g.Covered[i]
+		key := pipeline.ElideKey{Addr: gs.Addr, MacroIdx: gs.MacroIdx, Ctx: ctx}
+		if !elision[key] {
+			key.Ctx = pipeline.CtxAny
+		}
+		out.Covered[key] = true
+	}
+	return nil
+}
+
+// checkGuardSite re-derives one covered site's facts from the verified
+// invariant of its block under the guard's context and checks the full
+// safety condition plus interval subsumption against the checker's own
+// derivation (never the claim's numbers alone).
+func (ck *checker) checkGuardSite(g *ptrflow.GuardClaim, gs *ptrflow.GuardSite, ctx pipeline.CallCtx) error {
+	b := ck.cfg.BlockAt(gs.Addr)
+	var (
+		inv *invariant
+		ok  bool
+	)
+	if ctx.IsAny() {
+		inv, ok = ck.invs[b.ID]
+	} else {
+		inv, ok = ck.ctxInvs[ctxInvKey{block: b.ID, ctx: ctx}]
+	}
+	if !ok {
+		return fmt.Errorf("block %d has no invariant for context %s", b.ID, ctx)
+	}
+	var siteErr error
+	found := false
+	st := stateFromInv(inv)
+	ck.transferBlockF(b, st, func(in *isa.Inst, u *isa.Uop, cur *cstate) {
+		if found || in.Addr != gs.Addr || u.MacroIdx != gs.MacroIdx {
+			return
+		}
+		found = true
+		siteErr = ck.checkGuardUop(g, gs, u, cur)
+	})
+	if !found {
+		return fmt.Errorf("no such memory micro-op")
+	}
+	return siteErr
+}
+
+func (ck *checker) checkGuardUop(g *ptrflow.GuardClaim, gs *ptrflow.GuardSite, u *isa.Uop, st *cstate) error {
+	store := u.Type == isa.UStore
+	if store != gs.Store {
+		return fmt.Errorf("access kind mismatch")
+	}
+	if store && !g.Store {
+		return fmt.Errorf("store covered by a load-only guard")
+	}
+	if u.AccessSize() != gs.Size {
+		return fmt.Errorf("access width %d does not match claim %d", u.AccessSize(), gs.Size)
+	}
+	d := derefFact(st, u.Mem)
+	if d.tag != ptrflow.FactPtr || d.region == "" || d.region != g.Region {
+		return fmt.Errorf("deref tag %q(%s) does not establish ptr(%s)", d.tag, d.region, g.Region)
+	}
+	region, off, ok := ck.eaBounds(st, u)
+	if !ok || region != g.Region {
+		return fmt.Errorf("effective address not attributable to %s", g.Region)
+	}
+	if !off.Bounded() || off.Lo < 0 {
+		return fmt.Errorf("offset %s not provably non-negative and finite", off)
+	}
+	// The claimed per-site interval must contain the derivation: a
+	// certificate narrower than the access would make the fused-interval
+	// check above vacuous.
+	if off.Lo < gs.Lo || off.Hi > gs.Hi {
+		return fmt.Errorf("derived offsets %s escape the claimed [%d,%d]", off, gs.Lo, gs.Hi)
+	}
+	size := u.AccessSize()
+	var span uint64
+	if region == ptrflow.HeapRegion {
+		span = ck.heapChunkMin()
+		if span == 0 {
+			return fmt.Errorf("no heap chunk-size lower bound")
+		}
+		if st.free {
+			return fmt.Errorf("a heap release may precede the site")
+		}
+		if ck.harts > 1 && ck.anyFree {
+			return fmt.Errorf("concurrent harts with reachable release")
+		}
+	} else {
+		m := ck.regions[region]
+		if m == nil || !m.isGlobal || m.size == 0 {
+			return fmt.Errorf("region %s has no recoverable extent", region)
+		}
+		span = m.size
+		if store && m.readOnly {
+			return fmt.Errorf("store into read-only region %s", region)
+		}
+	}
+	end := off.Hi + int64(size)
+	if end < off.Hi || end < 0 || uint64(end) > span {
+		return fmt.Errorf("bounds %s+%d exceed region span %d", off, size, span)
+	}
+	// Fused subsumption on the *derived* interval: the guard's one check
+	// of [Lo, End) must cover every address this site can touch.
+	if off.Lo < g.Lo || end > g.End {
+		return fmt.Errorf("derived span [%d,%d) escapes fused [%d,%d)", off.Lo, end, g.Lo, g.End)
+	}
+	if uint64(g.End) > span {
+		return fmt.Errorf("fused end %d exceeds region span %d", g.End, span)
+	}
+	return nil
+}
+
+func satEnd(hi int64, size uint32) int64 {
+	e := hi + int64(size)
+	if e < hi {
+		return int64(^uint64(0) >> 1)
+	}
+	return e
+}
+
+// bitsetDoms is the checker's independent dominance computation: the
+// classic iterative bitset dataflow over the CFG's merged successor
+// graph, Dom(b) = {b} ∪ ⋂ over predecessors, entries pinned to {b}.
+type bitsetDoms struct {
+	n     int
+	words int
+	dom   [][]uint64
+	reach []bool
+	preds [][]int
+	entry []bool
+}
+
+func newBitsetDoms(cfg *ptrflow.CFG) *bitsetDoms {
+	n := len(cfg.Blocks)
+	d := &bitsetDoms{n: n, words: (n + 63) / 64,
+		dom: make([][]uint64, n), reach: make([]bool, n),
+		preds: make([][]int, n), entry: make([]bool, n)}
+	var queue []int
+	for _, e := range cfg.Entries {
+		if e >= 0 && e < n && !d.reach[e] {
+			d.reach[e] = true
+			d.entry[e] = true
+			queue = append(queue, e)
+		}
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, s := range cfg.Blocks[b].Succs {
+			if s >= 0 && s < n {
+				d.preds[s] = append(d.preds[s], b)
+				if !d.reach[s] {
+					d.reach[s] = true
+					queue = append(queue, s)
+				}
+			}
+		}
+	}
+	for b := 0; b < n; b++ {
+		if !d.reach[b] {
+			continue
+		}
+		d.dom[b] = make([]uint64, d.words)
+		if d.entry[b] {
+			d.dom[b][b/64] = 1 << (b % 64)
+			continue
+		}
+		for w := range d.dom[b] {
+			d.dom[b][w] = ^uint64(0)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			if !d.reach[b] || d.entry[b] {
+				continue
+			}
+			nw := make([]uint64, d.words)
+			for w := range nw {
+				nw[w] = ^uint64(0)
+			}
+			for _, p := range d.preds[b] {
+				if !d.reach[p] {
+					continue
+				}
+				for w := range nw {
+					nw[w] &= d.dom[p][w]
+				}
+			}
+			nw[b/64] |= 1 << (b % 64)
+			for w := range nw {
+				if nw[w] != d.dom[b][w] {
+					d.dom[b] = nw
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *bitsetDoms) dominates(a, b int) bool {
+	if a < 0 || b < 0 || a >= d.n || b >= d.n || !d.reach[a] || !d.reach[b] {
+		return false
+	}
+	return d.dom[b][a/64]&(1<<(a%64)) != 0
+}
+
+// idom extracts b's immediate dominator from the dominator sets: the
+// strict dominator with the most dominators of its own (the deepest),
+// or -1 for entries.
+func (d *bitsetDoms) idom(b int) int {
+	if b < 0 || b >= d.n || !d.reach[b] {
+		return -1
+	}
+	best, bestDepth := -1, -1
+	for w, bitsW := range d.dom[b] {
+		for bitsW != 0 {
+			i := w*64 + bits.TrailingZeros64(bitsW)
+			bitsW &= bitsW - 1
+			if i == b || i >= d.n {
+				continue
+			}
+			depth := 0
+			for _, dw := range d.dom[i] {
+				depth += bits.OnesCount64(dw)
+			}
+			if depth > bestDepth {
+				best, bestDepth = i, depth
+			}
+		}
+	}
+	return best
+}
+
+// verifyChain validates a dominance certificate: it must start at the
+// site's block, end at the anchor, follow this computation's immediate
+// dominators step for step, and the anchor must be in the site block's
+// dominator set.
+func (d *bitsetDoms) verifyChain(chain []int, site, anchor int) error {
+	if len(chain) == 0 || chain[0] != site || chain[len(chain)-1] != anchor {
+		return fmt.Errorf("dominance chain %v does not connect block %d to anchor %d", chain, site, anchor)
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		if id := d.idom(chain[i]); id != chain[i+1] {
+			return fmt.Errorf("dominance chain step %d -> %d is not the immediate dominator (%d)",
+				chain[i], chain[i+1], id)
+		}
+	}
+	if !d.dominates(anchor, site) {
+		return fmt.Errorf("anchor block %d does not dominate block %d", anchor, site)
+	}
+	return nil
+}
+
+// guardDigest content-addresses the guard decision set chained onto the
+// elision digest, so one string pins the exact (elision, guard) pair.
+func guardDigest(gr *GuardReport, elisionDigest string) string {
+	h := sha256.New()
+	h.Write([]byte(elisionDigest))
+	dec, err := json.Marshal(gr.Decisions)
+	if err != nil {
+		panic(fmt.Sprintf("elide: guard decisions marshal: %v", err))
+	}
+	h.Write(dec)
+	return hex.EncodeToString(h.Sum(nil))
+}

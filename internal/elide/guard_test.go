@@ -1,0 +1,200 @@
+package elide
+
+import (
+	"strings"
+	"testing"
+
+	"chex86/internal/pipeline"
+	"chex86/internal/ptrflow"
+)
+
+// --- Verified guards on the happy path -------------------------------
+
+func TestGuardsVerifyInductionLoop(t *testing.T) {
+	p := buildProg(t, inductionLoop(4))
+	rep, err := ForProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Guards.Verified {
+		t.Fatalf("guard set rejected: %s", rep.Guards.Reason)
+	}
+	if rep.Guards.Stats.Guards == 0 || rep.Guards.Stats.Covered == 0 {
+		t.Fatalf("guard stats %+v, want verified guards with covered sites", rep.Guards.Stats)
+	}
+	if len(rep.Guards.Map.Guards) == 0 || len(rep.Guards.Map.Covered) == 0 {
+		t.Fatal("verified guard report must populate the pipeline guard map")
+	}
+	if rep.Guards.Digest == "" {
+		t.Fatal("verified guard report must carry a digest")
+	}
+	// Every covered key the guard map attributes must be an elision-map
+	// key: subsumption never admits a check the elision layer keeps.
+	for k := range rep.Guards.Map.Covered {
+		if !rep.Map[k] {
+			t.Errorf("covered key %+v is not in the verified elision map", k)
+		}
+	}
+}
+
+func TestGuardsRejectedWithBundle(t *testing.T) {
+	// An out-of-bounds loop rejects the proof bundle; the guard set must
+	// reject with it rather than survive on stale claims.
+	p := buildProg(t, inductionLoop(8))
+	rep, err := ForProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Elided != 0 {
+		t.Fatalf("out-of-bounds loop must not elide, stats %+v", rep.Stats)
+	}
+	if len(rep.Guards.Map.Guards) != 0 || len(rep.Guards.Map.Covered) != 0 {
+		t.Fatal("no guard may survive when nothing is verifiably elidable")
+	}
+}
+
+// --- Tamper cases ----------------------------------------------------
+
+// TestGuardTamperRejectsWholeSet forges one field of one guard claim per
+// case and requires the checker to reject the entire guard set
+// fail-closed: Verified false, every decision "reject", an empty
+// pipeline map — while the elision decisions stay untouched.
+func TestGuardTamperRejectsWholeSet(t *testing.T) {
+	cases := []struct {
+		name string
+		// tamper mutates the bundle's guard claims; it returns a fragment
+		// the rejection reason must mention.
+		tamper func(t *testing.T, b *ptrflow.Bundle) string
+	}{
+		{
+			// The dominance certificate is reversed: the chain no longer
+			// runs site -> anchor along immediate dominators.
+			name: "forged dominance certificate",
+			tamper: func(t *testing.T, b *ptrflow.Bundle) string {
+				gs := firstChainedSite(t, b)
+				for i, j := 0, len(gs.Chain)-1; i < j; i, j = i+1, j-1 {
+					gs.Chain[i], gs.Chain[j] = gs.Chain[j], gs.Chain[i]
+				}
+				return "chain"
+			},
+		},
+		{
+			// The covered site claims membership in a block it is not in
+			// (off the anchor's dominated set).
+			name: "covered site off dominated set",
+			tamper: func(t *testing.T, b *ptrflow.Bundle) string {
+				gs := firstChainedSite(t, b)
+				gs.Block++
+				gs.Chain[0] = gs.Block
+				return "does not match the checker's CFG"
+			},
+		},
+		{
+			// The fused interval is narrowed below a covered dereference's
+			// span: the guard would under-check the site it claims.
+			name: "fused interval narrower than covered deref",
+			tamper: func(t *testing.T, b *ptrflow.Bundle) string {
+				g := &b.Guards[0]
+				g.End = g.Lo + 1
+				return "escapes fused"
+			},
+		},
+		{
+			// The per-site certificate is narrowed below the checker's own
+			// derivation: the claim under-states what the loop touches.
+			name: "site interval narrower than derivation",
+			tamper: func(t *testing.T, b *ptrflow.Bundle) string {
+				gs := firstChainedSite(t, b)
+				gs.Hi -= int64(gs.Size)
+				return ""
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildProg(t, inductionLoop(4))
+			an, err := ptrflow.Analyze(p, ptrflow.Options{Harts: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := FromAnalysis(p, an, Options{})
+			if !rep.Guards.Verified {
+				t.Fatalf("baseline guard set rejected: %s", rep.Guards.Reason)
+			}
+			baseElided := rep.Stats.Elided
+
+			b := an.ProofBundle()
+			if len(b.Guards) == 0 {
+				t.Fatal("no guards to tamper with")
+			}
+			ck, err := newChecker(p, b, 1, nil)
+			if err == nil {
+				err = ck.verifyInduction()
+			}
+			if err != nil {
+				t.Fatalf("baseline bundle rejected: %v", err)
+			}
+
+			want := tc.tamper(t, b)
+			gr := verifyGuards(ck, nil, b, rep)
+
+			if gr.Verified {
+				t.Fatal("tampered guard set verified; want fail-closed rejection")
+			}
+			if gr.Reason == "" || !strings.Contains(gr.Reason, want) {
+				t.Errorf("reason %q does not mention %q", gr.Reason, want)
+			}
+			if len(gr.Map.Guards) != 0 || len(gr.Map.Covered) != 0 {
+				t.Error("rejected guard set must yield an empty pipeline map")
+			}
+			if gr.Stats.Rejected != len(b.Guards) || gr.Stats.Covered != 0 {
+				t.Errorf("stats %+v: one bad claim must reject the whole set", gr.Stats)
+			}
+			for i := range gr.Decisions {
+				if gr.Decisions[i].Status != "reject" {
+					t.Errorf("decision %d status %q, want reject", i, gr.Decisions[i].Status)
+				}
+			}
+			// The elision layer is independent: tampered guards never
+			// disturb the verified per-site decisions.
+			if rep.Stats.Elided != baseElided || !rep.Verified {
+				t.Error("guard rejection must leave elision decisions untouched")
+			}
+		})
+	}
+}
+
+// firstChainedSite returns a covered site whose dominance chain has at
+// least two blocks (so chain tampering is observable).
+func firstChainedSite(t *testing.T, b *ptrflow.Bundle) *ptrflow.GuardSite {
+	t.Helper()
+	for i := range b.Guards {
+		for j := range b.Guards[i].Covered {
+			if len(b.Guards[i].Covered[j].Chain) >= 2 {
+				return &b.Guards[i].Covered[j]
+			}
+		}
+	}
+	t.Fatal("no covered site with a multi-block dominance chain")
+	return nil
+}
+
+// TestGuardDigestCoversDecisions pins the digest chain: the guard digest
+// must change when the elision digest changes (it is chained), and a
+// verified report's digest must differ from a rejected one's.
+func TestGuardDigestCoversDecisions(t *testing.T) {
+	p := buildProg(t, inductionLoop(4))
+	rep, err := ForProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := rep.Guards
+	if gr.Digest == rep.Digest {
+		t.Fatal("guard digest must not equal the elision digest")
+	}
+	other := GuardReport{Map: pipeline.GuardMap{}}
+	if d := guardDigest(&other, rep.Digest); d == gr.Digest {
+		t.Fatal("digest must cover the guard decisions, not just the elision chain")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"chex86/internal/elide"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// TestGuardDiff is the guard-hoisting differential gate (DESIGN.md §16):
+// across every catalog workload at smoke conditions, the full Result —
+// cycles, check counts, violations, checker verdicts, everything the
+// struct marshals — must be byte-identical with HoistGuards on and off,
+// and the violation reports must match record for record. Guards are
+// attribution only: the checker admits a covered site only when it is
+// already in the verified elision map, so the executed check set cannot
+// move. The smoke half of the contract asserts the machinery is live: a
+// nonzero subsumed count on most workloads, never a silent all-zero
+// pass.
+func TestGuardDiff(t *testing.T) {
+	o := Options{Scale: 0.1, MaxInsts: 50_000}
+	ctx := context.Background()
+
+	hoisting := 0
+	all := workload.Catalog()
+	for _, p := range all {
+		prog, err := p.Build(o.Scale)
+		if err != nil {
+			t.Fatalf("%s: build: %v", p.Name, err)
+		}
+		rep, err := elide.ForProgram(prog, elide.Options{Harts: harts(p)})
+		if err != nil {
+			t.Fatalf("%s: elide: %v", p.Name, err)
+		}
+		if !rep.Guards.Verified {
+			t.Fatalf("%s: guard set rejected: %s", p.Name, rep.Guards.Reason)
+		}
+
+		base := pipeline.DefaultConfig()
+		base.ElideChecks = true
+		base.ElisionDigest = rep.Digest
+		base.ElisionCtxK = rep.CtxK
+
+		off, _, err := runWithGuards(ctx, p, base, &o, rep)
+		if err != nil {
+			t.Fatalf("%s: guards-off run: %v", p.Name, err)
+		}
+
+		on := base
+		on.HoistGuards = true
+		on.GuardDigest = rep.Guards.Digest
+		onRes, gs, err := runWithGuards(ctx, p, on, &o, rep)
+		if err != nil {
+			t.Fatalf("%s: guards-on run: %v", p.Name, err)
+		}
+
+		offJSON, err := json.Marshal(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onJSON, err := json.Marshal(onRes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(offJSON) != string(onJSON) {
+			t.Errorf("%s: Result diverged with guards on\noff: %s\non:  %s", p.Name, offJSON, onJSON)
+		}
+		offViol, _ := json.Marshal(off.Violations)
+		onViol, _ := json.Marshal(onRes.Violations)
+		if string(offViol) != string(onViol) {
+			t.Errorf("%s: violation report diverged with guards on\noff: %s\non:  %s", p.Name, offViol, onViol)
+		}
+
+		total := onRes.ChecksRun + onRes.ChecksElided
+		if gs.SubsumedChecks > onRes.ChecksElided {
+			t.Errorf("%s: subsumed %d exceeds elided %d — attribution overcounts",
+				p.Name, gs.SubsumedChecks, onRes.ChecksElided)
+		}
+		if total > 0 && gs.SubsumedChecks > 0 {
+			hoisting++
+		}
+	}
+
+	// Smoke: the hoist rate must be nonzero on at least 10 of the 14
+	// catalog workloads (matching the elision coverage PR 4 established).
+	if want := 10; hoisting < want {
+		t.Fatalf("only %d/%d workloads subsumed any checks into guards, want >= %d",
+			hoisting, len(all), want)
+	}
+}

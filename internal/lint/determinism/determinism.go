@@ -5,7 +5,7 @@
 // cross-check all diff outputs across runs, so a wall-clock read or an
 // unsorted map walk that feeds a writer silently breaks them.
 //
-// Four checks:
+// Five checks:
 //
 //   - time-now: calls to (or references of) time.Now, time.Since, or
 //     time.Until. Simulated time must come from the cycle counter;
@@ -27,6 +27,11 @@
 //     comparator that falls back to pointer order for reference-typed
 //     keys, so the rendered bytes can differ across runs; render sorted
 //     keys explicitly instead.
+//
+//   - pointer-format: a %p verb in a Printf-family format string. %p
+//     renders a runtime address, which changes with every process (ASLR,
+//     allocator layout), so any output it feeds diverges run to run;
+//     print a stable identifier, index, or content digest instead.
 //
 // A finding is waived by a `//determinism:ok` comment on the same line
 // (or the line above) — the waiver is for call sites that are provably
@@ -58,6 +63,7 @@ const (
 	CheckGlobalRand     = "global-rand"
 	CheckMapRangeOutput = "map-range-output"
 	CheckMapFormat      = "map-format"
+	CheckPointerFormat  = "pointer-format"
 )
 
 // Finding is one determinism hazard.
@@ -211,6 +217,13 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []Finding {
 				return true
 			}
 			for vi, spec := range verbSpecs(format) {
+				if spec == "%p" || spec == "%+p" {
+					// The %p verb is a hazard regardless of its operand —
+					// report it even when the operand list runs short.
+					report(lit.Pos(), CheckPointerFormat,
+						"%p renders a runtime address, which differs on every run (ASLR, allocator layout); print a stable identifier, index, or content digest instead")
+					continue
+				}
 				argIdx := fi + 1 + vi
 				if argIdx >= len(n.Args) {
 					break

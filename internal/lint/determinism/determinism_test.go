@@ -309,3 +309,56 @@ func b() time.Time { return time.Now() }
 		t.Fatalf("findings not sorted: %v", checks(fs))
 	}
 }
+
+func TestPointerFormat(t *testing.T) {
+	fs := lintSource(t, `package p
+import "fmt"
+func f(x *int) string { return fmt.Sprintf("at %p", x) }
+func g(x *int) { fmt.Printf("node %p -> %d\n", x, *x) }
+func h(w interface{ Write([]byte) (int, error) }, x *int) { fmt.Fprintf(w, "%p", x) }
+`)
+	if len(fs) != 3 {
+		t.Fatalf("want 3 pointer-format findings, got %v", fs)
+	}
+	for _, f := range fs {
+		if f.Check != CheckPointerFormat {
+			t.Errorf("want %s, got %s", CheckPointerFormat, f.Check)
+		}
+	}
+}
+
+func TestPointerFormatMissingOperandStillFlagged(t *testing.T) {
+	// The hazard is the verb itself; a short operand list must not hide it.
+	fs := lintSource(t, `package p
+import "fmt"
+func f() string { return fmt.Sprintf("dangling %p") }
+`)
+	if len(fs) != 1 || fs[0].Check != CheckPointerFormat {
+		t.Fatalf("want 1 pointer-format finding, got %v", fs)
+	}
+}
+
+func TestPointerFormatLiteralPercentAllowed(t *testing.T) {
+	fs := lintSource(t, `package p
+import "fmt"
+func f(n int) string { return fmt.Sprintf("%d%% passed", n) }
+func g() string { return fmt.Sprintf("100%%p is not a verb") }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("escaped %%%% must not flag, got %v", fs)
+	}
+}
+
+func TestPointerFormatWaiver(t *testing.T) {
+	fs := lintSource(t, `package p
+import "fmt"
+func f(x *int) string { return fmt.Sprintf("at %p", x) } //determinism:ok — debug-only path
+func g(x *int) string {
+	//determinism:ok — identity log diffed within one process only
+	return fmt.Sprintf("id %p", x)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("waived %%p uses must pass, got %v", fs)
+	}
+}

@@ -5,8 +5,9 @@
 // machine snapshots at configurable commit strides, while continuously
 // auditing the capability-table invariants the CHEx86 design promises.
 // Every program runs under a matrix of conditions — protection variant ×
-// proof-carrying elision on/off × μop-cache on/off — and the violation
-// reports across a variant's conditions must be byte-identical (elision
+// proof-carrying elision on/off × μop-cache on/off, plus a guard-hoisting
+// cell per protected variant — and the violation reports across a
+// variant's conditions must be byte-identical (elision, guard hoisting
 // and the translation cache must never change observable behavior).
 // Failing programs are minimized by deterministic step removal (shrink.go)
 // and persisted to a content-addressed corpus (corpus.go).
@@ -30,6 +31,10 @@ type Condition struct {
 	Variant    decode.Variant `json:"variant"`
 	Elide      bool           `json:"elide,omitempty"`
 	NoUopCache bool           `json:"noUopCache,omitempty"`
+	// Hoist additionally installs the verified hoisted-guard map
+	// (DESIGN.md §16) on top of elision; guard attribution must never
+	// change the committed stream or the violation report.
+	Hoist bool `json:"hoist,omitempty"`
 }
 
 // Name renders a short stable identifier ("prediction+elide-uop").
@@ -48,6 +53,9 @@ func (c Condition) Name() string {
 	if c.Elide {
 		b.WriteString("+elide")
 	}
+	if c.Hoist {
+		b.WriteString("+hoist")
+	}
 	if c.NoUopCache {
 		b.WriteString("-uop")
 	}
@@ -56,8 +64,9 @@ func (c Condition) Name() string {
 
 // DefaultConditions is the acceptance matrix: insecure / always-on /
 // prediction × elision on/off × μop-cache on/off (elision is meaningless
-// without a tracker, so the insecure variant only toggles the cache) —
-// ten conditions per program.
+// without a tracker, so the insecure variant only toggles the cache),
+// plus one guard-hoisting cell per protected variant (elide+hoist with
+// the μop cache on) — twelve conditions per program.
 func DefaultConditions() []Condition {
 	out := []Condition{
 		{Variant: decode.VariantInsecure},
@@ -69,6 +78,7 @@ func DefaultConditions() []Condition {
 				out = append(out, Condition{Variant: v, Elide: el, NoUopCache: nuc})
 			}
 		}
+		out = append(out, Condition{Variant: v, Elide: true, Hoist: true})
 	}
 	return out
 }
@@ -101,9 +111,9 @@ func (o RunOptions) withDefaults() RunOptions {
 // Divergence describes the first observed disagreement between the
 // pipeline and the reference emulator.
 type Divergence struct {
-	Cond   string   `json:"cond"`
-	Seq    uint64   `json:"seq"`
-	Detail string   `json:"detail"`
+	Cond   string `json:"cond"`
+	Seq    uint64 `json:"seq"`
+	Detail string `json:"detail"`
 	// Tail holds the last agreed-on committed records before the
 	// divergence — the common prefix of both traces.
 	Tail []string `json:"tail,omitempty"`
@@ -269,6 +279,10 @@ func runConditionProg(prog *asm.Program, cond Condition, opt RunOptions) *CondRe
 		erep = rep
 		cfg.ElideChecks = true
 		cfg.ElisionDigest = rep.Digest
+		if cond.Hoist {
+			cfg.HoistGuards = true
+			cfg.GuardDigest = rep.Guards.Digest
+		}
 	}
 	sim, err := pipeline.NewSim(prog, cfg, 1)
 	if err != nil {
@@ -278,6 +292,9 @@ func runConditionProg(prog *asm.Program, cond Condition, opt RunOptions) *CondRe
 	if erep != nil {
 		sim.SetElisionMap(erep.Map)
 		res.Elided = erep.Stats.Elided
+		if cond.Hoist {
+			sim.SetGuardMap(erep.Guards.Map)
+		}
 	}
 	ref := emu.New(prog, emu.Options{Harts: 1, MaxInsts: opt.MaxInsts})
 

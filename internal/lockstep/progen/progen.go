@@ -5,8 +5,10 @@
 // programs allocate a handful of heap buffers and then perform a random
 // walk of the register-level pointer flows Table I must follow — pointer
 // copies, stack spills and reloads (alias records), in-bounds word/byte
-// accesses, bounded pointer arithmetic, alloc/free churn, and call trees
-// deep enough to exercise the k=2 call-string context fold.
+// accesses, straight-line multi-dereference runs (loop-free hot blocks
+// over one region, the shape the guard-hoisting layer fuses), bounded
+// pointer arithmetic, alloc/free churn, and call trees deep enough to
+// exercise the k=2 call-string context fold.
 //
 // A program is described by a Genome: a plain-data step list that is
 // (a) derived deterministically from a seed via faultinject.DeriveSeed
@@ -100,6 +102,12 @@ const (
 	// same home register (allocation turnover: new PID, possibly reused
 	// memory).
 	StepChurn
+	// StepRun performs a straight-line run of dereferences — several
+	// loads/stores at consecutive word offsets through the tracked
+	// pointer, all loop-free within one hot block over one region. The
+	// shape exists for the guard-hoisting layer: a dominator-anchored
+	// fused guard must cover every dereference of the run.
+	StepRun
 
 	numStepKinds
 )
@@ -109,11 +117,13 @@ const (
 type Step struct {
 	Kind StepKind `json:"k"`
 	Buf  int      `json:"b"`
-	// Dst is the target pointer-register index for StepMove and the
-	// entry-function index for StepCall.
+	// Dst is the target pointer-register index for StepMove, the
+	// entry-function index for StepCall, and the dereference count for
+	// StepRun.
 	Dst int `json:"d,omitempty"`
 	// Off is the byte offset for StepAccess (8-aligned, past the end for
-	// the OOB mutation step) and the advance distance for StepArith.
+	// the OOB mutation step), the advance distance for StepArith, and the
+	// starting offset of a StepRun.
 	Off int64 `json:"o,omitempty"`
 	// Flavor selects the access form for StepAccess: 0 word load,
 	// 1 word store, 2 byte load, 3 byte store.
@@ -204,7 +214,7 @@ func Generate(seed uint64, opts Options) *Genome {
 	g.Steps = make([]Step, 0, opts.Steps)
 	for len(g.Steps) < opts.Steps && len(g.Steps) < maxSteps {
 		s := Step{Buf: r.intn(g.Bufs)}
-		switch pick := r.intn(8); pick {
+		switch pick := r.intn(9); pick {
 		case 0:
 			s.Kind = StepMove
 			s.Dst = r.intn(len(pointerRegs))
@@ -234,6 +244,12 @@ func Generate(seed uint64, opts Options) *Genome {
 			}
 		case 7:
 			s.Kind = StepChurn
+		case 8:
+			s.Kind = StepRun
+			s.Dst = 2 + r.intn(3) // 2..4 consecutive words
+			if words := g.BufBytes / 8; words > int64(s.Dst) {
+				s.Off = 8 * r.i63n(words-int64(s.Dst)+1)
+			}
 		}
 		g.Steps = append(g.Steps, s)
 	}
@@ -323,6 +339,17 @@ func (g *Genome) normalize() {
 				s.Off = 0
 			}
 			s.Off &^= 7
+		case StepRun:
+			if s.Dst < 2 {
+				s.Dst = 2
+			}
+			if max := int(g.BufBytes / 8); s.Dst > max {
+				s.Dst = max
+			}
+			s.Off &^= 7
+			if s.Off < 0 || s.Off+8*int64(s.Dst) > g.BufBytes {
+				s.Off = 0
+			}
 		}
 	}
 }
@@ -533,6 +560,18 @@ func (g *Genome) Build() (*asm.Program, error) {
 			b.CallAddr(heap.MallocEntry)
 			b.MovRR(home[i], isa.RAX)
 			spilled[i] = 0 // the old spill slot now holds a dangling pointer
+		case StepRun:
+			// Loop-free multi-dereference run: alternating loads and
+			// stores at consecutive word offsets, all in one hot block.
+			for w := 0; w < s.Dst; w++ {
+				off := s.Off + 8*int64(w)
+				if w%2 == 0 {
+					b.Load(isa.RDX, home[i], off)
+				} else {
+					b.MovRI(isa.RDX, off)
+					b.Store(home[i], off, isa.RDX)
+				}
+			}
 		}
 	}
 

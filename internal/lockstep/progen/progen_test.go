@@ -3,6 +3,8 @@ package progen
 import (
 	"bytes"
 	"testing"
+
+	"chex86/internal/isa"
 )
 
 // TestGenerateDeterminism: the same (seed, options) pair must produce a
@@ -53,9 +55,9 @@ func TestGenerateDistinct(t *testing.T) {
 // separate process running the same generator.
 func TestGoldenDigests(t *testing.T) {
 	golden := map[uint64]string{
-		1: "139ccc61308b394506ff5ed4e263837dd96d5f9c5b3a2e8b6268a6a3845bc31e",
-		2: "a9bec054138c2084655471b0c7087dd20c090f73cb4e59b4436d3d48d28fcca2",
-		3: "3f897f2c36cfebd9ea4bcbe36ffec32ae3b44751b4b0e174198b050898039b4c",
+		1: "24cbfad6395a5e2b601c04e09e925ff38b0f334e8ade6cc0fff4cda96e5fab29",
+		2: "b0ebf59f37fc8baab50daf52bf427060158ec1b20f14114f093d15a23097f997",
+		3: "99d9728dbc5e25769201872caf118bebd648613bd6577a71428ddb1372dda373",
 	}
 	for seed, want := range golden {
 		got, err := Generate(seed, Options{}).ProgramDigest()
@@ -126,5 +128,53 @@ func TestSubsetsBuild(t *testing.T) {
 		if _, err := sub2.Build(); err != nil {
 			t.Fatalf("suffix %d: %v", cut, err)
 		}
+	}
+}
+
+// TestStepRunShape: a StepRun genome must emit its full straight-line
+// dereference run — Dst memory operations at consecutive word offsets —
+// and normalization must clamp runs that would walk off the buffer.
+func TestStepRunShape(t *testing.T) {
+	g := &Genome{
+		Seed: 1, Bufs: 1, BufBytes: 128,
+		Steps: []Step{{Kind: StepRun, Buf: 0, Dst: 4, Off: 16}},
+	}
+	prog, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run follows the single malloc in the prologue: count the memory
+	// ops through the buffer pointer after the allocator returns.
+	derefs := 0
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		if in.Dst.Kind == isa.OpMem || in.Src.Kind == isa.OpMem {
+			derefs++
+		}
+	}
+	// Prologue has no loads/stores besides the run (malloc argument moves
+	// are register-only); epilogue frees via registers too.
+	if derefs != 4 {
+		t.Fatalf("StepRun emitted %d dereferences, want 4", derefs)
+	}
+
+	// Clamp: a run past the end of the buffer resets to offset 0.
+	bad := &Genome{Bufs: 1, BufBytes: 32, Steps: []Step{{Kind: StepRun, Dst: 9, Off: 24}}}
+	bad.normalize()
+	if s := bad.Steps[0]; s.Dst != 4 || s.Off != 0 {
+		t.Fatalf("normalize gave dst=%d off=%d, want a 4-word run at 0", s.Dst, s.Off)
+	}
+
+	// Generated sweeps must actually include the shape.
+	found := false
+	for seed := uint64(0); seed < 30 && !found; seed++ {
+		for _, s := range Generate(seed, Options{}).Steps {
+			if s.Kind == StepRun {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no StepRun generated across 30 seeds")
 	}
 }

@@ -89,6 +89,24 @@ type Config struct {
 	// k ≤ 2 are consulted correctly.
 	ElisionCtxK int
 
+	// HoistGuards enables hoisted-block-guard accounting on top of check
+	// elision: one fused guard executes at each verified dominator anchor
+	// (folded into the anchor block's leader at zero timing cost, see
+	// DESIGN.md §16) and the dominated capability checks it covers are
+	// attributed to it in Sim.GuardStats. The checker only admits covered
+	// sites that are in the verified elision map, so the set of suppressed
+	// checks — and therefore Result — is identical with the knob on or
+	// off. Requires ElideChecks; inert without a map installed through
+	// Sim.SetGuardMap.
+	HoistGuards bool
+
+	// GuardDigest is the content digest of the installed guard map
+	// (internal/elide GuardReport.Digest). Like ElisionDigest it has no
+	// simulation effect; it folds the exact guard set into CanonicalJSON
+	// so campaign result caching never serves a result across differing
+	// guard maps.
+	GuardDigest string
+
 	// EnableChecker runs the hardware checker co-processor alongside
 	// execution (the offline rule-validation mode of Section V-A).
 	EnableChecker bool
@@ -266,6 +284,9 @@ func (c *Config) validate(harts int) error {
 	}
 	if c.TLBEntries <= 0 || c.TLBWays <= 0 || c.TLBEntries%c.TLBWays != 0 {
 		return fail("TLB: %d entries not divisible by %d ways", c.TLBEntries, c.TLBWays)
+	}
+	if c.HoistGuards && !c.ElideChecks {
+		return fail("HoistGuards requires ElideChecks: a guard only attributes checks the elision map suppresses")
 	}
 	return nil
 }

@@ -192,6 +192,26 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	}
 
 	// --- Live call-string fold (elision lookups only). ---
+	// Guard-anchor activation: one guard μop per committed anchor
+	// macro-op, folded into the block leader at zero timing cost (the
+	// probe runs before ctxRetire below, so an anchor CALL counts in its
+	// caller's context — matching the static attribution). Same probe
+	// order as elision: exact live context, then the ⊤ entry.
+	if cfg.HoistGuards && len(s.guards.Guards) > 0 {
+		k := cfg.ElisionCtxK
+		if k == 0 {
+			k = 2
+		}
+		gctx := c.liveCtx().Limit(k)
+		if _, ok := s.guards.Guards[GuardKey{Addr: rec.Inst.Addr, Ctx: gctx}]; ok {
+			c.guardUops++
+		} else if !gctx.IsAny() {
+			if _, ok := s.guards.Guards[GuardKey{Addr: rec.Inst.Addr, Ctx: CtxAny}]; ok {
+				c.guardUops++
+			}
+		}
+	}
+
 	// Updated after the macro-op is fully processed so a CALL's own
 	// micro-ops (the return-address push) probe in the caller's context
 	// and a RET's in the callee's — matching the static attribution.
@@ -317,14 +337,28 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 			// Two probes: the exact live context first, then the ⊤ entry
 			// holding in every context (context-insensitive proofs, and
 			// the only entries reachable once the fold is lost).
-			if doCheck && pid != 0 && cfg.ElideChecks && !c.microRerouted &&
-				(s.elision[ElideKey{Addr: rip, MacroIdx: u.MacroIdx, Ctx: elideCtx}] ||
-					(!elideCtx.IsAny() &&
-						s.elision[ElideKey{Addr: rip, MacroIdx: u.MacroIdx, Ctx: CtxAny}])) {
-				inject = false
-				hwOnly = false
-				doCheck = false
-				c.elidedChecks++
+			if doCheck && pid != 0 && cfg.ElideChecks && !c.microRerouted {
+				hitKey := ElideKey{Addr: rip, MacroIdx: u.MacroIdx, Ctx: elideCtx}
+				hit := s.elision[hitKey]
+				if !hit && !elideCtx.IsAny() {
+					hitKey.Ctx = CtxAny
+					hit = s.elision[hitKey]
+				}
+				if hit {
+					inject = false
+					hwOnly = false
+					doCheck = false
+					c.elidedChecks++
+					// Guard attribution: the suppressed check belongs to a
+					// verified hoisted guard when its elision key is in the
+					// guard map's covered set. Pure accounting — the
+					// decision above came from the elision map alone, so
+					// the executed check set is identical with guards on
+					// or off.
+					if cfg.HoistGuards && s.guards.Covered[hitKey] {
+						c.subsumedChecks++
+					}
+				}
 			}
 			if doCheck && pid != 0 {
 				c.checksRun++

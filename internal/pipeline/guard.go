@@ -1,0 +1,70 @@
+package pipeline
+
+// GuardKey identifies one hoisted block guard at runtime: the anchor
+// address (the leader instruction of the dominating block the guard was
+// hoisted to) and the calling context the claim holds in (CtxAny for
+// ⊤-layer guards). The runtime probes the exact live context first,
+// then the ⊤ entry — the same fail-closed order as elision lookups.
+type GuardKey struct {
+	Addr uint64
+	Ctx  CallCtx
+}
+
+// GuardMap is the pipeline-consumable form of a verified guard report
+// (internal/elide re-verifies every claim before building one). Guards
+// maps each anchor to the number of capability checks its fused claim
+// covers; Covered marks the elision keys whose suppressed check is
+// attributed to a guard rather than to a standalone per-site proof.
+//
+// The checker only admits covered sites that are in the verified
+// elision map, so guard hoisting never changes which checks execute —
+// the guard μop folds into its anchor block's leader with zero timing
+// cost, and the map's sole runtime effect is the attribution the
+// GuardStats counters report (see DESIGN.md §16).
+type GuardMap struct {
+	Guards  map[GuardKey]int
+	Covered map[ElideKey]bool
+}
+
+// GuardStats aggregates the guard-hoisting counters across harts. The
+// counters are deliberately not part of Result: Results must stay
+// byte-identical with guards on and off (the differential gate), so the
+// attribution lives beside the Result, not inside it.
+type GuardStats struct {
+	// GuardUops counts committed guard-anchor activations: one per
+	// commit of an anchor macro-op whose (address, live context) matches
+	// a verified guard.
+	GuardUops uint64
+
+	// SubsumedChecks counts elided capability checks attributed to a
+	// hoisted guard: elision-map hits whose key is in the guard map's
+	// covered set.
+	SubsumedChecks uint64
+}
+
+// SetGuardMap installs the verified guard map. It only takes effect
+// when Cfg.HoistGuards is also set (which itself requires ElideChecks),
+// so an installed map with the knob off is inert — the fail-closed
+// default.
+func (s *Sim) SetGuardMap(m GuardMap) { s.guards = m }
+
+// GuardStats returns the guard-hoisting attribution counters summed
+// over all harts, windowed past the warmup boundary exactly like the
+// Result check counters — so SubsumedChecks is always comparable to
+// (and never exceeds) Result.ChecksElided over the same window.
+func (s *Sim) GuardStats() GuardStats {
+	g := s.rawGuardStats()
+	g.GuardUops -= minU64(s.warmGuards.GuardUops, g.GuardUops)
+	g.SubsumedChecks -= minU64(s.warmGuards.SubsumedChecks, g.SubsumedChecks)
+	return g
+}
+
+// rawGuardStats sums the per-hart guard counters over the whole run.
+func (s *Sim) rawGuardStats() GuardStats {
+	var g GuardStats
+	for i := range s.cores {
+		g.GuardUops += s.cores[i].guardUops
+		g.SubsumedChecks += s.cores[i].subsumedChecks
+	}
+	return g
+}

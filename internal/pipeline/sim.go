@@ -170,6 +170,11 @@ type coreCtx struct {
 	elidedChecks  uint64 // checks suppressed at proven-safe sites
 	gatedMem      uint64 // memory uops gated on a capability-check token
 
+	// Guard-hoisting attribution (guard.go); kept out of Result so the
+	// guards-on/guards-off differential stays byte-identical.
+	guardUops      uint64 // guard-anchor activations committed
+	subsumedChecks uint64 // elided checks attributed to a hoisted guard
+
 	// microRerouted marks the current macro-op as translated through the
 	// writable microcode RAM: its micro-op numbering may differ from the
 	// native expansion the elision proofs were keyed against, so elision
@@ -250,6 +255,10 @@ type Sim struct {
 	// consulted only when Cfg.ElideChecks is set (see elide.go).
 	elision ElisionMap
 
+	// guards attributes elided checks to verified hoisted block guards;
+	// consulted only when Cfg.HoistGuards is set (see guard.go).
+	guards GuardMap
+
 	llc  *cache.LineCache
 	dram *mem.DRAM
 
@@ -258,7 +267,8 @@ type Sim struct {
 
 	Violations  []*core.Violation
 	invalidates uint64
-	warm        *Result // snapshot at the warmup boundary
+	warm        *Result    // snapshot at the warmup boundary
+	warmGuards  GuardStats // guard counters at the warmup boundary
 }
 
 // New constructs a simulation of prog under cfg with the given number of
@@ -503,6 +513,7 @@ func (s *Sim) Step(rounds int) (bool, error) {
 			}
 			progress = true
 			if s.warm == nil && s.Cfg.WarmupInsts > 0 && s.M.TotalInsts() >= s.Cfg.WarmupInsts {
+				s.warmGuards = s.rawGuardStats()
 				s.warm = s.result()
 			}
 			v := s.processRec(c, rec)

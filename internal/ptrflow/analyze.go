@@ -128,12 +128,12 @@ type Analysis struct {
 	// (-1 context-insensitive, otherwise 1 or 2).
 	CtxK int
 
-	regions    map[string]*region
-	relocSlot  map[uint64]string // reloc slot -> target global name
-	globals    []asm.Global      // sorted by address
-	poison      Value            // accumulated unknown-EA store contribution
-	poisonGrows int              // poison growth count, for widening
-	unresolved map[uint64]bool   // indirect branches with no target hints
+	regions     map[string]*region
+	relocSlot   map[uint64]string // reloc slot -> target global name
+	globals     []asm.Global      // sorted by address
+	poison      Value             // accumulated unknown-EA store contribution
+	poisonGrows int               // poison growth count, for widening
+	unresolved  map[uint64]bool   // indirect branches with no target hints
 
 	blockIn []*state // per-block entry fixpoint (narrowed), nil if unreached
 

@@ -1,0 +1,468 @@
+package ptrflow
+
+import "sort"
+
+// This file is the third analysis layer: dominator-tree construction over
+// the recovered CFG plus an available-checks forward dataflow that fuses
+// the per-dereference safety proofs of proof.go into one hoisted guard
+// per extended basic block (and per calling context where the
+// context-sensitive layer refines a site). A guard is a claim that a
+// single fused bounds/liveness check at the dominator covers every
+// dereference in its covered set on all paths; internal/elide re-verifies
+// each claim fail-closed from the serialized certificate alone before the
+// pipeline may attribute any suppressed check to a guard.
+
+// GuardSite is one dereference covered by a hoisted guard. Lo/Hi/Size
+// restate the site's proven region-relative access interval (the checker
+// re-derives it and rejects the guard set when the claim is narrower than
+// the derivation), and Chain is the dominance certificate: the block IDs
+// from the site's block up the immediate-dominator chain to the guard
+// block, both endpoints included.
+type GuardSite struct {
+	Addr     uint64 `json:"addr"`
+	MacroIdx uint8  `json:"macroIdx"`
+	Block    int    `json:"block"`
+	Store    bool   `json:"store,omitempty"`
+	Lo       int64  `json:"lo"`
+	Hi       int64  `json:"hi"`
+	Size     uint32 `json:"size"`
+	Chain    []int  `json:"chain"`
+}
+
+// GuardClaim is one hoisted guard: a fused bounds/liveness claim anchored
+// at the leader instruction of a dominating block. The fused interval
+// [Lo, End) is region-relative and must contain every covered site's
+// access span; Store claims writability when any covered site stores.
+// One guard exists per (anchor block, calling context, region).
+type GuardClaim struct {
+	Block   int         `json:"block"`
+	Addr    uint64      `json:"addr"` // anchor: the block's leader instruction
+	Ctx     string      `json:"ctx"`
+	Region  string      `json:"region"`
+	Store   bool        `json:"store,omitempty"`
+	Lo      int64       `json:"lo"`
+	End     int64       `json:"end"`
+	Covered []GuardSite `json:"covered"`
+}
+
+// DomTree is the dominator tree of a CFG's merged successor graph,
+// rooted at a virtual node over every hart entry. It is built with the
+// Cooper-Harvey-Kennedy iterative algorithm; the elide checker
+// deliberately recomputes dominance with a different (bitset dataflow)
+// algorithm so a shared bug cannot certify a forged chain.
+type DomTree struct {
+	idom []int // block ID -> immediate dominator; root for entries, -1 unreachable
+	rpo  []int // block ID -> reverse-postorder number (root = 0)
+	root int   // virtual root index (== len(blocks))
+}
+
+// Dominators computes the dominator tree over g's merged Succs graph.
+func Dominators(g *CFG) *DomTree {
+	n := len(g.Blocks)
+	t := &DomTree{idom: make([]int, n+1), rpo: make([]int, n+1), root: n}
+	for i := range t.idom {
+		t.idom[i] = -1
+		t.rpo[i] = -1
+	}
+
+	succs := func(b int) []int {
+		if b == t.root {
+			return g.Entries
+		}
+		return g.Blocks[b].Succs
+	}
+
+	// Postorder DFS from the virtual root; rpo numbers are the reverse.
+	var post []int
+	visited := make([]bool, n+1)
+	type frame struct{ b, i int }
+	stack := []frame{{t.root, 0}}
+	visited[t.root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := succs(f.b)
+		if f.i < len(ss) {
+			s := ss[f.i]
+			f.i++
+			if s >= 0 && s < n && !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	order := make([]int, 0, len(post)) // reverse postorder, root first
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for i, b := range order {
+		t.rpo[b] = i
+	}
+
+	preds := make([][]int, n+1)
+	for _, b := range order {
+		for _, s := range succs(b) {
+			if s >= 0 && s < n && visited[s] {
+				preds[s] = append(preds[s], b)
+			}
+		}
+	}
+
+	t.idom[t.root] = t.root
+	intersect := func(a, b int) int {
+		for a != b {
+			for t.rpo[a] > t.rpo[b] {
+				a = t.idom[a]
+			}
+			for t.rpo[b] > t.rpo[a] {
+				b = t.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == t.root {
+				continue
+			}
+			ni := -1
+			for _, p := range preds[b] {
+				if t.idom[p] < 0 {
+					continue
+				}
+				if ni < 0 {
+					ni = p
+				} else {
+					ni = intersect(ni, p)
+				}
+			}
+			if ni >= 0 && t.idom[b] != ni {
+				t.idom[b] = ni
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// Reachable reports whether block b is reachable from an entry.
+func (t *DomTree) Reachable(b int) bool {
+	return b >= 0 && b < t.root && t.idom[b] >= 0
+}
+
+// Idom returns b's immediate dominator block ID, or -1 when b is
+// unreachable or immediately dominated by the virtual root (an entry).
+func (t *DomTree) Idom(b int) int {
+	if !t.Reachable(b) || t.idom[b] == t.root {
+		return -1
+	}
+	return t.idom[b]
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (t *DomTree) Dominates(a, b int) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	for x := b; ; x = t.idom[x] {
+		if x == a {
+			return true
+		}
+		if x == t.root {
+			return false
+		}
+	}
+}
+
+// chain returns the idom path from block b up to (and including) anchor,
+// or nil when anchor is not on b's dominator chain.
+func (t *DomTree) chain(b, anchor int) []int {
+	if !t.Reachable(b) || !t.Reachable(anchor) {
+		return nil
+	}
+	out := []int{b}
+	for x := b; x != anchor; {
+		x = t.idom[x]
+		if x == t.root || x < 0 {
+			return nil
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// guardClaims synthesizes the hoisted-guard claims for a bundle whose
+// proofs have already been emitted: each proof's site is assigned an
+// anchor block (its extended-basic-block head, hoisted one hop further
+// to the loop preheader when the head is a loop header with a unique
+// non-back-edge predecessor), proofs sharing (anchor, context, region)
+// fuse into one claim, and an available-checks forward dataflow then
+// certifies that every covered site sees its guard on all incoming paths
+// — any site the dataflow cannot certify is dropped, and a claim with no
+// surviving site is discarded.
+func (a *Analysis) guardClaims(b *Bundle) []GuardClaim {
+	if len(b.Proofs) == 0 {
+		return nil
+	}
+	g := a.CFG
+	n := len(g.Blocks)
+	dom := Dominators(g)
+
+	// Merged-graph predecessor counts decide extended-basic-block heads:
+	// entries and join points start their own EBB.
+	preds := make([][]int, n)
+	for bi := range g.Blocks {
+		if !dom.Reachable(bi) {
+			continue
+		}
+		for _, s := range g.Blocks[bi].Succs {
+			if s >= 0 && s < n {
+				preds[s] = append(preds[s], bi)
+			}
+		}
+	}
+	entry := make([]bool, n)
+	for _, e := range g.Entries {
+		if e >= 0 && e < n {
+			entry[e] = true
+		}
+	}
+	isHead := func(bi int) bool {
+		return entry[bi] || len(preds[bi]) != 1 || preds[bi][0] == bi
+	}
+
+	type cand struct {
+		p     *Proof
+		site  int
+		guard int
+	}
+	var cands []cand
+	for i := range b.Proofs {
+		p := &b.Proofs[i]
+		sb := g.BlockAt(p.Addr)
+		if sb == nil || !dom.Reachable(sb.ID) {
+			continue
+		}
+		gb := guardBlockFor(sb.ID, dom, preds, isHead, n)
+		if gb < 0 || !dom.Dominates(gb, sb.ID) {
+			continue
+		}
+		cands = append(cands, cand{p, sb.ID, gb})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	type groupKey struct {
+		block       int
+		ctx, region string
+	}
+	groups := map[groupKey]*GuardClaim{}
+	var order []groupKey
+	for _, c := range cands {
+		ch := dom.chain(c.site, c.guard)
+		if ch == nil {
+			continue
+		}
+		end := satAdd(c.p.Hi, int64(c.p.Size))
+		k := groupKey{c.guard, c.p.Ctx, c.p.Region}
+		cl := groups[k]
+		if cl == nil {
+			cl = &GuardClaim{
+				Block:  c.guard,
+				Addr:   g.Prog.Insts[g.Blocks[c.guard].Start].Addr,
+				Ctx:    c.p.Ctx,
+				Region: c.p.Region,
+				Lo:     c.p.Lo,
+				End:    end,
+			}
+			groups[k] = cl
+			order = append(order, k)
+		}
+		if c.p.Lo < cl.Lo {
+			cl.Lo = c.p.Lo
+		}
+		if end > cl.End {
+			cl.End = end
+		}
+		cl.Store = cl.Store || c.p.Store
+		cl.Covered = append(cl.Covered, GuardSite{
+			Addr: c.p.Addr, MacroIdx: c.p.MacroIdx, Block: c.site,
+			Store: c.p.Store, Lo: c.p.Lo, Hi: c.p.Hi, Size: c.p.Size,
+			Chain: ch,
+		})
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].block != order[j].block {
+			return order[i].block < order[j].block
+		}
+		if order[i].ctx != order[j].ctx {
+			return order[i].ctx < order[j].ctx
+		}
+		return order[i].region < order[j].region
+	})
+	claims := make([]GuardClaim, 0, len(order))
+	for _, k := range order {
+		cl := groups[k]
+		sort.Slice(cl.Covered, func(i, j int) bool {
+			if cl.Covered[i].Addr != cl.Covered[j].Addr {
+				return cl.Covered[i].Addr < cl.Covered[j].Addr
+			}
+			return cl.Covered[i].MacroIdx < cl.Covered[j].MacroIdx
+		})
+		claims = append(claims, *cl)
+	}
+
+	return availableChecksFilter(g, dom, claims)
+}
+
+// guardBlockFor walks a site's unique-predecessor chain up to its
+// extended-basic-block head, then hoists one hop further to the loop
+// preheader when the head is a loop header whose only non-back-edge
+// predecessor dominates it (loop-invariant hoisting under the existing
+// widening discipline: the fused claim was already widened over the loop
+// body by the fixpoint, so evaluating it once before entry covers every
+// iteration).
+func guardBlockFor(site int, dom *DomTree, preds [][]int, isHead func(int) bool, n int) int {
+	h := site
+	for steps := 0; !isHead(h) && steps < n; steps++ {
+		h = preds[h][0]
+	}
+	if !dom.Reachable(h) {
+		return -1
+	}
+	// Preheader hop: h is a loop header when some predecessor is
+	// dominated by h (a back edge). If every other predecessor is that
+	// kind and exactly one predecessor q is not, q dominates h (any path
+	// reaching a latch passed h first), so the guard may move to q.
+	var q, backs = -1, 0
+	for _, p := range preds[h] {
+		if dom.Dominates(h, p) {
+			backs++
+		} else if q < 0 {
+			q = p
+		} else {
+			q = -2 // more than one non-back-edge pred: no unique preheader
+		}
+	}
+	if backs > 0 && q >= 0 && q != h && dom.Dominates(q, h) {
+		return q
+	}
+	return h
+}
+
+// availableChecksFilter runs the available-checks forward dataflow: a
+// guard generated at its anchor block propagates along every edge and is
+// killed by nothing; a block's in-set is the intersection over its
+// predecessors' out-sets (empty at entries — nothing is available before
+// the first block executes). A covered site is certified only when its
+// guard is available at its block's entry or anchored in the same block;
+// uncertified sites are dropped and emptied claims discarded. For claims
+// the synthesis placed at genuine dominators this is a no-op, but it is
+// the derivation — not the placement heuristic — that decides.
+func availableChecksFilter(g *CFG, dom *DomTree, claims []GuardClaim) []GuardClaim {
+	if len(claims) == 0 {
+		return nil
+	}
+	n := len(g.Blocks)
+	words := (len(claims) + 63) / 64
+	gen := make([][]uint64, n)
+	newSet := func(full bool) []uint64 {
+		s := make([]uint64, words)
+		if full {
+			for i := range s {
+				s[i] = ^uint64(0)
+			}
+		}
+		return s
+	}
+	for ci := range claims {
+		b := claims[ci].Block
+		if gen[b] == nil {
+			gen[b] = newSet(false)
+		}
+		gen[b][ci/64] |= 1 << (ci % 64)
+	}
+
+	preds := make([][]int, n)
+	entry := make([]bool, n)
+	for _, e := range g.Entries {
+		if e >= 0 && e < n {
+			entry[e] = true
+		}
+	}
+	var order []int
+	for bi := 0; bi < n; bi++ {
+		if !dom.Reachable(bi) {
+			continue
+		}
+		order = append(order, bi)
+		for _, s := range g.Blocks[bi].Succs {
+			if s >= 0 && s < n {
+				preds[s] = append(preds[s], bi)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return dom.rpo[order[i]] < dom.rpo[order[j]] })
+
+	in := make([][]uint64, n)
+	out := make([][]uint64, n)
+	for _, bi := range order {
+		in[bi] = newSet(false)
+		out[bi] = newSet(!entry[bi]) // ⊤ start for the intersection fixpoint
+		if entry[bi] {
+			copy(out[bi], gen[bi])
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range order {
+			if !entry[bi] {
+				for w := range in[bi] {
+					in[bi][w] = ^uint64(0)
+				}
+				if len(preds[bi]) == 0 {
+					for w := range in[bi] {
+						in[bi][w] = 0
+					}
+				}
+				for _, p := range preds[bi] {
+					for w := range in[bi] {
+						in[bi][w] &= out[p][w]
+					}
+				}
+			}
+			for w := range in[bi] {
+				o := in[bi][w]
+				if gen[bi] != nil {
+					o |= gen[bi][w]
+				}
+				if out[bi][w] != o {
+					out[bi][w] = o
+					changed = true
+				}
+			}
+		}
+	}
+
+	var kept []GuardClaim
+	for ci := range claims {
+		cl := claims[ci]
+		var covered []GuardSite
+		for _, gs := range cl.Covered {
+			if gs.Block == cl.Block ||
+				(in[gs.Block] != nil && in[gs.Block][ci/64]&(1<<(ci%64)) != 0) {
+				covered = append(covered, gs)
+			}
+		}
+		if len(covered) > 0 {
+			cl.Covered = covered
+			kept = append(kept, cl)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,235 @@
+package ptrflow
+
+import (
+	"testing"
+
+	"chex86/internal/asm"
+	"chex86/internal/isa"
+)
+
+// --- Dominators ------------------------------------------------------
+
+func TestDominatorsDiamond(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.CmpRI(isa.RAX, 0)
+		b.Jcc(isa.CondE, "else")
+		b.Nop()
+		b.Jmp("join")
+		b.Label("else")
+		b.Nop()
+		b.Label("join")
+		b.Hlt()
+	})
+	g := BuildCFG(p, 1, nil)
+	dom := Dominators(g)
+
+	entry := g.BlockAt(p.TextBase).ID
+	els := g.BlockAt(p.MustLookup("else")).ID
+	join := g.BlockAt(p.MustLookup("join")).ID
+	then := -1 // the fall-through arm: entry's successor that is not "else"
+	for _, s := range g.Blocks[entry].Succs {
+		if s != els {
+			then = s
+		}
+	}
+	if then < 0 {
+		t.Fatalf("entry succs %v missing fall-through arm", g.Blocks[entry].Succs)
+	}
+
+	if !dom.Reachable(entry) || !dom.Reachable(then) || !dom.Reachable(els) || !dom.Reachable(join) {
+		t.Fatal("diamond blocks must all be reachable")
+	}
+	// The entry dominates everything; the arms dominate only themselves.
+	for _, b := range []int{then, els, join} {
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry must dominate block %d", b)
+		}
+		if dom.Idom(b) != entry {
+			t.Errorf("Idom(%d) = %d, want entry %d", b, dom.Idom(b), entry)
+		}
+	}
+	if dom.Dominates(then, join) || dom.Dominates(els, join) {
+		t.Error("neither diamond arm may dominate the join")
+	}
+	// Entries are immediately dominated by the virtual root.
+	if dom.Idom(entry) != -1 {
+		t.Errorf("Idom(entry) = %d, want -1 (virtual root)", dom.Idom(entry))
+	}
+	// Chains: join -> entry is the two-element idom path; then is not on it.
+	if ch := dom.chain(join, entry); len(ch) != 2 || ch[0] != join || ch[1] != entry {
+		t.Errorf("chain(join, entry) = %v, want [%d %d]", ch, join, entry)
+	}
+	if ch := dom.chain(join, then); ch != nil {
+		t.Errorf("chain(join, then) = %v, want nil (then does not dominate join)", ch)
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.MovRI(isa.R9, 0) // preheader
+		b.Label("loop")
+		b.AddRI(isa.R9, 1)
+		b.CmpRI(isa.R9, 4)
+		b.Jcc(isa.CondL, "loop")
+		b.Hlt()
+	})
+	g := BuildCFG(p, 1, nil)
+	dom := Dominators(g)
+
+	pre := g.BlockAt(p.TextBase).ID
+	loop := g.BlockAt(p.MustLookup("loop")).ID
+	exitB := -1
+	for i := range g.Blocks {
+		if i != pre && i != loop {
+			exitB = i
+		}
+	}
+	if exitB < 0 {
+		t.Fatalf("expected three blocks, got %d", len(g.Blocks))
+	}
+	if dom.Idom(loop) != pre {
+		t.Errorf("Idom(loop) = %d, want preheader %d", dom.Idom(loop), pre)
+	}
+	if dom.Idom(exitB) != loop {
+		t.Errorf("Idom(exit) = %d, want loop %d", dom.Idom(exitB), loop)
+	}
+	if !dom.Dominates(pre, exitB) {
+		t.Error("preheader must dominate the loop exit")
+	}
+	if dom.Dominates(exitB, loop) {
+		t.Error("exit must not dominate the loop body")
+	}
+}
+
+// --- Guard synthesis -------------------------------------------------
+
+// loopWithPreheader is the induction loop from the elide tests: a
+// 32-byte global walked by a loop-bounded index through a
+// relocation-seeded pointer.
+func loopWithPreheader(b *asm.Builder) {
+	b.Global("tab", 0x601000, 32)
+	for i := uint64(0); i < 4; i++ {
+		b.DataU64(0x601000+8*i, 1)
+	}
+	b.Global("tabp", 0x600000, 8)
+	b.Reloc(0x600000, "tab")
+	b.Global("zero", 0x600008, 8)
+	b.DataU64(0x600008, 0)
+	b.Mov(isa.RegOp(isa.RBX), isa.MemOp(isa.RNone, 0x600000))
+	b.Mov(isa.RegOp(isa.R9), isa.MemOp(isa.RNone, 0x600008))
+	b.Label("loop")
+	b.LoadIdx(isa.R8, isa.RBX, isa.R9, 8, 0)
+	b.AddRI(isa.R9, 1)
+	b.CmpRI(isa.R9, 4)
+	b.Jcc(isa.CondL, "loop")
+	b.Hlt()
+}
+
+func TestGuardClaimsHoistToPreheader(t *testing.T) {
+	p := build(t, loopWithPreheader)
+	a := analyze(t, p, Options{Harts: 1})
+	bundle := a.ProofBundle()
+	if len(bundle.Proofs) == 0 {
+		t.Fatal("no proofs; induction loop should prove")
+	}
+	if len(bundle.Guards) == 0 {
+		t.Fatal("no guard claims synthesized")
+	}
+
+	g := a.CFG
+	dom := Dominators(g)
+	loopAddr := p.MustLookup("loop")
+	loopBlk := g.BlockAt(loopAddr).ID
+	pre := g.BlockAt(p.TextBase).ID
+
+	var cl *GuardClaim
+	for i := range bundle.Guards {
+		for _, gs := range bundle.Guards[i].Covered {
+			if gs.Addr == loopAddr {
+				cl = &bundle.Guards[i]
+			}
+		}
+	}
+	if cl == nil {
+		t.Fatalf("no guard covers the loop dereference %#x:\n%+v", loopAddr, bundle.Guards)
+	}
+	// Loop-invariant hoisting: the loop body's guard must sit in the
+	// preheader, not the loop header itself.
+	if cl.Block != pre {
+		t.Errorf("guard anchored at block %d, want preheader %d", cl.Block, pre)
+	}
+	if cl.Addr != g.Prog.Insts[g.Blocks[cl.Block].Start].Addr {
+		t.Errorf("guard addr %#x is not its block's leader", cl.Addr)
+	}
+	if !dom.Dominates(cl.Block, loopBlk) {
+		t.Error("guard block must dominate the covered site's block")
+	}
+	// The fused interval covers the whole widened walk: [0, 32).
+	if cl.Region != "tab" || cl.Lo != 0 || cl.End != 32 {
+		t.Errorf("fused claim %s+[%d,%d), want tab+[0,32)", cl.Region, cl.Lo, cl.End)
+	}
+	// The dominance certificate runs from the site block to the anchor.
+	for _, gs := range cl.Covered {
+		if gs.Addr != loopAddr {
+			continue
+		}
+		if len(gs.Chain) < 2 || gs.Chain[0] != gs.Block || gs.Chain[len(gs.Chain)-1] != cl.Block {
+			t.Errorf("chain %v must run site block %d -> anchor %d", gs.Chain, gs.Block, cl.Block)
+		}
+	}
+}
+
+func TestGuardClaimsFuseStraightLine(t *testing.T) {
+	p := build(t, func(b *asm.Builder) {
+		b.Global("tab", 0x601000, 32)
+		for i := uint64(0); i < 4; i++ {
+			b.DataU64(0x601000+8*i, 1)
+		}
+		b.Global("tabp", 0x600000, 8)
+		b.Reloc(0x600000, "tab")
+		b.Mov(isa.RegOp(isa.RBX), isa.MemOp(isa.RNone, 0x600000))
+		b.Load(isa.RAX, isa.RBX, 0)
+		b.Load(isa.RCX, isa.RBX, 8)
+		b.Load(isa.RDX, isa.RBX, 24)
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{Harts: 1})
+	bundle := a.ProofBundle()
+
+	var cl *GuardClaim
+	for i := range bundle.Guards {
+		if bundle.Guards[i].Region == "tab" {
+			cl = &bundle.Guards[i]
+		}
+	}
+	if cl == nil {
+		t.Fatalf("no fused guard over region tab:\n%+v", bundle.Guards)
+	}
+	if len(cl.Covered) != 3 {
+		t.Fatalf("guard covers %d sites, want all 3 straight-line loads", len(cl.Covered))
+	}
+	// Fusion takes the min Lo and max end across covered sites: the three
+	// loads touch [0,8), [8,16) and [24,32).
+	if cl.Lo != 0 || cl.End != 32 {
+		t.Errorf("fused interval [%d,%d), want [0,32)", cl.Lo, cl.End)
+	}
+	if cl.Store {
+		t.Error("load-only guard must not claim writability")
+	}
+}
+
+func TestGuardClaimsAbsentWhenUnresolved(t *testing.T) {
+	// An indirect jump leaves the CFG unresolved: the bundle carries no
+	// proofs and therefore no guard claims (fail-closed).
+	p := build(t, func(b *asm.Builder) {
+		b.Global("tabp", 0x600000, 8)
+		b.Lea(isa.RAX, isa.MemOp(isa.RNone, 0))
+		b.JmpReg(isa.RAX)
+		b.Hlt()
+	})
+	a := analyze(t, p, Options{Harts: 1})
+	bundle := a.ProofBundle()
+	if len(bundle.Guards) != 0 {
+		t.Fatalf("unresolved control flow must yield no guards, got %d", len(bundle.Guards))
+	}
+}

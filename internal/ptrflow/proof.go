@@ -61,8 +61,8 @@ type BlockInvariant struct {
 	// context-insensitive fixpoint, inductive over the merged Succs
 	// graph), "root"/"0x..."/"0x...>0x..." for the context-sensitive
 	// layer (inductive over the valid-path call/return edges).
-	Ctx  string `json:"ctx"`
-	Regs []Fact `json:"regs"` // indexed by isa.Reg, length isa.NumRegs
+	Ctx   string `json:"ctx"`
+	Regs  []Fact `json:"regs"` // indexed by isa.Reg, length isa.NumRegs
 	RSPOK bool   `json:"rspOk"`
 	RSP   int64  `json:"rsp,omitempty"`
 	// FrameOK distinguishes an empty frame (no slot facts) from a
@@ -139,6 +139,12 @@ type Bundle struct {
 	Regions    []RegionClaim    `json:"regions"`    // sorted by name
 	Invariants []BlockInvariant `json:"invariants"` // ⊤ layer by block, then per-context by (block, ctx)
 	Proofs     []Proof          `json:"proofs"`     // ⊤ layer by (addr, macroIdx), then per-context by (addr, macroIdx, ctx)
+
+	// Guards are the hoisted-guard claims synthesized from the proofs by
+	// the dominator/available-checks layer (guards.go), sorted by (block,
+	// ctx, region). Like the proofs, they are absent whenever control
+	// flow is not fully resolved.
+	Guards []GuardClaim `json:"guards,omitempty"`
 }
 
 // ProofBundle converts the analysis fixpoint into a serializable proof
@@ -208,6 +214,7 @@ func (a *Analysis) ProofBundle() *Bundle {
 		}
 	}
 	b.Proofs = append(b.Proofs, ctxProofs...)
+	b.Guards = a.guardClaims(b)
 	return b
 }
 
