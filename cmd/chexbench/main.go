@@ -70,7 +70,18 @@ func main() {
 	kinst := flag.Bool("kinst", false, "measure host throughput: Kinst/s and allocs/instruction per workload")
 	kinstVariants := flag.String("kinst-variants", "baseline,always-on,prediction", "comma-separated protection variants for -kinst")
 	ctxK := flag.Int("ctxk", 0, "call-string depth for -elide proofs (0 = default k=2, -1 = context-insensitive)")
+	superblocks := flag.String("superblocks", "on", "superblock replay: on (default) or off — the escape hatch cannot change results, only host throughput")
 	flag.Parse()
+
+	var noSuperblocks bool
+	switch *superblocks {
+	case "on":
+	case "off":
+		noSuperblocks = true
+	default:
+		fmt.Fprintf(os.Stderr, "chexbench: -superblocks must be on or off, got %q\n", *superblocks)
+		exit(2)
+	}
 
 	if *cpuprofile != "" || *memprofile != "" {
 		stop, err := startProfiles(*cpuprofile, *memprofile)
@@ -83,7 +94,7 @@ func main() {
 	}
 
 	if *kinst {
-		if err := runKinst(*benches, *kinstVariants, *scale, *insts); err != nil {
+		if err := runKinst(*benches, *kinstVariants, *scale, *insts, noSuperblocks); err != nil {
 			fmt.Fprintln(os.Stderr, "chexbench:", err)
 			exit(1)
 		}
@@ -122,7 +133,8 @@ func main() {
 			exit(1)
 		}
 		defer f.Close()
-		ro := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles, Timeout: *timeout}
+		ro := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles,
+			Timeout: *timeout, NoSuperblocks: noSuperblocks}
 		if *benches != "" {
 			ro.Benches = strings.Split(*benches, ",")
 		}
@@ -135,7 +147,7 @@ func main() {
 	}
 
 	o := experiments.Options{Scale: *scale, MaxInsts: *insts, MaxCycles: *maxCycles,
-		Timeout: *timeout, ContextK: *ctxK}
+		Timeout: *timeout, ContextK: *ctxK, NoSuperblocks: noSuperblocks}
 	if *benches != "" {
 		o.Benches = strings.Split(*benches, ",")
 	}
@@ -508,7 +520,7 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 // by a host-speed calibration score so numbers are comparable across
 // machines. This is the interactive face of the CI benchmark gate
 // (cmd/chexperf); both share internal/hostperf.
-func runKinst(benches, variants string, scale float64, insts uint64) error {
+func runKinst(benches, variants string, scale float64, insts uint64, noSuperblocks bool) error {
 	clock := func() int64 { return time.Now().UnixNano() } //determinism:ok — CLI wall-time probe
 	names := workload.Names()
 	if benches != "" {
@@ -529,7 +541,7 @@ func runKinst(benches, variants string, scale float64, insts uint64) error {
 			return fmt.Errorf("unknown workload %q", name)
 		}
 		for _, v := range vs {
-			s, err := hostperf.Measure(clock, p, v, hostperf.MeasureOpts{Scale: scale, MaxInsts: insts})
+			s, err := hostperf.Measure(clock, p, v, hostperf.MeasureOpts{Scale: scale, MaxInsts: insts, NoSuperblocks: noSuperblocks})
 			if err != nil {
 				return err
 			}

@@ -42,6 +42,7 @@ func main() {
 	variants := flag.String("variants", "baseline,always-on,prediction", "comma-separated protection variants to measure")
 	scale := flag.Float64("scale", 0.25, "workload scale factor")
 	insts := flag.Uint64("insts", 200_000, "instructions to retire per measurement after warmup")
+	allowNew := flag.Bool("allow-new", false, "permit measured benchmarks that are missing from the baseline (new benchmarks landing before their baseline is regenerated)")
 	flag.Parse()
 
 	clock := func() int64 { return time.Now().UnixNano() } //determinism:ok — CLI wall-time probe
@@ -86,7 +87,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	problems := hostperf.Compare(baseline, rep, *tolerance)
+	problems := hostperf.Compare(baseline, rep, *tolerance, *allowNew)
 	if len(problems) > 0 {
 		fmt.Fprintf(os.Stderr, "chexperf: %d regression(s) against %s:\n", len(problems), *baselinePath)
 		for _, p := range problems {

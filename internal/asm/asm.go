@@ -132,6 +132,7 @@ type Builder struct {
 	insts    []isa.Inst
 	labels   map[string]int // label -> instruction index it precedes
 	fixups   []fixup
+	immFixes []fixup // MovLabel sites: Src.Imm receives the label address
 	globals  []Global
 	relocs   []Reloc
 	data     []DataInit
@@ -222,6 +223,14 @@ func (b *Builder) MovRR(dst, src isa.Reg) *Builder {
 // MovRI emits mov dst, $imm.
 func (b *Builder) MovRI(dst isa.Reg, imm int64) *Builder {
 	return b.Mov(isa.RegOp(dst), isa.ImmOp(imm))
+}
+
+// MovLabel emits mov dst, $label: the immediate is patched to the
+// label's resolved address at Build time. This is how generated guests
+// materialize function pointers for indirect calls and jump tables.
+func (b *Builder) MovLabel(dst isa.Reg, label string) *Builder {
+	b.immFixes = append(b.immFixes, fixup{len(b.insts), label})
+	return b.emit(isa.Inst{Op: isa.MOV, Dst: isa.RegOp(dst), Src: isa.ImmOp(0)})
 }
 
 // Load emits mov dst, [base+disp].
@@ -430,6 +439,13 @@ func (b *Builder) Build() (*Program, error) {
 			return nil, fmt.Errorf("asm: undefined label %q", f.label)
 		}
 		p.Insts[f.inst].Target = target
+	}
+	for _, f := range b.immFixes {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		p.Insts[f.inst].Src.Imm = int64(target)
 	}
 	return p, nil
 }

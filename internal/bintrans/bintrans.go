@@ -96,10 +96,14 @@ func (t *Translator) Translate(p *asm.Program) (*asm.Program, error) {
 
 	// Guard: indirect control flow cannot be statically remapped. Indirect
 	// jumps/calls through registers would need a runtime translation map.
+	// The error names both the original address and where the layout pass
+	// would have placed the instruction, so a rejection can be traced to
+	// its site in either address space.
 	for i := range p.Insts {
 		in := &p.Insts[i]
 		if (in.Op == isa.JMP || in.Op == isa.CALL) && in.Dst.Kind == isa.OpReg {
-			return nil, fmt.Errorf("bintrans: indirect %s at %#x requires runtime target translation", in.Op, in.Addr)
+			return nil, fmt.Errorf("bintrans: indirect %s at %#x (remapped %#x) requires runtime target translation",
+				in.Op, in.Addr, newAddr[in.Addr])
 		}
 	}
 

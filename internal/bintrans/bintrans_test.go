@@ -1,6 +1,7 @@
 package bintrans
 
 import (
+	"fmt"
 	"testing"
 
 	"chex86/internal/asm"
@@ -136,9 +137,21 @@ func TestIndirectBranchesRejected(t *testing.T) {
 	b := asm.NewBuilder()
 	b.MovRI(isa.RAX, 0x400000)
 	b.JmpReg(isa.RAX)
+	p := b.MustBuild()
 	var tr Translator
-	if _, err := tr.Translate(b.MustBuild()); err == nil {
+	_, err := tr.Translate(p)
+	if err == nil {
 		t.Fatal("static translation cannot remap indirect targets; must be rejected")
+	}
+	// The rejection must name both address spaces: the original site and
+	// the address the layout pass assigned it. The JMP is the second
+	// instruction (the MOV before it is not check-instrumented, so the
+	// remapped address equals original + one slot).
+	jmp := p.Insts[1]
+	want := fmt.Sprintf("bintrans: indirect jmp at %#x (remapped %#x) requires runtime target translation",
+		jmp.Addr, jmp.Addr)
+	if err.Error() != want {
+		t.Fatalf("rejection message:\ngot  %q\nwant %q", err, want)
 	}
 }
 

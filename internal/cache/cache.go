@@ -50,7 +50,7 @@ type LineCache struct {
 
 	sets  int
 	ways  int
-	lines [][]line
+	lines []line // flat set-major array: set s occupies lines[s*ways : (s+1)*ways]
 	clock uint64
 	hitPF bool // last Access hit a prefetched line
 	Stats Stats
@@ -72,10 +72,7 @@ func NewLineCache(name string, sizeBytes, ways int, lineSize, latency uint64) *L
 	}
 	sets := nlines / ways
 	c := &LineCache{Name: name, LineSize: lineSize, Latency: latency, sets: sets, ways: ways}
-	c.lines = make([][]line, sets)
-	for i := range c.lines {
-		c.lines[i] = make([]line, ways)
-	}
+	c.lines = make([]line, sets*ways)
 	c.lineShift, c.setMask = -1, -1
 	if lineSize > 0 && lineSize&(lineSize-1) == 0 {
 		c.lineShift = bits.TrailingZeros64(lineSize)
@@ -105,7 +102,7 @@ func (c *LineCache) index(addr uint64) (set int, tag uint64) {
 func (c *LineCache) Access(addr uint64, write bool) (hit bool, wbAddr uint64, wb bool) {
 	set, tag := c.index(addr)
 	c.clock++
-	ws := c.lines[set]
+	ws := c.lines[set*c.ways : set*c.ways+c.ways]
 	for w := range ws {
 		if ws[w].valid && ws[w].tag == tag {
 			ws[w].lru = c.clock
@@ -154,7 +151,7 @@ func (c *LineCache) HitPrefetched() bool { return c.hitPF }
 // prefetcher-filled.
 func (c *LineCache) MarkPrefetched(addr uint64) {
 	set, tag := c.index(addr)
-	ws := c.lines[set]
+	ws := c.lines[set*c.ways : set*c.ways+c.ways]
 	for w := range ws {
 		if ws[w].valid && ws[w].tag == tag {
 			ws[w].pf = true
@@ -165,7 +162,7 @@ func (c *LineCache) MarkPrefetched(addr uint64) {
 // Contains reports whether addr is resident without updating LRU or stats.
 func (c *LineCache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, l := range c.lines[set] {
+	for _, l := range c.lines[set*c.ways : set*c.ways+c.ways] {
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -176,7 +173,7 @@ func (c *LineCache) Contains(addr uint64) bool {
 // Invalidate drops the line containing addr if resident.
 func (c *LineCache) Invalidate(addr uint64) {
 	set, tag := c.index(addr)
-	ws := c.lines[set]
+	ws := c.lines[set*c.ways : set*c.ways+c.ways]
 	for w := range ws {
 		if ws[w].valid && ws[w].tag == tag {
 			ws[w].valid = false
@@ -375,17 +372,25 @@ func (h *Hierarchy) wbBelow(from *LineCache, addr uint64, now uint64) {
 // the in-processor capability cache (keyed by PID) and the alias cache
 // (keyed by spilled-pointer address). It models hit/miss timing and
 // invalidation only; the authoritative data lives in the shadow tables.
+// keyEntry is one KeyCache way: key, recency, and validity packed
+// together so a set probe touches one contiguous run instead of three
+// parallel arrays.
+type keyEntry struct {
+	key   uint64
+	lru   uint64
+	valid bool
+}
+
 type KeyCache struct {
 	Name string
 
-	sets   int
-	ways   int
-	keys   [][]uint64
-	valid  [][]bool
-	lru    [][]uint64
-	clock  uint64
-	victim *victimCache
-	Stats  Stats
+	sets    int
+	ways    int
+	ents    []keyEntry // flat set-major: set s is ents[s*ways : (s+1)*ways]
+	setMask int        // sets-1 when sets is a power of two, else -1
+	clock   uint64
+	victim  *victimCache
+	Stats   Stats
 }
 
 // NewKeyCache constructs a key cache with entries/ways geometry and an
@@ -396,13 +401,10 @@ func NewKeyCache(name string, entries, ways, victimEntries int) *KeyCache {
 	}
 	sets := entries / ways
 	c := &KeyCache{Name: name, sets: sets, ways: ways}
-	c.keys = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.keys[i] = make([]uint64, ways)
-		c.valid[i] = make([]bool, ways)
-		c.lru[i] = make([]uint64, ways)
+	c.ents = make([]keyEntry, sets*ways)
+	c.setMask = -1
+	if sets > 0 && sets&(sets-1) == 0 {
+		c.setMask = sets - 1
 	}
 	if victimEntries > 0 {
 		c.victim = newVictimCache(victimEntries)
@@ -413,6 +415,9 @@ func NewKeyCache(name string, entries, ways, victimEntries int) *KeyCache {
 func (c *KeyCache) set(key uint64) int {
 	// Mix the key so sequentially allocated PIDs/addresses spread across sets.
 	h := key * 0x9E3779B97F4A7C15
+	if c.setMask >= 0 {
+		return int(h) & c.setMask
+	}
 	return int(h % uint64(c.sets))
 }
 
@@ -422,9 +427,10 @@ func (c *KeyCache) set(key uint64) int {
 func (c *KeyCache) Access(key uint64) bool {
 	c.clock++
 	set := c.set(key)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.keys[set][w] == key {
-			c.lru[set][w] = c.clock
+	ws := c.ents[set*c.ways : set*c.ways+c.ways]
+	for w := range ws {
+		if ws[w].valid && ws[w].key == key {
+			ws[w].lru = c.clock
 			c.Stats.Hits++
 			return true
 		}
@@ -443,8 +449,9 @@ func (c *KeyCache) Access(key uint64) bool {
 // Probe reports residency without updating state or stats.
 func (c *KeyCache) Probe(key uint64) bool {
 	set := c.set(key)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.keys[set][w] == key {
+	ws := c.ents[set*c.ways : set*c.ways+c.ways]
+	for w := range ws {
+		if ws[w].valid && ws[w].key == key {
 			return true
 		}
 	}
@@ -452,39 +459,36 @@ func (c *KeyCache) Probe(key uint64) bool {
 }
 
 func (c *KeyCache) fill(set int, key uint64) {
+	ws := c.ents[set*c.ways : set*c.ways+c.ways]
 	victim := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[set][w] {
+	for w := range ws {
+		if !ws[w].valid {
 			victim = w
 			break
 		}
 	}
 	if victim < 0 {
 		victim = 0
-		for w := 1; w < c.ways; w++ {
-			if c.lru[set][w] < c.lru[set][victim] {
+		for w := 1; w < len(ws); w++ {
+			if ws[w].lru < ws[victim].lru {
 				victim = w
 			}
 		}
 		c.Stats.Evictions++
 		if c.victim != nil {
-			c.victim.insert(c.keys[set][victim])
+			c.victim.insert(ws[victim].key)
 		}
 	}
-	c.keys[set][victim] = key
-	c.valid[set][victim] = true
-	c.lru[set][victim] = c.clock
+	ws[victim] = keyEntry{key: key, valid: true, lru: c.clock}
 }
 
 // ValidCount returns the number of live entries in the main array (victim
 // cache excluded).
 func (c *KeyCache) ValidCount() int {
 	n := 0
-	for s := range c.valid {
-		for w := range c.valid[s] {
-			if c.valid[s][w] {
-				n++
-			}
+	for i := range c.ents {
+		if c.ents[i].valid {
+			n++
 		}
 	}
 	return n
@@ -503,18 +507,16 @@ func (c *KeyCache) DropNth(n int) (uint64, bool) {
 		return 0, false
 	}
 	n %= total
-	for s := range c.valid {
-		for w := range c.valid[s] {
-			if !c.valid[s][w] {
-				continue
-			}
-			if n == 0 {
-				c.valid[s][w] = false
-				c.Stats.Invals++
-				return c.keys[s][w], true
-			}
-			n--
+	for i := range c.ents {
+		if !c.ents[i].valid {
+			continue
 		}
+		if n == 0 {
+			c.ents[i].valid = false
+			c.Stats.Invals++
+			return c.ents[i].key, true
+		}
+		n--
 	}
 	return 0, false
 }
@@ -524,9 +526,10 @@ func (c *KeyCache) DropNth(n int) (uint64, bool) {
 // and alias updates (Sections IV-C, V-C).
 func (c *KeyCache) Invalidate(key uint64) {
 	set := c.set(key)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.keys[set][w] == key {
-			c.valid[set][w] = false
+	ws := c.ents[set*c.ways : set*c.ways+c.ways]
+	for w := range ws {
+		if ws[w].valid && ws[w].key == key {
+			ws[w].valid = false
 			c.Stats.Invals++
 		}
 	}
@@ -538,10 +541,8 @@ func (c *KeyCache) Invalidate(key uint64) {
 // Flush invalidates every entry (a context switch: the cache holds
 // another process's metadata) while preserving accumulated statistics.
 func (c *KeyCache) Flush() {
-	for s := range c.valid {
-		for w := range c.valid[s] {
-			c.valid[s][w] = false
-		}
+	for i := range c.ents {
+		c.ents[i].valid = false
 	}
 	if c.victim != nil {
 		for i := range c.victim.used {

@@ -152,6 +152,30 @@ func TestKeyIgnoresTimeout(t *testing.T) {
 	}
 }
 
+// TestKeyIgnoresHostReplayKnobs pins that host-side replay knobs —
+// the μop cache and superblock switches, which cannot change result
+// bytes — never reach the content address: toggling them must not
+// invalidate cached campaign results.
+func TestKeyIgnoresHostReplayKnobs(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	s1 := BenchSpec("mcf", cfg, 0.25, 20000, 0)
+	k1, err := s1.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoUopCache = true
+	cfg.NoSuperblocks = true
+	cfg.SuperblockChainLen = 2
+	s2 := BenchSpec("mcf", cfg, 0.25, 20000, 0)
+	k2, err := s2.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("host replay knobs must not change the content address")
+	}
+}
+
 func TestKeyNormalizesFaultDefaults(t *testing.T) {
 	// An explicit default and an elided default are the same campaign.
 	a := FaultSpec(faultinject.Config{Workloads: []string{"mcf"}, Variants: []string{"prediction"}, Sites: faultinject.AllSites()[:1]})

@@ -158,6 +158,15 @@ type Table struct {
 	caps map[PID]*Capability
 	mem  *mem.Memory
 
+	// One-entry lookup memo for the dereference-check fast path: guest
+	// code dereferences the same object repeatedly, and the map probe is
+	// measurable host time at full workload scale. The memo caches the
+	// entry pointer only (entries mutate in place through that pointer),
+	// so it needs invalidating exactly when the map binding itself
+	// changes: inserts rebind a PID to a fresh entry, deletes remove it.
+	memoPID PID
+	memoCap *Capability
+
 	// MaxAllocSize is the pre-configured maximum allocatable block size;
 	// capGen.Begin flags larger requests as resource-exhaustion attacks
 	// (Section VII-A, 1 GB in the paper's experiments).
@@ -192,6 +201,24 @@ func ShadowAddr(pid PID) uint64 {
 // Lookup returns the capability for pid, or nil.
 func (t *Table) Lookup(pid PID) *Capability { return t.caps[pid] }
 
+// lookupMemo is Lookup through the one-entry memo (hot dereference path).
+func (t *Table) lookupMemo(pid PID) *Capability {
+	if pid == t.memoPID && t.memoCap != nil {
+		return t.memoCap
+	}
+	c := t.caps[pid]
+	if c != nil {
+		t.memoPID, t.memoCap = pid, c
+	}
+	return c
+}
+
+// bindMemo points the memo at a just-inserted entry; dropMemo clears it
+// around deletes. Every t.caps insert or delete must call one of them.
+func (t *Table) bindMemo(c *Capability) { t.memoPID, t.memoCap = c.PID, c }
+
+func (t *Table) dropMemo() { t.memoPID, t.memoCap = 0, nil }
+
 // Len returns the number of entries (live and freed) in the table.
 func (t *Table) Len() int { return len(t.caps) }
 
@@ -220,6 +247,7 @@ func (t *Table) GenBegin(pid PID, size uint64, rip uint64) (*Capability, *Violat
 	c := &Capability{PID: pid, Bounds: uint32(bounds), Perms: PermRead | PermWrite | PermBusy}
 	c.seal()
 	t.caps[c.PID] = c
+	t.bindMemo(c)
 	t.materialize(c)
 	return c, nil
 }
@@ -252,6 +280,7 @@ func (t *Table) AddGlobal(pid PID, base, size uint64, readOnly bool) *Capability
 	c := &Capability{PID: pid, Base: base, Bounds: uint32(bounds), Perms: perms}
 	c.seal()
 	t.caps[c.PID] = c
+	t.bindMemo(c)
 	t.materialize(c)
 	return c
 }
@@ -314,7 +343,7 @@ func (t *Table) Check(pid PID, ea uint64, size uint32, write bool, rip uint64) *
 		return &Violation{Kind: VWildDereference, PID: pid, EA: ea, RIP: rip,
 			Msg: "dereference of integer-constant pointer with no capability"}
 	}
-	c := t.caps[pid]
+	c := t.lookupMemo(pid)
 	if c == nil {
 		t.Stats.Violations++
 		return &Violation{Kind: VWildDereference, PID: pid, EA: ea, RIP: rip, Msg: "no capability for pid"}
@@ -350,6 +379,7 @@ func (t *Table) verify(c *Capability, ea uint64, rip uint64) *Violation {
 		return nil
 	}
 	delete(t.caps, c.PID)
+	t.dropMemo()
 	t.Stats.Degraded++
 	t.Stats.Violations++
 	return &Violation{Kind: VMetadataCorrupt, PID: c.PID, EA: ea, RIP: rip,
@@ -403,6 +433,7 @@ func (t *Table) Evict(pid PID) bool {
 		return false
 	}
 	delete(t.caps, pid)
+	t.dropMemo()
 	t.Stats.Degraded++
 	return true
 }
@@ -416,6 +447,7 @@ func (t *Table) Audit() []PID {
 		if c := t.caps[pid]; c != nil && !c.IntegrityOK() {
 			bad = append(bad, pid)
 			delete(t.caps, pid)
+			t.dropMemo()
 			t.Stats.Degraded++
 		}
 	}

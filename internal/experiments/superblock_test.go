@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"chex86/internal/elide"
+	"chex86/internal/pipeline"
+	"chex86/internal/workload"
+)
+
+// TestSuperblockGuardDifferential is the hard half of the superblock
+// byte-identity contract (DESIGN.md §17): with elision AND hoisted
+// guards live, every per-site decision a superblock bakes at install
+// time — context-policy coverage, elision-hit masks, guard-subsumption
+// masks, guard anchors — must reproduce the single-op path's map probes
+// exactly. Across every catalog workload, the full Result and the guard
+// counters must be byte-identical with superblock replay on and off.
+func TestSuperblockGuardDifferential(t *testing.T) {
+	o := Options{Scale: 0.1, MaxInsts: 50_000}
+	ctx := context.Background()
+
+	for _, p := range workload.Catalog() {
+		prog, err := p.Build(o.Scale)
+		if err != nil {
+			t.Fatalf("%s: build: %v", p.Name, err)
+		}
+		rep, err := elide.ForProgram(prog, elide.Options{Harts: harts(p)})
+		if err != nil {
+			t.Fatalf("%s: elide: %v", p.Name, err)
+		}
+
+		cfg := pipeline.DefaultConfig()
+		cfg.ElideChecks = true
+		cfg.ElisionDigest = rep.Digest
+		cfg.ElisionCtxK = rep.CtxK
+		cfg.HoistGuards = true
+		cfg.GuardDigest = rep.Guards.Digest
+
+		on, gsOn, err := runWithGuards(ctx, p, cfg, &o, rep)
+		if err != nil {
+			t.Fatalf("%s: superblocks-on run: %v", p.Name, err)
+		}
+		cfgOff := cfg
+		cfgOff.NoSuperblocks = true
+		off, gsOff, err := runWithGuards(ctx, p, cfgOff, &o, rep)
+		if err != nil {
+			t.Fatalf("%s: superblocks-off run: %v", p.Name, err)
+		}
+
+		onJSON, _ := json.Marshal(on)
+		offJSON, _ := json.Marshal(off)
+		if string(onJSON) != string(offJSON) {
+			t.Errorf("%s: Result diverged with superblocks on vs off\non:  %s\noff: %s",
+				p.Name, onJSON, offJSON)
+		}
+		if gsOn != gsOff {
+			t.Errorf("%s: guard counters diverged with superblocks on vs off: on %+v, off %+v",
+				p.Name, gsOn, gsOff)
+		}
+	}
+}

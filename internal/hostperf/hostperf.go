@@ -62,6 +62,11 @@ type Sample struct {
 	WallNS   int64   `json:"wall_ns"`  // host wall time for the measured run
 	Allocs   uint64  `json:"allocs"`   // heap objects allocated during the run
 	HitRate  float64 `json:"hit_rate"` // μop translation cache hit rate
+	// Superblock replay telemetry (zero when the variant excludes
+	// superblocks or they were disabled for the run).
+	SBBuilt     uint64 `json:"sb_built,omitempty"`     // superblocks installed
+	SBChains    uint64 `json:"sb_chains,omitempty"`    // successor links patched
+	SBFallbacks uint64 `json:"sb_fallbacks,omitempty"` // mid-block exits to the single-op path
 }
 
 // KinstPerSec returns thousands of simulated instructions per host second.
@@ -90,8 +95,9 @@ type Report struct {
 
 // MeasureOpts configures one Measure call.
 type MeasureOpts struct {
-	Scale    float64 // workload scale factor (0 → 0.25)
-	MaxInsts uint64  // instructions to retire after warmup (0 → 200k)
+	Scale         float64 // workload scale factor (0 → 0.25)
+	MaxInsts      uint64  // instructions to retire after warmup (0 → 200k)
+	NoSuperblocks bool    // disable superblock replay (the -superblocks=off escape hatch)
 }
 
 // Measure runs one (workload, variant) pair and samples throughput and
@@ -113,6 +119,7 @@ func Measure(clock Clock, p *workload.Profile, v decode.Variant, opts MeasureOpt
 	cfg.Variant = v
 	cfg.WarmupInsts = p.SetupInsts()
 	cfg.MaxInsts = opts.MaxInsts + cfg.WarmupInsts
+	cfg.NoSuperblocks = opts.NoSuperblocks
 	harts := 1
 	if p.Threads > 0 {
 		harts = p.Threads
@@ -131,13 +138,17 @@ func Measure(clock Clock, p *workload.Profile, v decode.Variant, opts MeasureOpt
 	if err != nil {
 		return Sample{}, fmt.Errorf("%s/%v: run: %w", p.Name, v, err)
 	}
+	sb := sim.SuperblockStats()
 	return Sample{
-		Workload: p.Name,
-		Variant:  VariantName(v),
-		Insts:    res.MacroInsts,
-		WallNS:   wall,
-		Allocs:   msAfter.Mallocs - msBefore.Mallocs,
-		HitRate:  sim.UopCacheStats().HitRate(),
+		Workload:    p.Name,
+		Variant:     VariantName(v),
+		Insts:       res.MacroInsts,
+		WallNS:      wall,
+		Allocs:      msAfter.Mallocs - msBefore.Mallocs,
+		HitRate:     sim.UopCacheStats().HitRate(),
+		SBBuilt:     sb.Built,
+		SBChains:    sb.ChainsPatched,
+		SBFallbacks: sb.Fallbacks,
 	}, nil
 }
 
@@ -202,9 +213,13 @@ const allocSlack = 0.02
 
 // Compare gates current against baseline: a host-normalized Kinst/s drop
 // beyond tolerance (e.g. 0.20 for 20%) or any material allocs/instruction
-// increase is a Problem. Samples present in only one report are flagged
-// too — a silently vanished benchmark must not pass the gate.
-func Compare(baseline, current *Report, tolerance float64) []Problem {
+// increase is a Problem. Samples present in only one report are a hard
+// failure in both directions — a benchmark key unknown to the baseline
+// means the baseline is stale, and a silently vanished benchmark must
+// not pass the gate. allowNew waives only the first direction (chexperf
+// -allow-new), for the turn where a new benchmark lands before its
+// baseline is regenerated.
+func Compare(baseline, current *Report, tolerance float64, allowNew bool) []Problem {
 	var problems []Problem
 	if baseline.HostScore <= 0 || current.HostScore <= 0 {
 		return []Problem{{Msg: fmt.Sprintf("host score missing (baseline %.1f, current %.1f) — cannot normalize", baseline.HostScore, current.HostScore)}}
@@ -219,7 +234,10 @@ func Compare(baseline, current *Report, tolerance float64) []Problem {
 		seen[key] = true
 		b, ok := base[key]
 		if !ok {
-			problems = append(problems, Problem{cur.Workload, cur.Variant, "not in baseline — regenerate bench_baseline.json"})
+			if !allowNew {
+				problems = append(problems, Problem{cur.Workload, cur.Variant,
+					"not in baseline — regenerate bench_baseline.json (or gate with -allow-new)"})
+			}
 			continue
 		}
 		baseNorm := b.KinstPerSec() / baseline.HostScore
@@ -253,14 +271,16 @@ func Compare(baseline, current *Report, tolerance float64) []Problem {
 // chexbench print.
 func Format(r *Report) string {
 	out := fmt.Sprintf("host score: %.1f kernel-iters/µs\n", r.HostScore)
-	out += fmt.Sprintf("%-14s %-12s %12s %12s %10s %8s\n", "workload", "variant", "Kinst/s", "norm", "allocs/in", "μop-hit")
+	out += fmt.Sprintf("%-14s %-12s %12s %12s %10s %8s %8s %8s %8s\n",
+		"workload", "variant", "Kinst/s", "norm", "allocs/in", "μop-hit", "sb-built", "sb-chain", "sb-fall")
 	for _, s := range r.Samples {
 		norm := 0.0
 		if r.HostScore > 0 {
 			norm = s.KinstPerSec() / r.HostScore
 		}
-		out += fmt.Sprintf("%-14s %-12s %12.1f %12.4f %10.4f %7.1f%%\n",
-			s.Workload, s.Variant, s.KinstPerSec(), norm, s.AllocsPerInst(), s.HitRate*100)
+		out += fmt.Sprintf("%-14s %-12s %12.1f %12.4f %10.4f %7.1f%% %8d %8d %8d\n",
+			s.Workload, s.Variant, s.KinstPerSec(), norm, s.AllocsPerInst(), s.HitRate*100,
+			s.SBBuilt, s.SBChains, s.SBFallbacks)
 	}
 	return out
 }

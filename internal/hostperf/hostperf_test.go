@@ -66,7 +66,7 @@ func TestCompareGates(t *testing.T) {
 		Sample{Workload: "mcf", Variant: "prediction", Insts: 1_000_000, WallNS: 1e9, Allocs: 1000})
 
 	t.Run("identical passes", func(t *testing.T) {
-		if p := Compare(base, base, 0.20); len(p) != 0 {
+		if p := Compare(base, base, 0.20, false); len(p) != 0 {
 			t.Fatalf("identical reports must pass, got %v", p)
 		}
 	})
@@ -74,7 +74,7 @@ func TestCompareGates(t *testing.T) {
 	t.Run("25% slowdown fails at 20% tolerance", func(t *testing.T) {
 		cur := mkReport(100,
 			Sample{Workload: "mcf", Variant: "prediction", Insts: 750_000, WallNS: 1e9, Allocs: 750})
-		p := Compare(base, cur, 0.20)
+		p := Compare(base, cur, 0.20, false)
 		if len(p) != 1 || !strings.Contains(p[0].Msg, "below baseline") {
 			t.Fatalf("want one throughput problem, got %v", p)
 		}
@@ -83,7 +83,7 @@ func TestCompareGates(t *testing.T) {
 	t.Run("15% slowdown passes at 20% tolerance", func(t *testing.T) {
 		cur := mkReport(100,
 			Sample{Workload: "mcf", Variant: "prediction", Insts: 850_000, WallNS: 1e9, Allocs: 850})
-		if p := Compare(base, cur, 0.20); len(p) != 0 {
+		if p := Compare(base, cur, 0.20, false); len(p) != 0 {
 			t.Fatalf("15%% drop within tolerance must pass, got %v", p)
 		}
 	})
@@ -92,7 +92,7 @@ func TestCompareGates(t *testing.T) {
 		// Host half as fast, throughput half as high: normalized equal.
 		cur := mkReport(50,
 			Sample{Workload: "mcf", Variant: "prediction", Insts: 500_000, WallNS: 1e9, Allocs: 500})
-		if p := Compare(base, cur, 0.20); len(p) != 0 {
+		if p := Compare(base, cur, 0.20, false); len(p) != 0 {
 			t.Fatalf("host-speed difference must normalize away, got %v", p)
 		}
 	})
@@ -100,7 +100,7 @@ func TestCompareGates(t *testing.T) {
 	t.Run("alloc increase fails", func(t *testing.T) {
 		cur := mkReport(100,
 			Sample{Workload: "mcf", Variant: "prediction", Insts: 1_000_000, WallNS: 1e9, Allocs: 200_000})
-		p := Compare(base, cur, 0.20)
+		p := Compare(base, cur, 0.20, false)
 		if len(p) != 1 || !strings.Contains(p[0].Msg, "allocs/instruction rose") {
 			t.Fatalf("want one alloc problem, got %v", p)
 		}
@@ -108,7 +108,7 @@ func TestCompareGates(t *testing.T) {
 
 	t.Run("missing sample fails", func(t *testing.T) {
 		cur := mkReport(100)
-		p := Compare(base, cur, 0.20)
+		p := Compare(base, cur, 0.20, false)
 		if len(p) != 1 || !strings.Contains(p[0].Msg, "not measured") {
 			t.Fatalf("want one missing-sample problem, got %v", p)
 		}
@@ -118,14 +118,27 @@ func TestCompareGates(t *testing.T) {
 		cur := mkReport(100,
 			base.Samples[0],
 			Sample{Workload: "new", Variant: "prediction", Insts: 1, WallNS: 1, Allocs: 0})
-		p := Compare(base, cur, 0.20)
+		p := Compare(base, cur, 0.20, false)
 		if len(p) != 1 || !strings.Contains(p[0].Msg, "not in baseline") {
 			t.Fatalf("want one unknown-sample problem, got %v", p)
 		}
 	})
 
+	t.Run("allow-new waives only unknown samples", func(t *testing.T) {
+		cur := mkReport(100,
+			base.Samples[0],
+			Sample{Workload: "new", Variant: "prediction", Insts: 1, WallNS: 1, Allocs: 0})
+		if p := Compare(base, cur, 0.20, true); len(p) != 0 {
+			t.Fatalf("allow-new must pass an unknown benchmark, got %v", p)
+		}
+		// A vanished benchmark still fails even with allow-new.
+		if p := Compare(base, mkReport(100), 0.20, true); len(p) != 1 {
+			t.Fatalf("allow-new must not waive missing samples, got %v", p)
+		}
+	})
+
 	t.Run("missing host score fails closed", func(t *testing.T) {
-		if p := Compare(mkReport(0), base, 0.20); len(p) == 0 {
+		if p := Compare(mkReport(0), base, 0.20, false); len(p) == 0 {
 			t.Fatal("zero host score must fail the gate, not skip it")
 		}
 	})

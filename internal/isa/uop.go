@@ -25,6 +25,7 @@ const (
 	UCapFreeBegin // set busy on the capability being freed
 	UCapFreeEnd   // clear valid and busy
 	UCapCheck     // validate a dereference against the shadow capability table
+	UGuardCheck   // fused hoisted-block guard: one interval check at a dominator anchor
 
 	numUopTypes
 )
@@ -32,6 +33,7 @@ const (
 var uopNames = [numUopTypes]string{
 	"nop", "mov", "limm", "alu", "lea", "ld", "st", "br", "jmp",
 	"capGen.Begin", "capGen.End", "capFree.Begin", "capFree.End", "capCheck",
+	"guardCheck",
 }
 
 // String returns the micro-op mnemonic.
@@ -44,7 +46,7 @@ func (t UopType) String() string {
 
 // IsCap reports whether the micro-op is one of the injected capability
 // micro-ops.
-func (t UopType) IsCap() bool { return t >= UCapGenBegin && t <= UCapCheck }
+func (t UopType) IsCap() bool { return t >= UCapGenBegin && t <= UGuardCheck }
 
 // IsMem reports whether the micro-op accesses program-visible memory.
 func (t UopType) IsMem() bool { return t == ULoad || t == UStore }
@@ -208,7 +210,7 @@ func (u *Uop) FU() FUClass {
 			return FUFPALU
 		}
 		return FUIntALU
-	case UCapCheck, UCapGenBegin, UCapGenEnd, UCapFreeBegin, UCapFreeEnd:
+	case UCapCheck, UCapGenBegin, UCapGenEnd, UCapFreeBegin, UCapFreeEnd, UGuardCheck:
 		// Capability uops execute on integer ALUs with their own
 		// capability-cache port; they are not on the load critical path.
 		return FUIntALU
@@ -236,7 +238,7 @@ func (u *Uop) Latency() uint8 {
 		return 1
 	case ULoad, UStore:
 		return 1 // address generation; hierarchy latency added by the cache model
-	case UCapCheck:
+	case UCapCheck, UGuardCheck:
 		return 2 // capability-cache hit check latency (off the load path)
 	case UCapGenBegin, UCapGenEnd, UCapFreeBegin, UCapFreeEnd:
 		return 2

@@ -32,9 +32,14 @@ type Condition struct {
 	Elide      bool           `json:"elide,omitempty"`
 	NoUopCache bool           `json:"noUopCache,omitempty"`
 	// Hoist additionally installs the verified hoisted-guard map
-	// (DESIGN.md §16) on top of elision; guard attribution must never
-	// change the committed stream or the violation report.
+	// (DESIGN.md §16) on top of elision; with the guard μop live, guard
+	// hoisting may change timing but never the committed values or the
+	// violation report.
 	Hoist bool `json:"hoist,omitempty"`
+	// NoSuperblocks disables superblock replay (DESIGN.md §17); replay
+	// must never change a committed byte, so cells differing only in
+	// this knob must agree exactly.
+	NoSuperblocks bool `json:"noSuperblocks,omitempty"`
 }
 
 // Name renders a short stable identifier ("prediction+elide-uop").
@@ -59,14 +64,19 @@ func (c Condition) Name() string {
 	if c.NoUopCache {
 		b.WriteString("-uop")
 	}
+	if c.NoSuperblocks {
+		b.WriteString("-sb")
+	}
 	return b.String()
 }
 
 // DefaultConditions is the acceptance matrix: insecure / always-on /
 // prediction × elision on/off × μop-cache on/off (elision is meaningless
 // without a tracker, so the insecure variant only toggles the cache),
-// plus one guard-hoisting cell per protected variant (elide+hoist with
-// the μop cache on) — twelve conditions per program.
+// plus, per protected variant, one guard-hoisting cell (elide+hoist) and
+// one superblock-replay-off cell over the full elide+hoist stack — the
+// baked-facts path against live map probes — fourteen conditions per
+// program.
 func DefaultConditions() []Condition {
 	out := []Condition{
 		{Variant: decode.VariantInsecure},
@@ -79,6 +89,7 @@ func DefaultConditions() []Condition {
 			}
 		}
 		out = append(out, Condition{Variant: v, Elide: true, Hoist: true})
+		out = append(out, Condition{Variant: v, Elide: true, Hoist: true, NoSuperblocks: true})
 	}
 	return out
 }
@@ -269,6 +280,7 @@ func runConditionProg(prog *asm.Program, cond Condition, opt RunOptions) *CondRe
 	cfg.Variant = cond.Variant
 	cfg.MaxInsts = opt.MaxInsts
 	cfg.NoUopCache = cond.NoUopCache
+	cfg.NoSuperblocks = cond.NoSuperblocks
 	var erep *elide.Report
 	if cond.Elide {
 		rep, err := elide.ForProgram(prog, elide.Options{Harts: 1})

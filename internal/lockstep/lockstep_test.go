@@ -11,7 +11,7 @@ import (
 )
 
 // fastConditions is a reduced matrix for unit tests (the full
-// twelve-cell matrix runs in the sweep tests and CI gate).
+// fourteen-cell matrix runs in the sweep tests and CI gate).
 func fastConditions() []Condition {
 	full := DefaultConditions()
 	out := make([]Condition, 0, 4)

@@ -108,6 +108,17 @@ const (
 	// shape exists for the guard-hoisting layer: a dominator-anchored
 	// fused guard must cover every dereference of the run.
 	StepRun
+	// StepICall calls a generated function through a function pointer
+	// materialized in a scratch register — an indirect CALL whose target
+	// comes from a register, not the instruction. The shape exists for
+	// the superblock layer: indirect calls must terminate a block and
+	// never chain.
+	StepICall
+	// StepJumpTable dispatches through a stack-resident jump table: the
+	// case handlers' addresses are stored to stack slots, the baked
+	// selector's slot is loaded back, and an indirect JMP lands in one of
+	// the case blocks, each of which accesses the buffer and rejoins.
+	StepJumpTable
 
 	numStepKinds
 )
@@ -118,12 +129,13 @@ type Step struct {
 	Kind StepKind `json:"k"`
 	Buf  int      `json:"b"`
 	// Dst is the target pointer-register index for StepMove, the
-	// entry-function index for StepCall, and the dereference count for
-	// StepRun.
+	// entry-function index for StepCall and StepICall, the dereference
+	// count for StepRun, and the selected case index for StepJumpTable.
 	Dst int `json:"d,omitempty"`
 	// Off is the byte offset for StepAccess (8-aligned, past the end for
-	// the OOB mutation step), the advance distance for StepArith, and the
-	// starting offset of a StepRun.
+	// the OOB mutation step), the advance distance for StepArith, the
+	// starting offset of a StepRun, and the case-block access offset of a
+	// StepJumpTable.
 	Off int64 `json:"o,omitempty"`
 	// Flavor selects the access form for StepAccess: 0 word load,
 	// 1 word store, 2 byte load, 3 byte store.
@@ -160,6 +172,9 @@ var pointerRegs = []isa.Reg{isa.RBX, isa.R12, isa.R13, isa.R14}
 
 // maxSteps bounds genome size when loading untrusted corpus bytes.
 const maxSteps = 1 << 16
+
+// jtCases is the number of case handlers a StepJumpTable emits.
+const jtCases = 3
 
 // rng is a xorshift64 stream: deterministic, allocation-free, and
 // explicitly seeded (chexvet forbids math/rand's global state here).
@@ -214,7 +229,7 @@ func Generate(seed uint64, opts Options) *Genome {
 	g.Steps = make([]Step, 0, opts.Steps)
 	for len(g.Steps) < opts.Steps && len(g.Steps) < maxSteps {
 		s := Step{Buf: r.intn(g.Bufs)}
-		switch pick := r.intn(9); pick {
+		switch pick := r.intn(11); pick {
 		case 0:
 			s.Kind = StepMove
 			s.Dst = r.intn(len(pointerRegs))
@@ -250,6 +265,19 @@ func Generate(seed uint64, opts Options) *Genome {
 			if words := g.BufBytes / 8; words > int64(s.Dst) {
 				s.Off = 8 * r.i63n(words-int64(s.Dst)+1)
 			}
+		case 9:
+			if g.Funcs == 0 {
+				s.Kind = StepAccess
+				s.Off = 8 * r.i63n(g.BufBytes/8)
+				s.Flavor = uint8(r.intn(2))
+			} else {
+				s.Kind = StepICall
+				s.Dst = r.intn(g.Funcs)
+			}
+		case 10:
+			s.Kind = StepJumpTable
+			s.Dst = r.intn(jtCases)
+			s.Off = 8 * r.i63n(g.BufBytes/8)
 		}
 		g.Steps = append(g.Steps, s)
 	}
@@ -310,12 +338,16 @@ func (g *Genome) normalize() {
 			if s.Dst < 0 || s.Dst >= len(pointerRegs) {
 				s.Dst = 0
 			}
-		case StepCall:
+		case StepCall, StepICall:
 			if g.Funcs == 0 {
 				s.Kind = StepAccess
 				s.Off = 0
 				s.Flavor = 0
 			} else if s.Dst < 0 || s.Dst >= g.Funcs {
+				s.Dst = 0
+			}
+		case StepJumpTable:
+			if s.Dst < 0 || s.Dst >= jtCases {
 				s.Dst = 0
 			}
 		}
@@ -348,6 +380,11 @@ func (g *Genome) normalize() {
 			}
 			s.Off &^= 7
 			if s.Off < 0 || s.Off+8*int64(s.Dst) > g.BufBytes {
+				s.Off = 0
+			}
+		case StepJumpTable:
+			s.Off &^= 7
+			if s.Off < 0 || s.Off >= g.BufBytes {
 				s.Off = 0
 			}
 		}
@@ -572,6 +609,35 @@ func (g *Genome) Build() (*asm.Program, error) {
 					b.Store(home[i], off, isa.RDX)
 				}
 			}
+		case StepICall:
+			// Function-pointer call: the target is materialized in a
+			// scratch register, so the CALL's target comes from RCX, not
+			// the instruction word.
+			b.MovRR(isa.RDI, home[i])
+			b.MovLabel(isa.RCX, fnLabel(s.Dst))
+			b.CallReg(isa.RCX)
+		case StepJumpTable:
+			// Stack-resident jump table: write every case handler's
+			// address to its slot, load the baked selector's entry back,
+			// and dispatch through the register. Each case accesses the
+			// buffer and rejoins via a direct jump.
+			for k := 0; k < jtCases; k++ {
+				b.MovLabel(isa.RCX, jtCase(si, k))
+				b.Store(isa.RSP, jtSlot(k), isa.RCX)
+			}
+			b.Load(isa.RCX, isa.RSP, jtSlot(s.Dst))
+			b.JmpReg(isa.RCX)
+			for k := 0; k < jtCases; k++ {
+				b.Label(jtCase(si, k))
+				if k%2 == 0 {
+					b.Load(isa.RDX, home[i], s.Off)
+				} else {
+					b.MovRI(isa.RDX, s.Off)
+					b.Store(home[i], s.Off, isa.RDX)
+				}
+				b.Jmp(jtJoin(si))
+			}
+			b.Label(jtJoin(si))
 		}
 	}
 
@@ -623,6 +689,14 @@ func (g *Genome) Build() (*asm.Program, error) {
 }
 
 func fnLabel(j int) string { return fmt.Sprintf("fn%d", j) }
+
+// jtSlot is case handler k's jump-table stack slot, placed below the
+// spill slots and the deepest nested return addresses.
+func jtSlot(k int) int64 { return int64(-192 - 8*k) }
+
+func jtCase(si, k int) string { return fmt.Sprintf("jt%d_case%d", si, k) }
+
+func jtJoin(si int) string { return fmt.Sprintf("jt%d_join", si) }
 
 // ProgramDigest builds the genome and returns the hex SHA-256 of the
 // emitted instruction stream — the "golden bytes" witness the

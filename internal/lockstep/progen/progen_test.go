@@ -55,9 +55,9 @@ func TestGenerateDistinct(t *testing.T) {
 // separate process running the same generator.
 func TestGoldenDigests(t *testing.T) {
 	golden := map[uint64]string{
-		1: "24cbfad6395a5e2b601c04e09e925ff38b0f334e8ade6cc0fff4cda96e5fab29",
-		2: "b0ebf59f37fc8baab50daf52bf427060158ec1b20f14114f093d15a23097f997",
-		3: "99d9728dbc5e25769201872caf118bebd648613bd6577a71428ddb1372dda373",
+		1: "4df44f45f9a061127777e3d1de40e6e1a96536c05e38538fd3be6a871096642d",
+		2: "5ceb826f5779a625a5f5e656b1b931614d70aafebbb2a907210b8c98fa5fb33e",
+		3: "cec73a6cee2d4d03a02e2585c0270c130780e166d410bb5f092dc56eeee2843e",
 	}
 	for seed, want := range golden {
 		got, err := Generate(seed, Options{}).ProgramDigest()
@@ -176,5 +176,73 @@ func TestStepRunShape(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no StepRun generated across 30 seeds")
+	}
+}
+
+// TestIndirectShapes: StepICall must emit a register-target CALL and
+// StepJumpTable a register-target JMP fed from a stack-resident table,
+// and generated sweeps must actually include both shapes.
+func TestIndirectShapes(t *testing.T) {
+	g := &Genome{
+		Seed: 1, Bufs: 1, BufBytes: 128, Funcs: 2,
+		Steps: []Step{
+			{Kind: StepICall, Buf: 0, Dst: 1},
+			{Kind: StepJumpTable, Buf: 0, Dst: 2, Off: 16},
+		},
+	}
+	prog, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iCalls, iJmps := 0, 0
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		if in.Dst.Kind != isa.OpReg {
+			continue
+		}
+		switch in.Op {
+		case isa.CALL:
+			iCalls++
+		case isa.JMP:
+			iJmps++
+		}
+	}
+	if iCalls != 1 || iJmps != 1 {
+		t.Fatalf("got %d indirect calls and %d indirect jumps, want 1 and 1", iCalls, iJmps)
+	}
+	// The MovLabel immediates must have resolved to real text addresses.
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		if in.Op == isa.MOV && in.Src.Kind == isa.OpImm && in.Dst.Reg == isa.RCX {
+			if a := uint64(in.Src.Imm); a < prog.TextBase || a >= prog.End() {
+				t.Fatalf("function-pointer immediate %#x outside text [%#x,%#x)", a, prog.TextBase, prog.End())
+			}
+		}
+	}
+
+	// Normalization: a selector or offset outside the table clamps.
+	bad := &Genome{Bufs: 1, BufBytes: 32, Funcs: 1,
+		Steps: []Step{{Kind: StepJumpTable, Dst: 99, Off: 4096}, {Kind: StepICall, Dst: -4}}}
+	bad.normalize()
+	if s := bad.Steps[0]; s.Dst != 0 || s.Off != 0 {
+		t.Fatalf("jump-table step not clamped: %+v", s)
+	}
+	if s := bad.Steps[1]; s.Dst != 0 {
+		t.Fatalf("indirect-call step not clamped: %+v", s)
+	}
+
+	foundIC, foundJT := false, false
+	for seed := uint64(0); seed < 40 && !(foundIC && foundJT); seed++ {
+		for _, s := range Generate(seed, Options{}).Steps {
+			switch s.Kind {
+			case StepICall:
+				foundIC = true
+			case StepJumpTable:
+				foundJT = true
+			}
+		}
+	}
+	if !foundIC || !foundJT {
+		t.Fatalf("sweep coverage: indirect-call=%v jump-table=%v across 40 seeds", foundIC, foundJT)
 	}
 }

@@ -31,76 +31,99 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	c.recsRun++
 	c.lastRIP = in.Addr
 
+	// --- Superblock replay cursor (fast path; superblock.go). ---
+	// When the cursor holds a baked translation for this record, the
+	// per-instruction dispatch work below — branch-kind classification,
+	// μop-cache probe, and the map lookups inside the instrumentation —
+	// is replaced by the block's precomputed facts.
+	var sbm *sbMacro
+	sbOn := s.sbEnabled()
+	if sbOn {
+		sbm = s.sbResolve(c, rec)
+	}
+
 	// --- Branch prediction (fetch stage). ---
 	var brKind branch.Kind
 	var predTaken bool
 	var predTarget uint64
-	isBranch := in.Op.IsBranch()
-	if isBranch {
-		switch in.Op {
-		case isa.JCC:
-			brKind = branch.KindCond
-		case isa.JMP:
-			brKind = branch.KindDirect
-			if in.Dst.Kind == isa.OpReg {
-				brKind = branch.KindIndirect
+	var isBranch bool
+	if sbm != nil {
+		isBranch, brKind = sbm.isBranch, sbm.brKind
+	} else {
+		isBranch = in.Op.IsBranch()
+		if isBranch {
+			switch in.Op {
+			case isa.JCC:
+				brKind = branch.KindCond
+			case isa.JMP:
+				brKind = branch.KindDirect
+				if in.Dst.Kind == isa.OpReg {
+					brKind = branch.KindIndirect
+				}
+			case isa.CALL:
+				brKind = branch.KindCall
+				if in.Dst.Kind == isa.OpReg {
+					brKind = branch.KindIndirectCall
+				}
+			case isa.RET:
+				brKind = branch.KindRet
 			}
-		case isa.CALL:
-			brKind = branch.KindCall
-			if in.Dst.Kind == isa.OpReg {
-				brKind = branch.KindIndirectCall
-			}
-		case isa.RET:
-			brKind = branch.KindRet
 		}
+	}
+	if isBranch {
 		predTaken, predTarget = c.bu.Predict(brKind, in.Addr, in.NextAddr())
 	}
 
-	// --- Decode to native micro-ops and fill effective addresses. ---
+	// --- Decode to native micro-ops. ---
 	// The μop translation cache memoizes the static translation
-	// (Decoder.Native + Microcode.Apply); only per-dynamic state — the
-	// effective addresses below and the instrumentation that follows —
-	// is derived fresh, on a scratch copy of the cached expansion. The
-	// statistics the memoized stages would have bumped are replayed on a
-	// hit so results are byte-identical with the cache on and off.
+	// (Decoder.Native + Microcode.Apply) and its entries are immutable,
+	// so a hit is served zero-copy: per-dynamic state (the effective
+	// address, the instrumentation that follows) is read from the
+	// committed record at its use sites, never written into the
+	// expansion. The statistics the memoized stages would have bumped
+	// are replayed on a hit so results are byte-identical with the cache
+	// on and off.
 	c.microRerouted = false
-	gen := s.Microcode.Gen()
 	var native []isa.Uop
-	cached := false
-	if !cfg.NoUopCache {
-		if e := c.uc.lookup(in.Addr, gen); e != nil {
-			c.dec.Stats.MacroOps++
-			c.dec.Stats.NativeUops += e.nativeUops
-			if e.rerouted {
+	if sbm != nil {
+		c.dec.Stats.MacroOps++
+		c.dec.Stats.NativeUops += sbm.nativeUops
+		native = sbm.uops
+	} else {
+		gen := s.Microcode.Gen()
+		var nativeUops uint64
+		cached := false
+		if !cfg.NoUopCache {
+			if e := c.uc.lookup(in.Addr, gen); e != nil {
+				c.dec.Stats.MacroOps++
+				c.dec.Stats.NativeUops += e.nativeUops
+				nativeUops = e.nativeUops
+				if e.rerouted {
+					c.dec.Stats.MSROMMacros++
+					s.Microcode.Stats.Rerouted++
+					c.microRerouted = true
+				}
+				native = e.uops
+				cached = true
+			}
+		}
+		if !cached {
+			buf := c.dec.Native(in, c.uopBuf[:0])
+			c.uopBuf = buf[:0]
+			nativeUops = uint64(len(buf))
+			native = buf
+			// Field updates re-route matching translations through the MSRAM.
+			if rerouted, hit := s.Microcode.Apply(in, native); hit {
+				native = rerouted
 				c.dec.Stats.MSROMMacros++
-				s.Microcode.Stats.Rerouted++
 				c.microRerouted = true
 			}
-			native = append(c.uopBuf[:0], e.uops...)
-			c.uopBuf = native[:0]
-			cached = true
+			if !cfg.NoUopCache {
+				c.uc.insert(in.Addr, gen, native, nativeUops, c.microRerouted)
+			}
 		}
-	}
-	if !cached {
-		buf := c.dec.Native(in, c.uopBuf[:0])
-		c.uopBuf = buf[:0]
-		nativeCount := uint64(len(buf))
-		native = buf
-		// Field updates re-route matching translations through the MSRAM.
-		if rerouted, hit := s.Microcode.Apply(in, native); hit {
-			native = rerouted
-			c.dec.Stats.MSROMMacros++
-			c.microRerouted = true
-		}
-		if !cfg.NoUopCache {
-			// Insert before the EA fill: the cached translation must stay
-			// free of dynamic-instance state.
-			c.uc.insert(in.Addr, gen, native, nativeCount, c.microRerouted)
-		}
-	}
-	for i := range native {
-		if native[i].Type.IsMem() {
-			native[i].EA = rec.EA
+		if sbOn {
+			s.sbFeed(c, rec, native, nativeUops, isBranch, brKind, gen)
 		}
 	}
 
@@ -108,12 +131,52 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 	c.firstViolation = nil
 
 	plans := c.planBuf[:0]
+
+	// --- Hoisted block guard (guard.go): one timed UGuardCheck μop per
+	// committed verified anchor, leading the macro-op's plan so the
+	// fused interval check issues at block entry in place of the per-site
+	// capability checks the elision map removed. The probe runs before
+	// ctxRetire below, so an anchor CALL counts in its caller's context —
+	// matching the static attribution. Same probe order as elision:
+	// exact live context, then the ⊤ entry.
+	if cfg.HoistGuards && cfg.Variant.UsesTracker() {
+		guardHit := false
+		if sbm != nil {
+			guardHit = sbm.guardAnchor
+		} else if len(s.guards.Guards) > 0 {
+			gctx := c.liveCtx().Limit(cfg.ctxK())
+			if _, ok := s.guards.Guards[GuardKey{Addr: in.Addr, Ctx: gctx}]; ok {
+				guardHit = true
+			} else if !gctx.IsAny() {
+				_, guardHit = s.guards.Guards[GuardKey{Addr: in.Addr, Ctx: CtxAny}]
+			}
+		}
+		if guardHit {
+			c.guardUops++
+			plans = append(plans, uopPlan{u: isa.Uop{
+				Type: isa.UGuardCheck, Dst: isa.RNone, Src1: isa.RNone, Src2: isa.RNone,
+				Injected: true,
+			}})
+			c.dec.Stats.InjectedUops++
+		}
+	}
+
 	switch {
 	case cfg.Variant == decode.VariantWatchdog:
 		plans = s.instrumentWatchdog(c, rec, native, plans)
 
 	case cfg.Variant == decode.VariantASan:
-		instrumented := c.dec.ASanInstrument(native)
+		// ASanInstrument derives shadow addresses from the access EAs, so
+		// the ASan path materializes the effective addresses on a scratch
+		// copy of the (immutable) expansion first.
+		buf := append(c.uopBuf[:0], native...)
+		c.uopBuf = buf[:0]
+		for i := range buf {
+			if buf[i].Type.IsMem() {
+				buf[i].EA = rec.EA
+			}
+		}
+		instrumented := c.dec.ASanInstrument(buf)
 		for i := range instrumented {
 			plans = append(plans, uopPlan{u: instrumented[i]})
 		}
@@ -122,11 +185,15 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 		}
 
 	case cfg.Variant.UsesTracker():
-		plans = s.instrumentTracked(c, rec, native, plans)
+		plans = s.instrumentTracked(c, rec, native, plans, sbm)
 
 	default: // insecure baseline
 		for i := range native {
-			plans = append(plans, uopPlan{u: native[i]})
+			p := uopPlan{u: native[i]}
+			if p.u.Type.IsMem() {
+				p.u.EA = rec.EA
+			}
+			plans = append(plans, p)
 		}
 	}
 
@@ -191,32 +258,19 @@ func (s *Sim) processRec(c *coreCtx, rec *emu.Rec) *core.Violation {
 		c.eng.CommitThrough(rec.Seq)
 	}
 
-	// --- Live call-string fold (elision lookups only). ---
-	// Guard-anchor activation: one guard μop per committed anchor
-	// macro-op, folded into the block leader at zero timing cost (the
-	// probe runs before ctxRetire below, so an anchor CALL counts in its
-	// caller's context — matching the static attribution). Same probe
-	// order as elision: exact live context, then the ⊤ entry.
-	if cfg.HoistGuards && len(s.guards.Guards) > 0 {
-		k := cfg.ElisionCtxK
-		if k == 0 {
-			k = 2
-		}
-		gctx := c.liveCtx().Limit(k)
-		if _, ok := s.guards.Guards[GuardKey{Addr: rec.Inst.Addr, Ctx: gctx}]; ok {
-			c.guardUops++
-		} else if !gctx.IsAny() {
-			if _, ok := s.guards.Guards[GuardKey{Addr: rec.Inst.Addr, Ctx: CtxAny}]; ok {
-				c.guardUops++
-			}
-		}
-	}
-
+	// --- Live call-string fold (elision and guard lookups only). ---
 	// Updated after the macro-op is fully processed so a CALL's own
 	// micro-ops (the return-address push) probe in the caller's context
 	// and a RET's in the callee's — matching the static attribution.
 	if cfg.ElideChecks {
 		c.ctxRetire(s, rec)
+	}
+
+	// Advance the superblock cursor past the replayed macro-op. This
+	// runs after ctxRetire so a terminal CALL/RET's fold transition is
+	// visible to the successor block's context check.
+	if sbm != nil {
+		s.sbAdvance(c, rec)
 	}
 	return c.firstViolation
 }
@@ -282,23 +336,29 @@ func (c *coreCtx) record(rip uint64, v *core.Violation) {
 
 // instrumentTracked runs the speculative pointer tracker over the native
 // micro-ops and applies the microcode customization unit's check-injection
-// decisions for the CHEx86 variants.
-func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plans []uopPlan) []uopPlan {
+// decisions for the CHEx86 variants. When sbm is non-nil the macro-op is
+// replaying from a superblock: the instrumentation decisions that are
+// static per (address, macro index, context) — context-policy coverage
+// and the elision/guard-subsumption probes — come from the block's baked
+// masks instead of live map lookups; everything dynamic (tracker state,
+// alias machinery, effective addresses) is identical either way.
+func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plans []uopPlan, sbm *sbMacro) []uopPlan {
 	cfg := &s.Cfg
 	seq := rec.Seq
 	rip := rec.Inst.Addr
-	covered := cfg.Context.Covers(rip)
-
+	ea := rec.EA
+	var covered bool
 	// Elision probe context: the live fold re-truncated to the depth the
 	// installed map was built at (constant per macro-op — the fold only
 	// advances at retirement, below).
 	var elideCtx CallCtx
-	if cfg.ElideChecks {
-		k := cfg.ElisionCtxK
-		if k == 0 {
-			k = 2
+	if sbm != nil {
+		covered = sbm.covered
+	} else {
+		covered = cfg.Context.Covers(rip)
+		if cfg.ElideChecks {
+			elideCtx = c.liveCtx().Limit(cfg.ctxK())
 		}
-		elideCtx = c.liveCtx().Limit(k)
 	}
 
 	for i := range native {
@@ -336,26 +396,35 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 			// not match the native expansion the proof was keyed against.
 			// Two probes: the exact live context first, then the ⊤ entry
 			// holding in every context (context-insensitive proofs, and
-			// the only entries reachable once the fold is lost).
+			// the only entries reachable once the fold is lost). On
+			// superblock replay the probe results were baked at build
+			// time under the block's context (validated at block entry),
+			// so the maps are not consulted.
 			if doCheck && pid != 0 && cfg.ElideChecks && !c.microRerouted {
-				hitKey := ElideKey{Addr: rip, MacroIdx: u.MacroIdx, Ctx: elideCtx}
-				hit := s.elision[hitKey]
-				if !hit && !elideCtx.IsAny() {
-					hitKey.Ctx = CtxAny
+				var hit, sub bool
+				if sbm != nil {
+					hit, sub = sbm.elide[i], sbm.subsume[i]
+				} else {
+					hitKey := ElideKey{Addr: rip, MacroIdx: u.MacroIdx, Ctx: elideCtx}
 					hit = s.elision[hitKey]
-				}
-				if hit {
-					inject = false
-					hwOnly = false
-					doCheck = false
-					c.elidedChecks++
+					if !hit && !elideCtx.IsAny() {
+						hitKey.Ctx = CtxAny
+						hit = s.elision[hitKey]
+					}
 					// Guard attribution: the suppressed check belongs to a
 					// verified hoisted guard when its elision key is in the
 					// guard map's covered set. Pure accounting — the
 					// decision above came from the elision map alone, so
 					// the executed check set is identical with guards on
 					// or off.
-					if cfg.HoistGuards && s.guards.Covered[hitKey] {
+					sub = hit && cfg.HoistGuards && s.guards.Covered[hitKey]
+				}
+				if hit {
+					inject = false
+					hwOnly = false
+					doCheck = false
+					c.elidedChecks++
+					if sub {
 						c.subsumedChecks++
 					}
 				}
@@ -370,7 +439,7 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 					checkLat += lat
 					c.capMissLat += lat
 				}
-				c.record(rip, s.Table.Check(pid, u.EA, u.AccessSize(), write, rip))
+				c.record(rip, s.Table.Check(pid, ea, u.AccessSize(), write, rip))
 			}
 
 			gated := false
@@ -390,7 +459,7 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 				// bounds-check bypass (Section III).
 				chk := isa.Uop{
 					Type: isa.UCapCheck, Dst: isa.T3, Src1: u.Mem.Base, Src2: u.Mem.Index,
-					Mem: u.Mem, EA: u.EA, PID: pid, Injected: true,
+					Mem: u.Mem, EA: ea, PID: pid, Injected: true,
 				}
 				c.dec.Stats.InjectedUops++
 				plans = append(plans, uopPlan{u: chk, extraLat: checkLat})
@@ -398,7 +467,15 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 				gated = pid != 0
 			}
 
-			plan := uopPlan{u: *u}
+			// Append the dereference's plan first and patch it in place
+			// through a pointer: uopPlan embeds the micro-op by value, and
+			// building it in a local then appending costs a second
+			// struct copy per memory micro-op. The pointer stays valid
+			// until the next plans append (PNA0 below re-appends nothing
+			// it still reads through plan).
+			plans = append(plans, uopPlan{u: *u})
+			plan := &plans[len(plans)-1]
+			plan.u.EA = ea
 			if gated {
 				c.gatedMem++
 				if u.Type == isa.ULoad {
@@ -419,21 +496,20 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 
 			if u.Type == isa.ULoad && u.AccessSize() < 8 {
 				// Sub-word loads cannot reload a pointer; no alias work.
-				plans = append(plans, plan)
 				continue
 			}
 
 			if u.Type == isa.ULoad {
 				// Spilled-pointer alias detection (Section V-C).
 				predicted := c.eng.PredictLoad(rip)
-				res := c.eng.ResolveLoad(seq, rip, u.EA, u.Dst, predicted)
+				res := c.eng.ResolveLoad(seq, rip, ea, u.Dst, predicted)
 
 				var walkLat uint64
-				if s.PT.AliasHosting(u.EA) {
-					if !c.aliasCache.Access(u.EA&^7) && !cfg.NoAliasWalks {
+				if s.PT.AliasHosting(ea) {
+					if !c.aliasCache.Access(ea&^7) && !cfg.NoAliasWalks {
 						// Scratch-buffer walk: touches reuses the core's
 						// walk buffer, so steady-state walks don't allocate.
-						_, touches := s.Ali.WalkInto(u.EA, c.walkBuf[:0])
+						_, touches := s.Ali.WalkInto(ea, c.walkBuf[:0])
 						c.walkBuf = touches[:0]
 						if !cfg.IdealShadowLatency {
 							for _, t := range touches {
@@ -447,7 +523,7 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 				case tracker.OutcomePNA0:
 					// The check injected for the predicted reload is marked
 					// a zero-idiom and squashed at the IQ (Figure 5c).
-					plans = append(plans, plan, uopPlan{u: isa.Uop{
+					plans = append(plans, uopPlan{u: isa.Uop{
 						Type: isa.UCapCheck, Dst: isa.RNone, Src1: u.Dst,
 						PID: res.Predicted, Injected: true, ZeroIdiom: true,
 					}})
@@ -459,7 +535,6 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 					plan.flush = true
 					plan.flushLat = walkLat
 				}
-				plans = append(plans, plan)
 				continue
 			}
 
@@ -473,15 +548,14 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 			if u.AccessSize() < 8 {
 				src = isa.RNone // force the clear path
 			}
-			if pidStored, updated := c.eng.StoreAlias(seq, u.EA, src); updated {
-				c.aliasCache.Access(u.EA &^ 7)
-				if leaf := s.Ali.LeafAddr(u.EA); leaf != 0 && !cfg.NoAliasWalks {
+			if pidStored, updated := c.eng.StoreAlias(seq, ea, src); updated {
+				c.aliasCache.Access(ea &^ 7)
+				if leaf := s.Ali.LeafAddr(ea); leaf != 0 && !cfg.NoAliasWalks {
 					c.hier.AccessShadowAt(leaf, true, true, c.lastCommit)
 				}
-				s.invalidateAlias(c, u.EA&^7)
+				s.invalidateAlias(c, ea&^7)
 				_ = pidStored
 			}
-			plans = append(plans, plan)
 
 		default:
 			c.eng.ApplyRegRule(seq, u)
@@ -499,6 +573,7 @@ func (s *Sim) instrumentTracked(c *coreCtx, rec *emu.Rec, native []isa.Uop, plan
 func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, plans []uopPlan) []uopPlan {
 	seq := rec.Seq
 	rip := rec.Inst.Addr
+	ea := rec.EA
 	for i := range native {
 		u := &native[i]
 		switch u.Type {
@@ -514,13 +589,13 @@ func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, pla
 					lat := c.hier.AccessShadowAt(core.ShadowAddr(pid), false, false, c.lastCommit)
 					c.capMissLat += lat
 				}
-				c.record(rip, s.Table.Check(pid, u.EA, u.AccessSize(), write, rip))
+				c.record(rip, s.Table.Check(pid, ea, u.AccessSize(), write, rip))
 			}
 			// The metadata companion access: a real load into the D-cache
 			// hierarchy at the word's 1:1 shadow address.
 			meta := isa.Uop{
 				Type: isa.ULoad, Dst: isa.T1, Src1: isa.RNone, Src2: isa.RNone,
-				EA:       decode.WatchdogShadowBase + (u.EA &^ 7),
+				EA:       decode.WatchdogShadowBase + (ea &^ 7),
 				Mem:      isa.MemRef{Base: u.Mem.Base, Index: u.Mem.Index, Scale: u.Mem.Scale},
 				Injected: true,
 			}
@@ -529,25 +604,26 @@ func (s *Sim) instrumentWatchdog(c *coreCtx, rec *emu.Rec, native []isa.Uop, pla
 			// The check gates the dereference, as in the other schemes.
 			chk := isa.Uop{
 				Type: isa.UCapCheck, Dst: isa.T3, Src1: isa.T1, Src2: isa.RNone,
-				EA: u.EA, PID: pid, Injected: true,
+				EA: ea, PID: pid, Injected: true,
 			}
 			c.dec.Stats.InjectedUops++
 			plans = append(plans, uopPlan{u: chk})
 			plan := uopPlan{u: *u}
+			plan.u.EA = ea
 			if u.Type == isa.ULoad {
 				plan.u.Src1 = isa.T3
 				// Alias resolution straight from the metadata (no
 				// prediction, no alias cache): propagate the actual PID.
-				actual, fwd := c.eng.SB.Forward(u.EA)
+				actual, fwd := c.eng.SB.Forward(ea)
 				if !fwd {
-					actual = c.eng.Aliases.Lookup(u.EA)
+					actual = c.eng.Aliases.Lookup(ea)
 				}
 				if u.Dst.Valid() {
 					c.eng.Tags.Propagate(seq, u.Dst, actual)
 				}
 			} else {
 				plan.u.Src2 = isa.T3
-				c.eng.StoreAlias(seq, u.EA, u.Src1)
+				c.eng.StoreAlias(seq, ea, u.Src1)
 			}
 			plans = append(plans, plan)
 		default:

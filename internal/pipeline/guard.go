@@ -17,19 +17,26 @@ type GuardKey struct {
 // attributed to a guard rather than to a standalone per-site proof.
 //
 // The checker only admits covered sites that are in the verified
-// elision map, so guard hoisting never changes which checks execute —
-// the guard μop folds into its anchor block's leader with zero timing
-// cost, and the map's sole runtime effect is the attribution the
-// GuardStats counters report (see DESIGN.md §16).
+// elision map, so guard hoisting never changes which checks execute.
+// With HoistGuards on, each committed anchor materializes one timed
+// UGuardCheck μop — the fused interval check standing in for every
+// subsumed per-site capability check the elision map already removed
+// from the stream — so the hoisting trade (one guard μop per block
+// entry against many elided checks) is measured by the timing model,
+// not merely accounted (see DESIGN.md §16/§17). The security contract
+// is unchanged: the guard μop is functionally inert (the per-site
+// functional validation decisions come from the elision map alone), so
+// violation reports are byte-identical with guards on or off.
 type GuardMap struct {
 	Guards  map[GuardKey]int
 	Covered map[ElideKey]bool
 }
 
 // GuardStats aggregates the guard-hoisting counters across harts. The
-// counters are deliberately not part of Result: Results must stay
-// byte-identical with guards on and off (the differential gate), so the
-// attribution lives beside the Result, not inside it.
+// counters live beside Result rather than inside it: they are host-side
+// attribution detail, and the guards-on/off differential (TestGuardDiff)
+// pins the exact relation — identical violations and check counts, with
+// the guard μops the only stream difference.
 type GuardStats struct {
 	// GuardUops counts committed guard-anchor activations: one per
 	// commit of an anchor macro-op whose (address, live context) matches
@@ -45,8 +52,13 @@ type GuardStats struct {
 // SetGuardMap installs the verified guard map. It only takes effect
 // when Cfg.HoistGuards is also set (which itself requires ElideChecks),
 // so an installed map with the knob off is inert — the fail-closed
-// default.
-func (s *Sim) SetGuardMap(m GuardMap) { s.guards = m }
+// default. Installing a map bumps the superblock epoch: any block whose
+// baked guard-anchor and subsumption masks were derived from the old map
+// is invalidated before its next replay.
+func (s *Sim) SetGuardMap(m GuardMap) {
+	s.guards = m
+	s.sbEpoch++
+}
 
 // GuardStats returns the guard-hoisting attribution counters summed
 // over all harts, windowed past the warmup boundary exactly like the

@@ -14,15 +14,21 @@ package pipeline
 const bwWindow = 1 << 16
 
 // bandwidth models a per-cycle issue/commit/FU bandwidth limit using a
-// sliding window of per-cycle counters.
+// sliding window of per-cycle counters. Counters are a single byte each:
+// the schedule loop reserves from several bandwidth instances per μop, so
+// the combined window footprint must stay cache-resident (widths are
+// pipeline widths and FU pool sizes, single digits in practice).
 type bandwidth struct {
-	width  uint32
+	width  uint8
 	base   uint64 // first cycle represented by counts[0]
-	counts [bwWindow]uint32
+	counts [bwWindow]uint8
 }
 
 func newBandwidth(width int) *bandwidth {
-	return &bandwidth{width: uint32(width)}
+	if width < 1 || width > 255 {
+		panic("bandwidth width out of range")
+	}
+	return &bandwidth{width: uint8(width)}
 }
 
 // reserve finds the first cycle at or after want with spare bandwidth,
@@ -51,27 +57,36 @@ func (b *bandwidth) reserve(want uint64) uint64 {
 }
 
 // slide advances the window base by shift cycles, discarding old counters.
+// The discarded index range [base%W, (base+shift)%W) is cleared as one or
+// two contiguous spans so the runtime can use vectorized memclr.
 func (b *bandwidth) slide(shift uint64) {
 	if shift >= bwWindow {
-		for i := range b.counts {
-			b.counts[i] = 0
-		}
+		clear(b.counts[:])
 		b.base += shift
 		return
 	}
-	for i := uint64(0); i < shift; i++ {
-		b.counts[(b.base+i)%bwWindow] = 0
+	start := b.base % bwWindow
+	end := start + shift
+	if end <= bwWindow {
+		clear(b.counts[start:end])
+	} else {
+		clear(b.counts[start:])
+		clear(b.counts[:end-bwWindow])
 	}
 	b.base += shift
 }
 
 // occupancyRing models an in-order-allocated, capacity-limited structure
 // (ROB, IQ, LQ, SQ): entry i cannot allocate until entry i-capacity has
-// released. release cycles are recorded in allocation order.
+// released. release cycles are recorded in allocation order. The ring
+// position is kept as an incrementally wrapped head index rather than
+// count%capacity: allocate/release run multiple times per μop and the
+// capacities are not powers of two, so the division is a measurable cost.
 type occupancyRing struct {
 	capacity int
 	releases []uint64 // circular: release cycle of the (i mod cap)-th entry
 	count    uint64   // total allocations so far
+	head     int      // count % capacity, maintained incrementally
 }
 
 func newOccupancyRing(capacity int) *occupancyRing {
@@ -84,7 +99,7 @@ func (r *occupancyRing) allocate(want uint64) uint64 {
 	if r.count >= uint64(r.capacity) {
 		// The slot reused by this entry frees when its previous occupant
 		// released.
-		if prev := r.releases[r.count%uint64(r.capacity)]; prev > want {
+		if prev := r.releases[r.head]; prev > want {
 			want = prev
 		}
 	}
@@ -93,8 +108,12 @@ func (r *occupancyRing) allocate(want uint64) uint64 {
 
 // release records the release cycle of the most recently allocated entry.
 func (r *occupancyRing) release(cycle uint64) {
-	r.releases[r.count%uint64(r.capacity)] = cycle
+	r.releases[r.head] = cycle
 	r.count++
+	r.head++
+	if r.head == r.capacity {
+		r.head = 0
+	}
 }
 
 // occupied counts entries still held at the given cycle (diagnostic use:
@@ -118,10 +137,12 @@ func (r *occupancyRing) occupied(now uint64) int {
 // entry can dispatch once fewer than capacity older entries remain
 // unissued — i.e., no earlier than the capacity-th largest issue time seen
 // so far. A size-capacity min-heap of the largest issue times yields that
-// bound exactly.
+// bound exactly. The heap is 4-ary with a hole-based sift: replacing the
+// root usually sifts the full depth, and the 4-ary layout halves that
+// depth while keeping each level's children inside one cache line.
 type issueWindow struct {
 	capacity int
-	heap     []uint64 // min-heap of the `capacity` largest issue times
+	heap     []uint64 // 4-ary min-heap of the `capacity` largest issue times
 }
 
 func newIssueWindow(capacity int) *issueWindow {
@@ -150,39 +171,48 @@ func (w *issueWindow) bound() uint64 {
 
 // add records an entry's issue time.
 func (w *issueWindow) add(issue uint64) {
-	if len(w.heap) < w.capacity {
-		w.heap = append(w.heap, issue)
-		i := len(w.heap) - 1
+	h := w.heap
+	if len(h) < w.capacity {
+		h = append(h, issue)
+		w.heap = h
+		i := len(h) - 1
 		for i > 0 {
-			p := (i - 1) / 2
-			if w.heap[p] <= w.heap[i] {
+			p := (i - 1) / 4
+			if h[p] <= h[i] {
 				break
 			}
-			w.heap[p], w.heap[i] = w.heap[i], w.heap[p]
+			h[p], h[i] = h[i], h[p]
 			i = p
 		}
 		return
 	}
-	if issue <= w.heap[0] {
+	if issue <= h[0] {
 		return
 	}
-	w.heap[0] = issue
+	// Sift the hole left by the evicted root downward, pulling the
+	// smaller child up, until issue fits.
+	n := len(h)
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < len(w.heap) && w.heap[l] < w.heap[small] {
-			small = l
+		min := issue
+		c := 4*i + 1
+		last := c + 4
+		if last > n {
+			last = n
 		}
-		if r < len(w.heap) && w.heap[r] < w.heap[small] {
-			small = r
+		for ; c < last; c++ {
+			if h[c] < min {
+				small, min = c, h[c]
+			}
 		}
 		if small == i {
-			return
+			break
 		}
-		w.heap[i], w.heap[small] = w.heap[small], w.heap[i]
+		h[i] = min
 		i = small
 	}
+	h[i] = issue
 }
 
 func maxU64(a, b uint64) uint64 {

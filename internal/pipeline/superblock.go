@@ -1,0 +1,465 @@
+package pipeline
+
+import (
+	"chex86/internal/branch"
+	"chex86/internal/decode"
+	"chex86/internal/emu"
+	"chex86/internal/isa"
+)
+
+// This file implements the superblock translation layer on top of the
+// per-core decoded-μop cache (uopcache.go): straight-line runs of
+// committed macro-ops ending at a branch are grouped into superblocks —
+// the simulator's analogue of QEMU's chained translation blocks — and
+// replayed through the timing model without the per-instruction dispatch
+// work (translation-cache probes, branch-kind classification, context
+// policy and elision/guard map lookups) that the single-op path performs
+// for every committed record.
+//
+// A superblock is keyed by its entry address and validated against the
+// microcode-RAM generation, the elision/guard installation epoch, and —
+// when check elision is live — the call-string context it was built
+// under. The per-uop instrumentation decisions that are static for a
+// fixed (address, macro index, context) triple are derived once at build
+// time and baked into the block: the context-policy coverage bit, the
+// elision-map hit mask, the guard-subsumption mask, and the hoisted
+// guard-anchor bit. Replay consumes the baked facts; everything dynamic
+// (pointer-tracker state, alias prediction, effective addresses, branch
+// outcomes) still comes from the committed record, so a replayed
+// instruction takes exactly the code path the single-op path takes with
+// the map probes' results precomputed. Byte-identity of Result JSON and
+// violation reports with superblocks on vs off is the contract
+// (TestSuperblockDifferential), mirroring the μop-cache discipline.
+//
+// Fail-closed fallback: any record that breaks a replay assumption — an
+// allocator event, a microcode generation or map-epoch bump (MSRAM
+// install/remove mid-stream), a context-fold transition changing the
+// live elision key, or an address mismatch — drops the cursor and takes
+// the single-op path for that record. Blocks never contain MSRAM-
+// rerouted macro-ops (their μop numbering may differ from what proofs
+// and masks were keyed against), and only the tracker-free and
+// microcode-injection variants engage replay: the software-
+// instrumentation variants (binary translation, ASan) derive their
+// fetched stream per dynamic instance, and Watchdog's shadow loads are
+// rebuilt per record, so baking buys them nothing.
+
+// sbSlots is the per-core superblock-cache capacity (direct-mapped).
+const sbSlots = 1 << 10
+
+// sbMaxMacros bounds a block's length so pathological straight-line runs
+// cannot grow unbounded fused streams; a run longer than the cap is
+// split into consecutive blocks that chain through the cache.
+const sbMaxMacros = 32
+
+// sbDefaultChainLen is the default bound on consecutive successor-link
+// follows before replay forces a fresh cache lookup.
+const sbDefaultChainLen = 16
+
+// sbMacro is one macro-op's baked translation inside a superblock.
+type sbMacro struct {
+	addr uint64
+
+	// uops is the macro-op's expansion, a sub-slice of the block's fused
+	// stream (immutable after install, like μop-cache entries).
+	uops []isa.Uop
+
+	// nativeUops replays Decoder.Stats.NativeUops on each visit, exactly
+	// as a μop-cache hit would.
+	nativeUops uint64
+
+	// Precomputed branch classification (the per-record switch in the
+	// single-op path).
+	isBranch bool
+	brKind   branch.Kind
+
+	// covered bakes cfg.Context.Covers(addr).
+	covered bool
+
+	// elide/subsume bake the elision-map and guard-coverage probes per
+	// μop index under the block's build context (nil when ElideChecks is
+	// off). elide[i] is the probe result for uops[i] if it is a memory
+	// μop; subsume[i] additionally marks the hit as guard-attributed.
+	elide   []bool
+	subsume []bool
+
+	// guardAnchor bakes the hoisted-guard probe for this macro-op's
+	// address under the block's build context.
+	guardAnchor bool
+}
+
+// superblock is a chained translation block: a straight-line run of
+// baked macro translations over one fused μop stream, ended by a branch
+// (or by a chain-terminating macro: an MSRAM reroute, an allocator
+// event, or the length cap).
+type superblock struct {
+	entry uint64
+	valid bool
+
+	// gen/epoch pin the derivation inputs: the microcode-RAM generation
+	// and the Sim-wide elision/guard installation epoch at build time.
+	gen   uint64
+	epoch uint64
+
+	// ctx is the live call-string fold (k-limited) the elision and guard
+	// masks were baked under; only checked when ElideChecks is on.
+	ctx CallCtx
+
+	uops   []isa.Uop // fused stream owned by the block
+	macros []sbMacro
+
+	// Direct-branch successor links, patched on first resolution of the
+	// terminal branch. Links are hints: they are revalidated (validity,
+	// entry address, generation, epoch, context) before being followed.
+	taken *superblock
+	fall  *superblock
+}
+
+// sbStats counts per-core superblock activity. Like UopCacheStats this
+// is host telemetry, reported out of band — never in Result.
+type sbStats struct {
+	built     uint64 // blocks installed
+	replayed  uint64 // macro-ops served from a block cursor
+	engages   uint64 // cursor activations via cache lookup
+	chains    uint64 // successor links patched
+	chained   uint64 // cursor activations via a followed link
+	fallbacks uint64 // mid-block exits to the single-op path
+}
+
+// sbCache is the per-core superblock cache, direct-mapped by entry
+// address like the μop cache underneath it.
+type sbCache struct {
+	slots []*superblock
+	stats sbStats
+}
+
+func sbSlot(addr uint64) uint64 { return (addr >> 2) & (sbSlots - 1) }
+
+// lookup returns the valid block with the given entry address, or nil.
+// A generation or epoch mismatch invalidates the block in place so the
+// builder can rebuild it (RV-CURE's discipline: derive once, reuse
+// safely, invalidate on generation bump).
+func (sc *sbCache) lookup(addr, gen, epoch uint64) *superblock {
+	if sc.slots == nil {
+		return nil
+	}
+	b := sc.slots[sbSlot(addr)]
+	if b == nil || !b.valid || b.entry != addr {
+		return nil
+	}
+	if b.gen != gen || b.epoch != epoch {
+		b.valid = false
+		return nil
+	}
+	return b
+}
+
+// peek returns the block at addr's slot if it matches, without the
+// generation/epoch validation (link patching revalidates on follow).
+func (sc *sbCache) peek(addr uint64) *superblock {
+	if sc.slots == nil {
+		return nil
+	}
+	b := sc.slots[sbSlot(addr)]
+	if b == nil || !b.valid || b.entry != addr {
+		return nil
+	}
+	return b
+}
+
+// install places a built block into its slot, invalidating any previous
+// occupant (links holding the evicted block revalidate and drop it).
+func (sc *sbCache) install(b *superblock) {
+	if sc.slots == nil {
+		sc.slots = make([]*superblock, sbSlots)
+	}
+	slot := sbSlot(b.entry)
+	if old := sc.slots[slot]; old != nil {
+		old.valid = false
+	}
+	sc.slots[slot] = b
+	sc.stats.built++
+}
+
+// sbBuilder accumulates one superblock from the single-op path's
+// committed stream. It is per-core scratch: at most one block is under
+// construction per core at a time.
+type sbBuilder struct {
+	active bool
+	gen    uint64
+	epoch  uint64
+	ctx    CallCtx
+	next   uint64 // expected address of the next fed record
+
+	uops   []isa.Uop
+	macros []sbMacro
+}
+
+func (b *sbBuilder) reset() {
+	b.active = false
+	b.uops = b.uops[:0]
+	b.macros = b.macros[:0]
+}
+
+// sbEnabled reports whether the configuration engages the superblock
+// layer at all (see the file comment for why the software-instrumented
+// and Watchdog variants are excluded).
+func (s *Sim) sbEnabled() bool {
+	if s.Cfg.NoSuperblocks {
+		return false
+	}
+	switch s.Cfg.Variant {
+	case decode.VariantInsecure, decode.VariantHardwareOnly,
+		decode.VariantMicrocodeAlwaysOn, decode.VariantMicrocodePrediction:
+		return true
+	}
+	return false
+}
+
+// sbLiveCtx returns the k-limited live fold used for block validation
+// (the same key elision and guard probes use).
+func (c *coreCtx) sbLiveCtx(cfg *Config) CallCtx {
+	return c.liveCtx().Limit(cfg.ctxK())
+}
+
+// sbResolve returns the baked macro the active cursor holds for this
+// record, engaging a cached block when the cursor is idle. A record that
+// breaks a replay assumption drops the cursor (fail-closed) and returns
+// nil: the caller runs the single-op path.
+func (s *Sim) sbResolve(c *coreCtx, rec *emu.Rec) *sbMacro {
+	gen := s.Microcode.Gen()
+	if sb := c.sbCur; sb != nil {
+		m := &sb.macros[c.sbIdx]
+		if m.addr == rec.Inst.Addr && rec.Event == emu.EvNone &&
+			sb.valid && sb.gen == gen && sb.epoch == s.sbEpoch {
+			c.sb.stats.replayed++
+			return m
+		}
+		c.sbCur = nil
+		c.sb.stats.fallbacks++
+	}
+	if rec.Event != emu.EvNone {
+		return nil
+	}
+	sb := c.sb.lookup(rec.Inst.Addr, gen, s.sbEpoch)
+	if sb == nil {
+		return nil
+	}
+	if s.Cfg.ElideChecks && sb.ctx != c.sbLiveCtx(&s.Cfg) {
+		// Built under a different call-string fold: the baked elision and
+		// guard masks do not apply. Evict so the builder rebuilds under
+		// the live context.
+		sb.valid = false
+		return nil
+	}
+	c.sbCur = sb
+	c.sbIdx = 0
+	c.sbChain = 0
+	c.sbBuild.reset()
+	c.sb.stats.engages++
+	c.sb.stats.replayed++
+	return &sb.macros[0]
+}
+
+// sbChainable reports whether a terminal branch kind supports successor
+// links: direct branches only — indirect targets and returns change per
+// dynamic instance, so their blocks end the chain.
+func sbChainable(k branch.Kind) bool {
+	switch k {
+	case branch.KindCond, branch.KindDirect, branch.KindCall:
+		return true
+	}
+	return false
+}
+
+// sbAdvance moves the cursor past a replayed macro, following a
+// successor link at the terminal branch when the chain bound allows and
+// the linked block revalidates. It runs after ctxRetire so a terminal
+// CALL/RET's fold transition is visible to the next block's context
+// check.
+func (s *Sim) sbAdvance(c *coreCtx, rec *emu.Rec) {
+	sb := c.sbCur
+	if sb == nil {
+		return
+	}
+	c.sbIdx++
+	if c.sbIdx < len(sb.macros) {
+		return
+	}
+	c.sbCur = nil
+	m := &sb.macros[len(sb.macros)-1]
+	if !m.isBranch || !sbChainable(m.brKind) {
+		return
+	}
+	linkp := &sb.fall
+	if rec.Taken {
+		linkp = &sb.taken
+	}
+	nb := *linkp
+	if nb == nil || !nb.valid || nb.entry != rec.Target {
+		nb = c.sb.peek(rec.Target)
+		if nb == nil {
+			return
+		}
+		*linkp = nb
+		c.sb.stats.chains++
+	}
+	chainLen := s.Cfg.SuperblockChainLen
+	if chainLen == 0 {
+		chainLen = sbDefaultChainLen
+	}
+	if c.sbChain >= chainLen {
+		return // force a fresh lookup on the next record
+	}
+	if nb.gen != s.Microcode.Gen() || nb.epoch != s.sbEpoch {
+		nb.valid = false
+		return
+	}
+	if s.Cfg.ElideChecks && nb.ctx != c.sbLiveCtx(&s.Cfg) {
+		return
+	}
+	c.sbChain++
+	c.sbCur = nb
+	c.sbIdx = 0
+	c.sbBuild.reset()
+	c.sb.stats.chained++
+	c.sb.stats.replayed++
+}
+
+// sbFeed grows the block under construction with one committed record
+// processed by the single-op path. Branches terminate and install the
+// block; MSRAM-rerouted macros and allocator events terminate it without
+// being included (replaying them would always fall back); a generation
+// bump or a non-sequential address aborts the partial block.
+func (s *Sim) sbFeed(c *coreCtx, rec *emu.Rec, native []isa.Uop, nativeUops uint64,
+	isBranch bool, brKind branch.Kind, gen uint64) {
+	b := &c.sbBuild
+	addr := rec.Inst.Addr
+	if b.active && (addr != b.next || gen != b.gen || b.epoch != s.sbEpoch) {
+		b.reset()
+	}
+	if !b.active {
+		if c.sb.peek(addr) != nil {
+			return // already translated; replay engages on next visit
+		}
+		b.active = true
+		b.gen = gen
+		b.epoch = s.sbEpoch
+		b.ctx = c.sbLiveCtx(&s.Cfg)
+	}
+	if c.microRerouted || rec.Event != emu.EvNone {
+		s.sbInstall(c)
+		return
+	}
+	lo := len(b.uops)
+	b.uops = append(b.uops, native...)
+	b.macros = append(b.macros, sbMacro{
+		addr:       addr,
+		uops:       b.uops[lo : lo+len(native) : lo+len(native)],
+		nativeUops: nativeUops,
+		isBranch:   isBranch,
+		brKind:     brKind,
+	})
+	if isBranch || len(b.macros) >= sbMaxMacros {
+		s.sbInstall(c)
+		return
+	}
+	b.next = rec.Inst.NextAddr()
+}
+
+// sbInstall bakes the accumulated per-macro facts and publishes the
+// block. Appending to b.uops may have reallocated the fused stream, so
+// each macro's sub-slice is re-derived from the final backing array.
+func (s *Sim) sbInstall(c *coreCtx) {
+	b := &c.sbBuild
+	if !b.active || len(b.macros) == 0 {
+		b.reset()
+		return
+	}
+	cfg := &s.Cfg
+	sb := &superblock{
+		entry: b.macros[0].addr,
+		valid: true,
+		gen:   b.gen,
+		epoch: b.epoch,
+		ctx:   b.ctx,
+		uops:  append([]isa.Uop(nil), b.uops...),
+	}
+	sb.macros = append([]sbMacro(nil), b.macros...)
+	lo := 0
+	for i := range sb.macros {
+		m := &sb.macros[i]
+		n := len(m.uops)
+		m.uops = sb.uops[lo : lo+n : lo+n]
+		lo += n
+		m.covered = cfg.Context.Covers(m.addr)
+		if cfg.HoistGuards && len(s.guards.Guards) > 0 {
+			if _, ok := s.guards.Guards[GuardKey{Addr: m.addr, Ctx: b.ctx}]; ok {
+				m.guardAnchor = true
+			} else if !b.ctx.IsAny() {
+				_, m.guardAnchor = s.guards.Guards[GuardKey{Addr: m.addr, Ctx: CtxAny}]
+			}
+		}
+		if cfg.ElideChecks {
+			m.elide = make([]bool, n)
+			m.subsume = make([]bool, n)
+			for j := range m.uops {
+				u := &m.uops[j]
+				if !u.Type.IsMem() {
+					continue
+				}
+				hitKey := ElideKey{Addr: m.addr, MacroIdx: u.MacroIdx, Ctx: b.ctx}
+				hit := s.elision[hitKey]
+				if !hit && !b.ctx.IsAny() {
+					hitKey.Ctx = CtxAny
+					hit = s.elision[hitKey]
+				}
+				m.elide[j] = hit
+				m.subsume[j] = hit && cfg.HoistGuards && s.guards.Covered[hitKey]
+			}
+		}
+	}
+	c.sb.install(sb)
+	b.reset()
+}
+
+// SuperblockStats reports superblock-layer activity. Like UopCacheStats
+// it is host telemetry surfaced out of band: Result must be
+// byte-identical with superblocks on and off, so none of these counters
+// may live there.
+type SuperblockStats struct {
+	Built         uint64 // blocks installed
+	Replayed      uint64 // macro-ops served from block cursors
+	Engages       uint64 // cursor activations via cache lookup
+	ChainsPatched uint64 // successor links patched on first resolution
+	Chained       uint64 // cursor activations via a followed link
+	Fallbacks     uint64 // mid-block exits to the single-op path
+	Entries       int    // valid blocks resident across cores
+}
+
+// ReplayRate returns the fraction of committed macro-ops served from a
+// superblock cursor.
+func (st SuperblockStats) ReplayRate(macroOps uint64) float64 {
+	if macroOps == 0 {
+		return 0
+	}
+	return float64(st.Replayed) / float64(macroOps)
+}
+
+// SuperblockStats aggregates superblock activity across cores.
+func (s *Sim) SuperblockStats() SuperblockStats {
+	var st SuperblockStats
+	for _, c := range s.cores {
+		st.Built += c.sb.stats.built
+		st.Replayed += c.sb.stats.replayed
+		st.Engages += c.sb.stats.engages
+		st.ChainsPatched += c.sb.stats.chains
+		st.Chained += c.sb.stats.chained
+		st.Fallbacks += c.sb.stats.fallbacks
+		for _, b := range c.sb.slots {
+			if b != nil && b.valid {
+				st.Entries++
+			}
+		}
+	}
+	return st
+}

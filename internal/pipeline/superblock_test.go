@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"chex86/internal/decode"
+	"chex86/internal/workload"
+)
+
+func runWorkloadWithSuperblocks(t *testing.T, p *workload.Profile, v decode.Variant, off bool) (*Sim, *Result) {
+	t.Helper()
+	prog, err := p.Build(0.1)
+	if err != nil {
+		t.Fatalf("%s: build: %v", p.Name, err)
+	}
+	cfg := DefaultConfig()
+	cfg.Variant = v
+	cfg.WarmupInsts = p.SetupInsts()
+	cfg.MaxInsts = 12_000 + cfg.WarmupInsts
+	cfg.NoSuperblocks = off
+	harts := 1
+	if p.Threads > 0 {
+		harts = p.Threads
+	}
+	sim, err := NewSim(prog, cfg, harts)
+	if err != nil {
+		t.Fatalf("%s/%v: NewSim: %v", p.Name, v, err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("%s/%v: run: %v", p.Name, v, err)
+	}
+	return sim, res
+}
+
+// TestSuperblockDifferential is the tentpole's differential gate
+// (DESIGN.md §17): across every catalog workload and every protection
+// variant, the simulation Result must be byte-identical with superblock
+// replay enabled (the default) and disabled. On the variants where
+// superblocks engage, the replay path must actually have served
+// macro-ops — a zero-replay pass would make the differential vacuous.
+func TestSuperblockDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload×variant sweep")
+	}
+	for _, p := range workload.Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			for v := decode.Variant(0); v < decode.NumVariants; v++ {
+				simOn, on := runWorkloadWithSuperblocks(t, p, v, false)
+				_, off := runWorkloadWithSuperblocks(t, p, v, true)
+				jOn, jOff := marshalResult(t, on), marshalResult(t, off)
+				if !bytes.Equal(jOn, jOff) {
+					t.Errorf("%s/%v: Result diverges with superblocks on vs off:\non:  %s\noff: %s",
+						p.Name, v, jOn, jOff)
+				}
+				st := simOn.SuperblockStats()
+				if simOn.sbEnabled() && st.Replayed == 0 {
+					t.Errorf("%s/%v: superblocks never replayed (stats %+v) — the differential is vacuous",
+						p.Name, v, st)
+				}
+				if !simOn.sbEnabled() && st.Built != 0 {
+					t.Errorf("%s/%v: superblocks built on an excluded variant (stats %+v)", p.Name, v, st)
+				}
+			}
+		})
+	}
+}
+
+// TestSuperblockMidStreamMicrocodeUpdate exercises generation-based
+// block invalidation: a field update lands in the writable microcode RAM
+// mid-stream (after superblocks are already built and chained), later
+// removed, and the run must still be byte-identical to a
+// superblocks-disabled run with the same update schedule. Rerouted
+// macro-ops must fall back to the single-op path fail-closed.
+func TestSuperblockMidStreamMicrocodeUpdate(t *testing.T) {
+	p := workload.ByName("mcf")
+	if p == nil {
+		t.Fatal("mcf workload missing from catalog")
+	}
+
+	runOne := func(off bool) (*Sim, *Result) {
+		prog, err := p.Build(0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 20_000
+		cfg.NoSuperblocks = off
+		sim, err := NewSim(prog, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := func(rounds int) {
+			if _, err := sim.Step(rounds); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Phase 1: build and chain superblocks over native translations.
+		step(3000)
+		// Phase 2: the MSRAM changes — every load is rerouted, so every
+		// resident block is stale and must miss on its generation tag.
+		sim.Microcode.Install(decode.LoadFence("midstream", func(rip uint64) bool { return true }))
+		step(3000)
+		// Phase 3: the update is removed; blocks built against the
+		// rerouted generation are stale again.
+		sim.Microcode.Remove("midstream")
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim, sim.Result()
+	}
+
+	simOn, on := runOne(false)
+	_, off := runOne(true)
+	jOn, jOff := marshalResult(t, on), marshalResult(t, off)
+	if !bytes.Equal(jOn, jOff) {
+		t.Errorf("mid-stream microcode update diverges with superblocks on vs off:\non:  %s\noff: %s", jOn, jOff)
+	}
+	st := simOn.SuperblockStats()
+	if st.Built == 0 || st.Replayed == 0 {
+		t.Errorf("mid-stream case never exercised superblock replay: stats %+v", st)
+	}
+	if on.MSROMMacros == 0 {
+		t.Error("field update never rerouted a translation — the invalidation test is vacuous")
+	}
+}
+
+// TestSuperblockChainBoundDifferential pins that the chain-length bound
+// is a pure replay-policy knob: clamping chains to a single followed
+// link must not move a byte of the Result relative to the unbounded
+// default.
+func TestSuperblockChainBoundDifferential(t *testing.T) {
+	p := workload.ByName("gcc")
+	if p == nil {
+		t.Fatal("gcc workload missing from catalog")
+	}
+	runOne := func(chain int) (*Sim, *Result) {
+		prog, err := p.Build(0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 15_000
+		cfg.SuperblockChainLen = chain
+		sim, err := NewSim(prog, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim, res
+	}
+	simTight, tight := runOne(1)
+	_, wide := runOne(0) // 0 = default bound
+	jt, jw := marshalResult(t, tight), marshalResult(t, wide)
+	if !bytes.Equal(jt, jw) {
+		t.Errorf("chain bound changed the Result:\nchain=1: %s\ndefault: %s", jt, jw)
+	}
+	if st := simTight.SuperblockStats(); st.Chained == 0 {
+		t.Errorf("bounded run never followed a chain link (stats %+v) — the bound was not exercised", st)
+	}
+}
+
+// TestCanonicalJSONIgnoresSuperblockKnobs pins the campaign-cache-key
+// contract: superblock replay cannot change result bytes, so neither
+// the off switch nor the chain-length bound may change CanonicalJSON —
+// otherwise content-addressed campaign cache entries would be spuriously
+// invalidated by a host-side replay knob.
+func TestCanonicalJSONIgnoresSuperblockKnobs(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.NoSuperblocks = true
+	b.SuperblockChainLen = 3
+	ja, jb := a.CanonicalJSON(), b.CanonicalJSON()
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("superblock knobs leaked into CanonicalJSON:\n%s\n%s", ja, jb)
+	}
+}

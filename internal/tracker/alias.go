@@ -17,8 +17,13 @@ type AliasTable struct {
 	pt      *mem.PageTable
 
 	// shadowPageOf maps a user page hosting aliases to its materialized
-	// leaf shadow page.
+	// leaf shadow page. memoPage/memoLeaf cache the last mapping looked
+	// up: spill traffic clusters on a few stack/heap pages, and leaf
+	// pages are never unmapped, so the memo only ever goes stale by
+	// being replaced.
 	shadowPageOf map[uint64]uint64
+	memoPage     uint64
+	memoLeaf     uint64 // 0 = memo empty
 	nextLeaf     uint64
 
 	// WalkLevels is the number of table levels a hardware walk traverses
@@ -45,6 +50,19 @@ func NewAliasTable(m *mem.Memory, pt *mem.PageTable) *AliasTable {
 
 func alignDown8(a uint64) uint64 { return a &^ 7 }
 
+// leafPage returns the materialized leaf shadow page for userPage through
+// the one-entry memo.
+func (t *AliasTable) leafPage(userPage uint64) (uint64, bool) {
+	if t.memoLeaf != 0 && t.memoPage == userPage {
+		return t.memoLeaf, true
+	}
+	leaf, ok := t.shadowPageOf[userPage]
+	if ok {
+		t.memoPage, t.memoLeaf = userPage, leaf
+	}
+	return leaf, ok
+}
+
 // Set records that the 8-byte word at addr holds a spilled pointer with
 // the given PID (pid 0 clears the entry). It maintains the page table's
 // alias-hosting bit and the leaf shadow page.
@@ -60,11 +78,12 @@ func (t *AliasTable) Set(addr uint64, pid core.PID) {
 		t.pt.SetAliasHosting(userPage, true)
 	}
 	if t.m != nil {
-		leaf, ok := t.shadowPageOf[userPage]
+		leaf, ok := t.leafPage(userPage)
 		if !ok {
 			leaf = t.nextLeaf
 			t.nextLeaf += mem.PageSize
 			t.shadowPageOf[userPage] = leaf
+			t.memoPage, t.memoLeaf = userPage, leaf
 		}
 		off := (addr - userPage) / 8 * 8
 		t.m.WriteU64(leaf+off, uint64(pid))
@@ -76,7 +95,7 @@ func (t *AliasTable) Set(addr uint64, pid core.PID) {
 func (t *AliasTable) LeafAddr(addr uint64) uint64 {
 	addr = alignDown8(addr)
 	userPage := mem.PageBase(addr)
-	leaf, ok := t.shadowPageOf[userPage]
+	leaf, ok := t.leafPage(userPage)
 	if !ok {
 		return 0
 	}
@@ -103,7 +122,7 @@ func (t *AliasTable) WalkInto(addr uint64, buf []uint64) (core.PID, []uint64) {
 	t.Walks++
 	addr = alignDown8(addr)
 	userPage := mem.PageBase(addr)
-	leaf, ok := t.shadowPageOf[userPage]
+	leaf, ok := t.leafPage(userPage)
 	if !ok {
 		leaf = mem.AliasBase // a walk that terminates early at a non-present level
 	}

@@ -19,12 +19,16 @@ type transPID struct {
 type regTag struct {
 	committed core.PID
 	transient []transPID
+	inActive  bool // r is on RegTags.active
 }
 
 // RegTags tracks PID tags for all registers (architectural plus the
-// micro-op temporaries).
+// micro-op temporaries). Registers with in-flight transient PIDs are kept
+// on a compact active list so the per-commit finalization scan touches
+// only them instead of sweeping every register each retirement.
 type RegTags struct {
-	tags [isa.NumRegs]regTag
+	tags   [isa.NumRegs]regTag
+	active []isa.Reg // registers with non-empty transient lists
 }
 
 // NewRegTags returns zeroed tags.
@@ -59,12 +63,17 @@ func (t *RegTags) Propagate(seq uint64, r isa.Reg, pid core.PID) {
 		return
 	}
 	tag.transient = append(tag.transient, transPID{seq: seq, pid: pid})
+	if !tag.inActive {
+		tag.inActive = true
+		t.active = append(t.active, r)
+	}
 }
 
 // Commit finalizes all transient propagations with sequence numbers at or
 // below seq: the newest of them becomes the committed PID.
 func (t *RegTags) Commit(seq uint64) {
-	for r := range t.tags {
+	w := 0
+	for _, r := range t.active {
 		tag := &t.tags[r]
 		i := 0
 		for i < len(tag.transient) && tag.transient[i].seq <= seq {
@@ -74,7 +83,14 @@ func (t *RegTags) Commit(seq uint64) {
 		if i > 0 {
 			tag.transient = tag.transient[:copy(tag.transient, tag.transient[i:])]
 		}
+		if len(tag.transient) == 0 {
+			tag.inActive = false
+			continue
+		}
+		t.active[w] = r
+		w++
 	}
+	t.active = t.active[:w]
 }
 
 // Squash discards all transient propagations younger than seq (sequence
@@ -82,14 +98,22 @@ func (t *RegTags) Commit(seq uint64) {
 // Section V-D: on a squash signal the tracker inspects the offending
 // instruction's sequence number and removes newer transient PIDs.
 func (t *RegTags) Squash(seq uint64) {
-	for r := range t.tags {
+	w := 0
+	for _, r := range t.active {
 		tag := &t.tags[r]
 		n := len(tag.transient)
 		for n > 0 && tag.transient[n-1].seq > seq {
 			n--
 		}
 		tag.transient = tag.transient[:n]
+		if n == 0 {
+			tag.inActive = false
+			continue
+		}
+		t.active[w] = r
+		w++
 	}
+	t.active = t.active[:w]
 }
 
 // Reset clears all tags (process switch).
@@ -97,4 +121,5 @@ func (t *RegTags) Reset() {
 	for r := range t.tags {
 		t.tags[r] = regTag{}
 	}
+	t.active = t.active[:0]
 }
